@@ -1,0 +1,41 @@
+//! Criterion bench: cost of one mini-batch gradient-descent update and of a
+//! single prediction — the per-iteration work the in-situ method adds to the
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use insitu::collect::BatchRow;
+use insitu::model::{IncrementalTrainer, TrainerConfig};
+
+fn batch(rows: usize, order: usize) -> Vec<BatchRow> {
+    (0..rows)
+        .map(|i| {
+            let base = (i as f64 * 0.1).sin() + 2.0;
+            BatchRow::new((0..order).map(|k| base - k as f64 * 0.01).collect(), base)
+        })
+        .collect()
+}
+
+fn bench_ar_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ar_update");
+    group.sample_size(30);
+    for &rows in &[8usize, 16, 64] {
+        group.bench_function(format!("train_batch_{rows}_rows"), |b| {
+            let data = batch(rows, 3);
+            b.iter_batched(
+                || IncrementalTrainer::new(TrainerConfig::default()).unwrap(),
+                |mut trainer| trainer.train_batch(&data).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function("predict", |b| {
+        let data = batch(64, 3);
+        let mut trainer = IncrementalTrainer::new(TrainerConfig::default()).unwrap();
+        trainer.train_batch(&data).unwrap();
+        b.iter(|| trainer.predict(&[2.0, 1.99, 1.98]).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ar_update);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: cost of the per-iteration data-collection helper
+//! (sampling the provider over the spatial characteristic and assembling
+//! mini-batch rows).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use insitu::collect::{Collector, PredictorLayout};
+use insitu::IterParam;
+
+fn collector(locations: u64) -> Collector {
+    Collector::new(
+        IterParam::new(1, locations, 1).unwrap(),
+        IterParam::new(0, 10_000, 1).unwrap(),
+        3,
+        10,
+        PredictorLayout::SpatioTemporal,
+        16,
+    )
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection");
+    group.sample_size(30);
+    let domain: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).cos()).collect();
+    let provider = |d: &Vec<f64>, loc: usize| d.get(loc).copied().unwrap_or(0.0);
+    for &locations in &[10u64, 30, 60] {
+        group.bench_function(format!("observe_{locations}_locations"), |b| {
+            b.iter_batched(
+                || collector(locations),
+                |mut col| {
+                    for iteration in 0..50u64 {
+                        col.observe(iteration, &domain, &provider);
+                    }
+                    col
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collection);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: cost of one LULESH-proxy iteration (radial Lagrange step
+//! plus the 3D element-field update) at the paper's domain sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lulesh::{LuleshConfig, LuleshSim};
+
+fn bench_lulesh_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lulesh_step");
+    group.sample_size(10);
+    for &size in &[30usize, 60] {
+        group.bench_function(format!("step_size_{size}"), |b| {
+            let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+            // Warm the blast up a little so the step cost is representative.
+            for _ in 0..10 {
+                sim.step();
+            }
+            b.iter(|| sim.step());
+        });
+        group.bench_function(format!("step_radial_only_size_{size}"), |b| {
+            let mut sim =
+                LuleshSim::new(LuleshConfig::with_edge_elems(size).without_element_fields());
+            for _ in 0..10 {
+                sim.step();
+            }
+            b.iter(|| sim.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lulesh_step);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: cost of the variable-tracking primitives (peak
+//! detection, inflection search, threshold radius search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use insitu::tracking::{find_inflections, find_local_extrema, radius_search, PeakDetector};
+
+fn wave(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            (0.05 * t).sin() * (-0.002 * t).exp() + 0.1 * (0.3 * t).cos()
+        })
+        .collect()
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking");
+    group.sample_size(50);
+    let series = wave(1000);
+    group.bench_function("find_local_extrema_1000", |b| {
+        b.iter(|| find_local_extrema(&series))
+    });
+    group.bench_function("find_inflections_1000", |b| {
+        b.iter(|| find_inflections(&series))
+    });
+    group.bench_function("streaming_peak_detector_1000", |b| {
+        b.iter(|| {
+            let mut det = PeakDetector::new();
+            let mut count = 0;
+            for &v in &series {
+                if det.push(v).is_some() {
+                    count += 1;
+                }
+            }
+            count
+        })
+    });
+    group.bench_function("radius_search_1000", |b| {
+        b.iter(|| radius_search(0, 999, 7, |loc| 1.0 / (1.0 + loc as f64), |v| v < 0.002))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: cost of one wdmerger-proxy diagnostic timestep (ODE
+//! substeps plus the resolution³ grid deposit) at the paper's resolutions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wdmerger::{WdMergerConfig, WdMergerSim};
+
+fn bench_wdmerger_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wdmerger_step");
+    group.sample_size(10);
+    for &resolution in &[16usize, 32, 48] {
+        group.bench_function(format!("step_resolution_{resolution}"), |b| {
+            let mut sim = WdMergerSim::new(
+                WdMergerConfig::with_resolution(resolution).with_steps(1_000_000),
+            );
+            for _ in 0..5 {
+                sim.step();
+            }
+            b.iter(|| sim.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wdmerger_step);
+criterion_main!(benches);

@@ -1,0 +1,273 @@
+//! Shared curve-fitting harness used by both case studies.
+//!
+//! The accuracy experiments all have the same shape: take a diagnostic
+//! series produced by a full simulation run, train the auto-regressive model
+//! incrementally on the first `fraction` of it (mini-batches, gradient
+//! descent — exactly the in-situ training loop), then reconstruct the whole
+//! series with one-step-ahead predictions and report the paper's error-rate
+//! metric against the ground truth.
+
+use insitu::collect::BatchRow;
+use insitu::model::{
+    metrics, ConvergenceCriteria, IncrementalTrainer, OptimizerKind, TrainerConfig,
+};
+
+/// Hyper-parameters of a curve fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitConfig {
+    /// AR model order (number of lagged predictors).
+    pub order: usize,
+    /// Spacing between lagged predictors, in samples of the series.
+    pub lag_steps: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Gradient-descent passes per mini-batch.
+    pub epochs: usize,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self {
+            order: 3,
+            lag_steps: 1,
+            batch: 16,
+            learning_rate: 0.1,
+            epochs: 6,
+        }
+    }
+}
+
+/// Result of fitting one series.
+#[derive(Debug, Clone)]
+pub struct FitOutcome {
+    /// Sample indices (into the original series) that were predicted.
+    pub indices: Vec<usize>,
+    /// One-step-ahead predictions at those indices.
+    pub predicted: Vec<f64>,
+    /// Ground-truth values at those indices.
+    pub actual: Vec<f64>,
+    /// Index of the first sample that was *not* used for training.
+    pub train_end: usize,
+    /// The paper's error rate (%), evaluated over the samples the training
+    /// never saw (the whole reconstruction when the model was trained on the
+    /// full series).
+    pub error_rate_percent: f64,
+    /// Number of mini-batches the trainer consumed.
+    pub batches: usize,
+}
+
+impl FitOutcome {
+    /// The paper's accuracy metric (`100 − error rate`, clamped).
+    pub fn accuracy_percent(&self) -> f64 {
+        (100.0 - self.error_rate_percent).clamp(0.0, 100.0)
+    }
+}
+
+/// Builds the temporal-AR training row whose target is `values[i]`.
+fn row_at(values: &[f64], i: usize, config: &FitConfig) -> Option<BatchRow> {
+    let mut inputs = Vec::with_capacity(config.order);
+    for k in 1..=config.order {
+        let offset = k * config.lag_steps;
+        if offset > i {
+            return None;
+        }
+        inputs.push(values[i - offset]);
+    }
+    Some(BatchRow::new(inputs, values[i]))
+}
+
+/// Fits a single series: incremental training on the first
+/// `train_fraction` of the samples, one-step-ahead reconstruction of the
+/// rest (and of the training region itself, mirroring how the paper's
+/// Figure 7 overlays prediction and simulation over the full range).
+///
+/// # Panics
+///
+/// Panics if the series is shorter than the AR warm-up
+/// (`order * lag_steps + 2` samples).
+pub fn fit_series(values: &[f64], train_fraction: f64, config: FitConfig) -> FitOutcome {
+    let warmup = config.order * config.lag_steps;
+    assert!(
+        values.len() > warmup + 2,
+        "series of {} samples is too short for order {} x lag {}",
+        values.len(),
+        config.order,
+        config.lag_steps
+    );
+    let train_end = ((values.len() as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
+    let train_end = train_end.clamp(warmup + 1, values.len());
+
+    let mut trainer = IncrementalTrainer::new(TrainerConfig {
+        order: config.order,
+        optimizer: OptimizerKind::Sgd {
+            learning_rate: config.learning_rate,
+        },
+        epochs_per_batch: config.epochs,
+        convergence: ConvergenceCriteria::default(),
+    })
+    .expect("fit configuration is valid");
+
+    // Incremental mini-batch training over the training prefix, in arrival
+    // order — the same loop the in-situ collector drives during the run.
+    let mut batch: Vec<BatchRow> = Vec::with_capacity(config.batch);
+    let mut batches = 0;
+    for i in warmup..train_end {
+        if let Some(row) = row_at(values, i, &config) {
+            batch.push(row);
+            if batch.len() >= config.batch {
+                trainer.train_batch(&batch).expect("rows share the order");
+                batch.clear();
+                batches += 1;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        trainer.train_batch(&batch).expect("rows share the order");
+        batches += 1;
+    }
+
+    // One-step-ahead reconstruction over the full series.
+    let mut indices = Vec::new();
+    let mut predicted = Vec::new();
+    let mut actual = Vec::new();
+    for i in warmup..values.len() {
+        if let Some(row) = row_at(values, i, &config) {
+            if let Ok(p) = trainer.predict(&row.inputs) {
+                indices.push(i);
+                predicted.push(p);
+                actual.push(row.target);
+            }
+        }
+    }
+    // The error rate is what the paper reports: how well the fitted model
+    // describes the data it has *not* trained on. When the model was trained
+    // on everything, fall back to the whole reconstruction.
+    let unseen: Vec<usize> = indices
+        .iter()
+        .enumerate()
+        .filter(|(_, &sample)| sample >= train_end)
+        .map(|(k, _)| k)
+        .collect();
+    let error_rate_percent = if unseen.is_empty() {
+        metrics::error_rate_percent(&predicted, &actual)
+    } else {
+        let p: Vec<f64> = unseen.iter().map(|&k| predicted[k]).collect();
+        let a: Vec<f64> = unseen.iter().map(|&k| actual[k]).collect();
+        metrics::error_rate_percent(&p, &a)
+    };
+    FitOutcome {
+        indices,
+        predicted,
+        actual,
+        train_end,
+        error_rate_percent,
+        batches,
+    }
+}
+
+/// Fits several series (e.g. the velocity at every location of an interval)
+/// and returns the mean error rate — the aggregation used by Table I's
+/// per-interval cells.
+pub fn mean_fit_error(series: &[Vec<f64>], train_fraction: f64, config: FitConfig) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = series
+        .iter()
+        .map(|values| fit_series(values, train_fraction, config).error_rate_percent)
+        .sum();
+    total / series.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decaying_wave(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                5.0 * (-0.01 * t).exp() * (1.0 + 0.1 * (0.2 * t).sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fitting_a_smooth_series_is_accurate() {
+        let series = decaying_wave(400);
+        let outcome = fit_series(&series, 0.5, FitConfig::default());
+        assert!(outcome.batches > 3);
+        assert!(
+            outcome.error_rate_percent < 10.0,
+            "error {} too high",
+            outcome.error_rate_percent
+        );
+        assert!(outcome.accuracy_percent() > 90.0);
+        assert_eq!(outcome.predicted.len(), outcome.actual.len());
+    }
+
+    #[test]
+    fn more_training_data_does_not_hurt() {
+        let series = decaying_wave(400);
+        let low = fit_series(&series, 0.2, FitConfig::default());
+        let high = fit_series(&series, 0.8, FitConfig::default());
+        assert!(high.error_rate_percent <= low.error_rate_percent * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn error_is_evaluated_on_unseen_samples_only() {
+        let series = decaying_wave(300);
+        let outcome = fit_series(&series, 0.4, FitConfig::default());
+        assert_eq!(outcome.train_end, 120);
+        // The reconstruction still covers the full range for plotting...
+        assert!(outcome.indices.iter().any(|&i| i < outcome.train_end));
+        // ...but a model trained on everything reports over the whole range.
+        let full = fit_series(&series, 1.0, FitConfig::default());
+        assert_eq!(full.train_end, series.len());
+    }
+
+    #[test]
+    fn flat_training_data_fails_on_later_dynamics() {
+        // First 40% of the series is flat (shock not arrived); the rest
+        // moves sharply. A model that could only train on the flat prefix is
+        // noticeably worse on the unseen dynamics than one that saw a smooth
+        // series of the same length — the Table I "central locations at
+        // early stages" effect.
+        let mut shocked = vec![0.001; 200];
+        for (i, v) in shocked.iter_mut().enumerate().skip(80) {
+            *v = ((i - 80) as f64 * 0.05).min(3.0) + 0.3 * ((i as f64) * 0.4).sin().abs();
+        }
+        let config = FitConfig {
+            lag_steps: 5,
+            ..FitConfig::default()
+        };
+        let smooth: Vec<f64> = (0..200).map(|i| 5.0 * (-0.01 * i as f64).exp()).collect();
+        let shocked_fit = fit_series(&shocked, 0.4, config);
+        let smooth_fit = fit_series(&smooth, 0.4, config);
+        assert!(smooth_fit.error_rate_percent.is_finite());
+        assert!(
+            shocked_fit.error_rate_percent > 1.0,
+            "unseen shock dynamics should leave a visible error ({}%)",
+            shocked_fit.error_rate_percent
+        );
+    }
+
+    #[test]
+    fn mean_fit_error_averages_over_locations() {
+        let a = decaying_wave(300);
+        let b: Vec<f64> = decaying_wave(300).iter().map(|v| v * 2.0).collect();
+        let mean = mean_fit_error(&[a.clone(), b], 0.5, FitConfig::default());
+        let single = fit_series(&a, 0.5, FitConfig::default()).error_rate_percent;
+        assert!(mean > 0.0);
+        assert!((mean - single).abs() < mean + single + 1.0);
+        assert_eq!(mean_fit_error(&[], 0.5, FitConfig::default()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_series_panics() {
+        let _ = fit_series(&[1.0, 2.0, 3.0], 0.5, FitConfig::default());
+    }
+}

@@ -1,0 +1,32 @@
+//! `bench` — the experiment harness.
+//!
+//! One function per table/figure of the paper's evaluation section, plus the
+//! ablation studies called out in `DESIGN.md`. Each function runs the
+//! relevant proxy simulation(s), drives the `insitu` analysis library the
+//! same way the paper's integration does, and returns plain-data row structs
+//! that the `src/bin/*` binaries print and `EXPERIMENTS.md` records.
+//!
+//! | paper artifact | function |
+//! |----------------|----------|
+//! | Table I        | [`lulesh_exp::fit_error_table`] |
+//! | Figure 4       | [`lulesh_exp::lag_sweep`] |
+//! | Table II       | [`lulesh_exp::breakpoint_table`] |
+//! | Figure 5       | [`lulesh_exp::velocity_profiles`] |
+//! | Table III      | [`lulesh_exp::overhead_table`] |
+//! | Table IV       | [`lulesh_exp::early_termination_table`] |
+//! | Table V        | [`wd_exp::fit_error_table`] |
+//! | Figure 7       | [`wd_exp::curve_fit_series`] |
+//! | Figure 8       | [`wd_exp::normalized_series`] |
+//! | Table VI       | [`wd_exp::delay_time_table`] |
+//! | Table VII      | [`wd_exp::overhead_table`] |
+//! | headline       | [`summary::headline`] |
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fitting;
+pub mod lulesh_exp;
+pub mod summary;
+pub mod table;
+pub mod wd_exp;

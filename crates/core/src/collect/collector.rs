@@ -1,0 +1,226 @@
+//! The per-iteration collection helper.
+//!
+//! The collector is the "helper function [that] continuously monitors each
+//! iteration for the specified temporal and spatial characteristics" of the
+//! paper. On every iteration the region calls [`Collector::observe`]; when
+//! the iteration matches the temporal characteristic the provider is queried
+//! at every sampled location, the history is updated, training rows are
+//! assembled, and — if the mini-batch filled up — the rows are returned to
+//! the caller for a gradient-descent update.
+
+use serde::{Deserialize, Serialize};
+
+use super::assembler::{BatchAssembler, PredictorLayout};
+use super::history::SampleHistory;
+use super::minibatch::{BatchRow, MiniBatch};
+use super::sample::Sample;
+use crate::params::IterParam;
+use crate::provider::VarProvider;
+
+/// What happened during one call to [`Collector::observe`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CollectionEvent {
+    /// The iteration did not match the temporal characteristic.
+    Skipped,
+    /// Samples were recorded but the mini-batch is not yet full.
+    Collected {
+        /// Number of samples recorded this iteration.
+        samples: usize,
+    },
+    /// Samples were recorded and the mini-batch filled up; the drained rows
+    /// are ready for a training step.
+    BatchReady {
+        /// Number of samples recorded this iteration.
+        samples: usize,
+        /// The drained training rows.
+        rows: Vec<BatchRow>,
+    },
+}
+
+/// Collects the diagnostic variable according to the configured temporal and
+/// spatial characteristics and assembles mini-batches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Collector {
+    spatial: IterParam,
+    temporal: IterParam,
+    assembler: BatchAssembler,
+    history: SampleHistory,
+    batch: MiniBatch,
+    iterations_collected: u64,
+}
+
+impl Collector {
+    /// Creates a collector.
+    ///
+    /// * `spatial`, `temporal` — the sampling characteristics.
+    /// * `order`, `lag`, `layout` — AR model structure (see
+    ///   [`BatchAssembler`]).
+    /// * `batch_capacity` — mini-batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` or `batch_capacity` is zero.
+    pub fn new(
+        spatial: IterParam,
+        temporal: IterParam,
+        order: usize,
+        lag: u64,
+        layout: PredictorLayout,
+        batch_capacity: usize,
+    ) -> Self {
+        Self {
+            spatial,
+            temporal,
+            assembler: BatchAssembler::new(order, lag, layout, spatial, temporal),
+            history: SampleHistory::new(),
+            batch: MiniBatch::with_capacity(batch_capacity),
+            iterations_collected: 0,
+        }
+    }
+
+    /// The spatial characteristic.
+    pub fn spatial(&self) -> IterParam {
+        self.spatial
+    }
+
+    /// The temporal characteristic.
+    pub fn temporal(&self) -> IterParam {
+        self.temporal
+    }
+
+    /// The batch assembler (model structure).
+    pub fn assembler(&self) -> &BatchAssembler {
+        &self.assembler
+    }
+
+    /// All samples collected so far.
+    pub fn history(&self) -> &SampleHistory {
+        &self.history
+    }
+
+    /// Number of iterations on which data was actually collected.
+    pub fn iterations_collected(&self) -> u64 {
+        self.iterations_collected
+    }
+
+    /// Whether the temporal characteristic has been exhausted (the current
+    /// iteration is past its end), i.e. data collection has concluded and
+    /// the trained model can be used for inference.
+    pub fn finished(&self, iteration: u64) -> bool {
+        iteration > self.temporal.end()
+    }
+
+    /// Observes one simulation iteration: samples the provider if the
+    /// iteration is selected and returns what happened.
+    pub fn observe<D: ?Sized, P: VarProvider<D> + ?Sized>(
+        &mut self,
+        iteration: u64,
+        domain: &D,
+        provider: &P,
+    ) -> CollectionEvent {
+        if !self.temporal.contains(iteration) {
+            return CollectionEvent::Skipped;
+        }
+        let mut samples = 0;
+        for loc in self.spatial.iter() {
+            let value = provider.value(domain, loc as usize);
+            self.history.record(Sample::new(iteration, loc as usize, value));
+            samples += 1;
+        }
+        self.iterations_collected += 1;
+
+        for row in self.assembler.rows_for_iteration(&self.history, iteration) {
+            // Rows from one iteration share the model order, so this cannot
+            // fail; ignore the impossible error rather than panicking inside
+            // the simulation loop.
+            let _ = self.batch.push(row);
+        }
+
+        if self.batch.is_full() {
+            CollectionEvent::BatchReady {
+                samples,
+                rows: self.batch.drain(),
+            }
+        } else {
+            CollectionEvent::Collected { samples }
+        }
+    }
+
+    /// Builds the predictor vector for forecasting `V(location, iteration)`
+    /// from the collected history (without requiring the target itself).
+    pub fn predictors_for(&self, location: usize, iteration: u64) -> Option<Vec<f64>> {
+        self.assembler
+            .predictors_for(&self.history, location, iteration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector() -> Collector {
+        Collector::new(
+            IterParam::new(1, 6, 1).unwrap(),
+            IterParam::new(0, 100, 10).unwrap(),
+            2,
+            10,
+            PredictorLayout::SpatioTemporal,
+            8,
+        )
+    }
+
+    #[test]
+    fn skips_unselected_iterations() {
+        let mut c = collector();
+        let provider = |_d: &(), loc: usize| loc as f64;
+        assert_eq!(c.observe(5, &(), &provider), CollectionEvent::Skipped);
+        assert_eq!(c.history().len(), 0);
+        assert_eq!(c.iterations_collected(), 0);
+    }
+
+    #[test]
+    fn collects_each_selected_location() {
+        let mut c = collector();
+        let provider = |_d: &(), loc: usize| loc as f64 * 2.0;
+        match c.observe(0, &(), &provider) {
+            CollectionEvent::Collected { samples } => assert_eq!(samples, 6),
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(c.history().value_at(3, 0), Some(6.0));
+        assert_eq!(c.iterations_collected(), 1);
+    }
+
+    #[test]
+    fn produces_batches_once_enough_rows_accumulate() {
+        let mut c = collector();
+        let provider = |_d: &(), loc: usize| loc as f64;
+        let mut batches = 0;
+        for it in (0..=100u64).step_by(10) {
+            if let CollectionEvent::BatchReady { rows, .. } = c.observe(it, &(), &provider) {
+                batches += 1;
+                assert!(rows.iter().all(|r| r.inputs.len() == 2));
+            }
+        }
+        // 10 collected iterations after the first produce 4 rows each
+        // (locations 3..=6); with capacity 8 that is several full batches.
+        assert!(batches >= 3, "expected at least 3 batches, got {batches}");
+    }
+
+    #[test]
+    fn finished_after_temporal_end() {
+        let c = collector();
+        assert!(!c.finished(100));
+        assert!(c.finished(101));
+    }
+
+    #[test]
+    fn predictors_available_for_forecasting() {
+        let mut c = collector();
+        let provider = |_d: &(), loc: usize| loc as f64;
+        for it in (0..=100u64).step_by(10) {
+            c.observe(it, &(), &provider);
+        }
+        let p = c.predictors_for(6, 100).unwrap();
+        assert_eq!(p, vec![5.0, 4.0]);
+    }
+}

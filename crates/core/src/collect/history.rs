@@ -1,0 +1,189 @@
+//! Storage of collected samples indexed by location and iteration.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use super::sample::Sample;
+
+/// All samples collected so far, organized per location in iteration order.
+///
+/// The history is the collector's working memory: the batch assembler reads
+/// lagged values out of it, the extractors read whole per-location series
+/// out of it, and the accuracy studies compare it against model predictions.
+///
+/// ```
+/// use insitu::collect::{Sample, SampleHistory};
+///
+/// let mut h = SampleHistory::new();
+/// h.record(Sample::new(0, 3, 1.0));
+/// h.record(Sample::new(10, 3, 2.0));
+/// assert_eq!(h.value_at(3, 10), Some(2.0));
+/// assert_eq!(h.series_of(3).unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleHistory {
+    per_location: BTreeMap<usize, Vec<(u64, f64)>>,
+    total: usize,
+}
+
+impl SampleHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Samples are expected to arrive in non-decreasing
+    /// iteration order per location (the natural order of a running
+    /// simulation); ties overwrite the previous value for that iteration.
+    pub fn record(&mut self, sample: Sample) {
+        let series = self.per_location.entry(sample.location).or_default();
+        if let Some(last) = series.last_mut() {
+            if last.0 == sample.iteration {
+                last.1 = sample.value;
+                return;
+            }
+        }
+        series.push((sample.iteration, sample.value));
+        self.total += 1;
+    }
+
+    /// Total number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Locations that have at least one sample, in increasing order.
+    pub fn locations(&self) -> Vec<usize> {
+        self.per_location.keys().copied().collect()
+    }
+
+    /// The `(iteration, value)` series for one location, in arrival order.
+    pub fn series_of(&self, location: usize) -> Option<&[(u64, f64)]> {
+        self.per_location.get(&location).map(Vec::as_slice)
+    }
+
+    /// The value observed at `(location, iteration)`, if it was sampled.
+    pub fn value_at(&self, location: usize, iteration: u64) -> Option<f64> {
+        self.per_location.get(&location).and_then(|series| {
+            series
+                .binary_search_by_key(&iteration, |(it, _)| *it)
+                .ok()
+                .map(|idx| series[idx].1)
+        })
+    }
+
+    /// The most recent value observed at `location`, if any.
+    pub fn latest_of(&self, location: usize) -> Option<f64> {
+        self.per_location
+            .get(&location)
+            .and_then(|series| series.last())
+            .map(|(_, v)| *v)
+    }
+
+    /// The most recent `count` values observed at `location` (oldest first).
+    /// Returns `None` if fewer than `count` samples exist.
+    pub fn recent_of(&self, location: usize, count: usize) -> Option<Vec<f64>> {
+        let series = self.per_location.get(&location)?;
+        if series.len() < count {
+            return None;
+        }
+        Some(series[series.len() - count..].iter().map(|(_, v)| *v).collect())
+    }
+
+    /// Values of all sampled locations at a fixed iteration (location order).
+    /// Locations that were not sampled at that iteration are skipped.
+    pub fn spatial_profile_at(&self, iteration: u64) -> Vec<(usize, f64)> {
+        self.per_location
+            .iter()
+            .filter_map(|(loc, _)| self.value_at(*loc, iteration).map(|v| (*loc, v)))
+            .collect()
+    }
+
+    /// The peak (maximum) value ever observed per location, in location
+    /// order — the radial profile the break-point extractor consumes.
+    pub fn peak_per_location(&self) -> Vec<(usize, f64)> {
+        self.per_location
+            .iter()
+            .map(|(loc, series)| {
+                let peak = series.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+                (*loc, peak)
+            })
+            .collect()
+    }
+
+    /// Removes all samples while keeping allocations, used when an analysis
+    /// is re-armed after early termination was declined.
+    pub fn clear(&mut self) {
+        self.per_location.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> SampleHistory {
+        let mut h = SampleHistory::new();
+        for loc in 1..=3usize {
+            for it in 0..5u64 {
+                h.record(Sample::new(it * 10, loc, (loc as f64) * 10.0 + it as f64));
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn record_and_query() {
+        let h = filled();
+        assert_eq!(h.len(), 15);
+        assert_eq!(h.locations(), vec![1, 2, 3]);
+        assert_eq!(h.value_at(2, 30), Some(23.0));
+        assert_eq!(h.value_at(2, 31), None);
+        assert_eq!(h.latest_of(3), Some(34.0));
+    }
+
+    #[test]
+    fn duplicate_iteration_overwrites() {
+        let mut h = SampleHistory::new();
+        h.record(Sample::new(5, 0, 1.0));
+        h.record(Sample::new(5, 0, 2.0));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.value_at(0, 5), Some(2.0));
+    }
+
+    #[test]
+    fn recent_of_returns_tail_in_order() {
+        let h = filled();
+        assert_eq!(h.recent_of(1, 3), Some(vec![12.0, 13.0, 14.0]));
+        assert_eq!(h.recent_of(1, 6), None);
+    }
+
+    #[test]
+    fn spatial_profile_collects_one_value_per_location() {
+        let h = filled();
+        let profile = h.spatial_profile_at(20);
+        assert_eq!(profile, vec![(1, 12.0), (2, 22.0), (3, 32.0)]);
+    }
+
+    #[test]
+    fn peak_per_location_finds_maxima() {
+        let h = filled();
+        let peaks = h.peak_per_location();
+        assert_eq!(peaks, vec![(1, 14.0), (2, 24.0), (3, 34.0)]);
+    }
+
+    #[test]
+    fn clear_empties_history() {
+        let mut h = filled();
+        h.clear();
+        assert!(h.is_empty());
+        assert!(h.series_of(1).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Mini-batches of training rows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// One supervised training row: the lagged predictor values and the target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRow {
+    /// Predictor values `V(l-1, t-lag), ..., V(l-n, t-lag)` (or their
+    /// temporal analogue, depending on the layout).
+    pub inputs: Vec<f64>,
+    /// The target value `V(l, t)`.
+    pub target: f64,
+}
+
+impl BatchRow {
+    /// Creates a row.
+    pub fn new(inputs: Vec<f64>, target: f64) -> Self {
+        Self { inputs, target }
+    }
+
+    /// Number of predictors in this row (the AR model order).
+    pub fn order(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// A bounded buffer of training rows handed to the trainer when full.
+///
+/// ```
+/// use insitu::collect::{BatchRow, MiniBatch};
+///
+/// let mut batch = MiniBatch::with_capacity(2);
+/// assert!(!batch.is_full());
+/// batch.push(BatchRow::new(vec![1.0, 2.0], 3.0)).unwrap();
+/// batch.push(BatchRow::new(vec![2.0, 3.0], 4.0)).unwrap();
+/// assert!(batch.is_full());
+/// let rows = batch.drain();
+/// assert_eq!(rows.len(), 2);
+/// assert!(batch.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiniBatch {
+    rows: Vec<BatchRow>,
+    capacity: usize,
+}
+
+impl MiniBatch {
+    /// Creates a batch that is considered full after `capacity` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "mini-batch capacity must be positive");
+        Self {
+            rows: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rows currently buffered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether the batch has reached its capacity and should be trained on.
+    pub fn is_full(&self) -> bool {
+        self.rows.len() >= self.capacity
+    }
+
+    /// Buffered rows.
+    pub fn rows(&self) -> &[BatchRow] {
+        &self.rows
+    }
+
+    /// Adds a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHyperParameter`] if the row's order differs
+    /// from rows already buffered (all rows in a batch must agree so the
+    /// gradient has a fixed dimension).
+    pub fn push(&mut self, row: BatchRow) -> Result<()> {
+        if let Some(first) = self.rows.first() {
+            if first.order() != row.order() {
+                return Err(Error::InvalidHyperParameter {
+                    name: "order",
+                    what: format!(
+                        "row order {} differs from batch order {}",
+                        row.order(),
+                        first.order()
+                    ),
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Removes and returns all buffered rows, resetting the batch for the
+    /// next round of collection (the paper's "the mini-batch is reset to
+    /// collect new data").
+    pub fn drain(&mut self) -> Vec<BatchRow> {
+        std::mem::take(&mut self.rows)
+    }
+
+    /// Mean of the buffered targets (0 for an empty batch); used by
+    /// normalization warm-up.
+    pub fn target_mean(&self) -> f64 {
+        if self.rows.is_empty() {
+            0.0
+        } else {
+            self.rows.iter().map(|r| r.target).sum::<f64>() / self.rows.len() as f64
+        }
+    }
+}
+
+impl Default for MiniBatch {
+    /// A batch with the paper-scale default capacity of 16 rows.
+    fn default() -> Self {
+        Self::with_capacity(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_and_drains() {
+        let mut b = MiniBatch::with_capacity(3);
+        for i in 0..3 {
+            b.push(BatchRow::new(vec![i as f64], i as f64)).unwrap();
+        }
+        assert!(b.is_full());
+        assert_eq!(b.len(), 3);
+        let rows = b.drain();
+        assert_eq!(rows.len(), 3);
+        assert!(b.is_empty());
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn rejects_mismatched_orders() {
+        let mut b = MiniBatch::with_capacity(4);
+        b.push(BatchRow::new(vec![1.0, 2.0], 0.0)).unwrap();
+        let err = b.push(BatchRow::new(vec![1.0], 0.0)).unwrap_err();
+        assert!(matches!(err, Error::InvalidHyperParameter { .. }));
+    }
+
+    #[test]
+    fn target_mean_is_average_of_targets() {
+        let mut b = MiniBatch::with_capacity(8);
+        b.push(BatchRow::new(vec![0.0], 2.0)).unwrap();
+        b.push(BatchRow::new(vec![0.0], 4.0)).unwrap();
+        assert_eq!(b.target_mean(), 3.0);
+        assert_eq!(MiniBatch::default().target_mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = MiniBatch::with_capacity(0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Real-time data collection.
+//!
+//! On every simulation iteration the collector checks the user's temporal
+//! characteristic; if the iteration is sampled it queries the
+//! [`VarProvider`](crate::provider::VarProvider) at every sampled location
+//! (the spatial characteristic), records the values in a [`SampleHistory`],
+//! and assembles training rows into [`MiniBatch`]es. When a batch fills up
+//! it is handed to the incremental trainer and reset — the behaviour
+//! described in Section III-B.1/2 of the paper.
+
+mod assembler;
+mod collector;
+mod history;
+mod minibatch;
+mod sample;
+
+pub use assembler::{BatchAssembler, PredictorLayout};
+pub use collector::{CollectionEvent, Collector};
+pub use history::SampleHistory;
+pub use minibatch::{BatchRow, MiniBatch};
+pub use sample::Sample;

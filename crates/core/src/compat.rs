@@ -1,0 +1,109 @@
+//! Free functions mirroring the paper's `td_*` C API.
+//!
+//! The paper's library framework exposes six C-style entry points
+//! (Section III-C, Fig. 2). Idiomatic Rust users should call the methods on
+//! [`Region`] and [`AnalysisSpec`] directly; these wrappers exist so code
+//! ported from an existing `td_*` integration reads almost line-for-line the
+//! same:
+//!
+//! | paper API                  | this module                                      |
+//! |----------------------------|--------------------------------------------------|
+//! | `td_var_provider`          | any closure `Fn(&D, usize) -> f64` (see [`VarProvider`](crate::provider::VarProvider)) |
+//! | `td_region_init`           | [`td_region_init`]                               |
+//! | `td_iter_param_init`       | [`td_iter_param_init`]                           |
+//! | `td_region_add_analysis`   | [`td_region_add_analysis`]                       |
+//! | `td_region_begin`          | [`td_region_begin`]                              |
+//! | `td_region_end`            | [`td_region_end`]                                |
+
+use crate::error::Result;
+use crate::params::IterParam;
+use crate::region::{AnalysisSpec, Region, RegionStatus};
+
+/// Initializes an empty feature-extraction region (`td_region_init`).
+///
+/// ```
+/// use insitu::compat::td_region_init;
+/// let region = td_region_init::<Vec<f64>>("lulesh_region");
+/// assert_eq!(region.name(), "lulesh_region");
+/// ```
+pub fn td_region_init<D: ?Sized>(name: &str) -> Region<D> {
+    Region::new(name)
+}
+
+/// Initializes a temporal or spatial characteristic as the paper's tuple of
+/// three `(begin, end, step)` (`td_iter_param_init`).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidRange`](crate::Error::InvalidRange) if `step` is
+/// zero or `end < begin`.
+pub fn td_iter_param_init(begin: u64, end: u64, step: u64) -> Result<IterParam> {
+    IterParam::new(begin, end, step)
+}
+
+/// Registers an analysis with a region (`td_region_add_analysis`); returns
+/// the analysis index.
+pub fn td_region_add_analysis<D: ?Sized>(region: &mut Region<D>, spec: AnalysisSpec<D>) -> usize {
+    region.add_analysis(spec)
+}
+
+/// Marks the beginning of the code block under analysis
+/// (`td_region_begin`).
+pub fn td_region_begin<D: ?Sized>(region: &mut Region<D>, iteration: u64) {
+    region.begin(iteration);
+}
+
+/// Marks the end of the code block under analysis (`td_region_end`):
+/// collects, trains, extracts, broadcasts and returns the region status —
+/// including the early-termination flag.
+pub fn td_region_end<D: ?Sized>(
+    region: &mut Region<D>,
+    iteration: u64,
+    domain: &D,
+) -> RegionStatus {
+    region.end(iteration, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::FeatureKind;
+    use crate::region::ExitAction;
+
+    #[test]
+    fn td_api_round_trip_matches_paper_example_shape() {
+        // Mirrors Fig. 2 of the paper: provider + two iter params + analysis
+        // + begin/end around the main computation.
+        let mut region = td_region_init::<Vec<f64>>("");
+        let lulesh_loc = td_iter_param_init(6, 10, 1).unwrap();
+        let lulesh_iter = td_iter_param_init(50, 373, 10).unwrap();
+        let spec = AnalysisSpec::builder()
+            .provider(|dom: &Vec<f64>, loc: usize| dom.get(loc).copied().unwrap_or(0.0))
+            .spatial(lulesh_loc)
+            .temporal(lulesh_iter)
+            .feature(FeatureKind::Outliers { threshold: 25.26 })
+            .exit(ExitAction::Continue)
+            .build()
+            .unwrap();
+        td_region_add_analysis(&mut region, spec);
+
+        let mut domain = vec![0.0_f64; 16];
+        for iteration in 0..400u64 {
+            td_region_begin(&mut region, iteration);
+            for (loc, v) in domain.iter_mut().enumerate() {
+                *v = (iteration as f64 / 10.0) + loc as f64;
+            }
+            let status = td_region_end(&mut region, iteration, &domain);
+            if status.should_terminate {
+                break;
+            }
+        }
+        assert!(region.status().samples_collected > 0);
+    }
+
+    #[test]
+    fn td_iter_param_rejects_invalid_tuples() {
+        assert!(td_iter_param_init(10, 5, 1).is_err());
+        assert!(td_iter_param_init(0, 10, 0).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Delay-time extraction (white-dwarf detonation case study).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::tracking::{find_inflections, gradients, moving_average};
+
+/// Result of a delay-time extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayTimeResult {
+    /// The extracted delay time, in the same units as the time axis handed
+    /// to the extractor (simulation time or timestep index).
+    pub delay_time: f64,
+    /// Index of the inflection point in the series.
+    pub index: usize,
+    /// Value of the diagnostic variable at the inflection.
+    pub value: f64,
+    /// Magnitude of the gradient change across the inflection (used to rank
+    /// candidate inflections).
+    pub gradient_drop: f64,
+}
+
+/// Extracts the delay time of a regime change from a diagnostic time series.
+///
+/// The paper identifies the detonation as the point where "the rate of
+/// increase in [the variable's] value suddenly decreases" — the strongest
+/// inflection. The extractor smooths the series lightly, finds all
+/// inflection points, ranks them by gradient drop and interpolates the
+/// timestamp between samples.
+///
+/// ```
+/// use insitu::extract::DelayTimeExtractor;
+///
+/// // Temperature rising fast, then slowly after t = 30.
+/// let times: Vec<f64> = (0..100).map(|t| t as f64).collect();
+/// let temp: Vec<f64> = times
+///     .iter()
+///     .map(|&t| if t < 30.0 { 0.1 * t } else { 3.0 + 0.005 * (t - 30.0) })
+///     .collect();
+/// let ex = DelayTimeExtractor::new();
+/// let result = ex.extract(&times, &temp).unwrap();
+/// assert!((result.delay_time - 30.0).abs() < 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayTimeExtractor {
+    smoothing_half_window: usize,
+    minimum_gradient_drop: f64,
+}
+
+impl DelayTimeExtractor {
+    /// Creates an extractor with a light default smoothing (half-window 1)
+    /// and no minimum gradient drop.
+    pub fn new() -> Self {
+        Self {
+            smoothing_half_window: 1,
+            minimum_gradient_drop: 0.0,
+        }
+    }
+
+    /// Sets the smoothing half-window applied before inflection detection.
+    pub fn with_smoothing(mut self, half_window: usize) -> Self {
+        self.smoothing_half_window = half_window;
+        self
+    }
+
+    /// Requires candidate inflections to change the gradient by at least
+    /// this much; weaker regime changes are ignored.
+    pub fn with_minimum_gradient_drop(mut self, minimum: f64) -> Self {
+        self.minimum_gradient_drop = minimum.max(0.0);
+        self
+    }
+
+    /// Extracts the delay time from parallel `times` / `values` series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotEnoughData`] if fewer than five samples are
+    /// available and [`Error::FeatureNotFound`] if no inflection satisfies
+    /// the minimum gradient drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length.
+    pub fn extract(&self, times: &[f64], values: &[f64]) -> Result<DelayTimeResult> {
+        assert_eq!(times.len(), values.len(), "times and values must align");
+        if values.len() < 5 {
+            return Err(Error::NotEnoughData {
+                available: values.len(),
+                required: 5,
+            });
+        }
+        let smoothed = moving_average(values, self.smoothing_half_window);
+
+        // Candidate regime changes come from two complementary detectors:
+        // extrema of the gradient (smooth, logistic-like transitions) and
+        // the largest jump between consecutive gradients (piecewise "knee"
+        // transitions where the gradient steps without peaking).
+        let mut candidates: Vec<(usize, f64)> = find_inflections(&smoothed)
+            .into_iter()
+            .map(|p| (p.index, p.gradient_drop()))
+            .collect();
+        // Skip gradient samples whose smoothing window was truncated at the
+        // series boundary — the truncation itself produces a spurious slope
+        // change there.
+        let grads = gradients(&smoothed);
+        let margin = self.smoothing_half_window + 1;
+        let lo = margin.min(grads.len());
+        let hi = grads.len().saturating_sub(margin);
+        for i in lo.max(1)..hi {
+            let drop = (grads[i] - grads[i - 1]).abs();
+            candidates.push((i, drop));
+        }
+
+        let best = candidates
+            .into_iter()
+            .filter(|(_, drop)| *drop >= self.minimum_gradient_drop)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .ok_or_else(|| Error::FeatureNotFound {
+                what: "no inflection point with sufficient gradient change".into(),
+            })?;
+
+        let (idx, drop) = best;
+        Ok(DelayTimeResult {
+            delay_time: times[idx],
+            index: idx,
+            value: values[idx],
+            gradient_drop: drop,
+        })
+    }
+}
+
+impl Default for DelayTimeExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knee_series(knee: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let times: Vec<f64> = (0..n).map(|t| t as f64).collect();
+        let values = times
+            .iter()
+            .map(|&t| {
+                if t < knee {
+                    0.2 * t
+                } else {
+                    0.2 * knee + 0.01 * (t - knee)
+                }
+            })
+            .collect();
+        (times, values)
+    }
+
+    #[test]
+    fn finds_knee_of_piecewise_linear_series() {
+        let (times, values) = knee_series(30.0, 100);
+        let ex = DelayTimeExtractor::new();
+        let r = ex.extract(&times, &values).unwrap();
+        assert!((r.delay_time - 30.0).abs() < 2.5, "delay {}", r.delay_time);
+    }
+
+    #[test]
+    fn works_for_decreasing_variables_too() {
+        // Angular momentum: falling fast, then slowly.
+        let times: Vec<f64> = (0..100).map(|t| t as f64).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| {
+                if t < 32.0 {
+                    10.0 - 0.25 * t
+                } else {
+                    2.0 - 0.01 * (t - 32.0)
+                }
+            })
+            .collect();
+        let r = DelayTimeExtractor::new().extract(&times, &values).unwrap();
+        assert!((r.delay_time - 32.0).abs() < 2.5, "delay {}", r.delay_time);
+    }
+
+    #[test]
+    fn respects_minimum_gradient_drop() {
+        let (times, values) = knee_series(30.0, 100);
+        let strict = DelayTimeExtractor::new().with_minimum_gradient_drop(1e6);
+        assert!(matches!(
+            strict.extract(&times, &values),
+            Err(Error::FeatureNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        let ex = DelayTimeExtractor::new();
+        assert!(matches!(
+            ex.extract(&[0.0, 1.0], &[1.0, 2.0]),
+            Err(Error::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn time_axis_units_are_respected() {
+        // Same knee expressed on a scaled time axis.
+        let (times, values) = knee_series(30.0, 100);
+        let scaled_times: Vec<f64> = times.iter().map(|t| t * 0.5).collect();
+        let r = DelayTimeExtractor::new()
+            .extract(&scaled_times, &values)
+            .unwrap();
+        assert!((r.delay_time - 15.0).abs() < 1.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Accuracy metrics matching the paper's reporting conventions.
+//!
+//! The paper reports curve-fitting quality as an *error rate* in percent
+//! (Tables I and V) and summarizes the method as achieving "accuracy"
+//! between 94.44 % and 99.60 %, i.e. `accuracy = 100 % − error rate`. These
+//! helpers centralize those definitions so the experiment harness and the
+//! library agree on them.
+
+/// Mean squared error between predictions and observations.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "mse requires equal lengths");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    mse(predicted, actual).sqrt()
+}
+
+/// The paper's error rate (%): mean relative deviation of the prediction
+/// from the observation.
+///
+/// The denominator of each term is floored at half the series' mean
+/// magnitude, so observations far below the series scale (velocity ahead of
+/// the shock, mass before ejection, numerical noise around zero) cannot blow
+/// the rate up to astronomically large values — deviations there are judged
+/// against the physical scale of the curve instead, which is also how the
+/// accuracy numbers in the paper stay bounded on curves that start at rest.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn error_rate_percent(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "error_rate_percent requires equal lengths"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let scale = actual.iter().map(|a| a.abs()).sum::<f64>() / actual.len() as f64;
+    let scale = scale.max(1e-12);
+    let floor = scale * 0.5;
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| {
+            let denom = a.abs().max(floor);
+            (p - a).abs() / denom * 100.0
+        })
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// The paper's accuracy (%): `100 − error_rate`, clamped to `[0, 100]`.
+pub fn accuracy_percent(predicted: &[f64], actual: &[f64]) -> f64 {
+    (100.0 - error_rate_percent(predicted, actual)).clamp(0.0, 100.0)
+}
+
+/// Relative error (%) of a single derived feature value against its ground
+/// truth — the metric of Tables II and VI (break-point radius, delay time).
+pub fn feature_error_percent(extracted: f64, ground_truth: f64) -> f64 {
+    let denom = ground_truth.abs().max(1e-12);
+    (extracted - ground_truth).abs() / denom * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_rmse_of_known_series() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 5.0];
+        assert!((mse(&p, &a) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&p, &a) - (4.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_fit_is_zero_error_full_accuracy() {
+        let a = [0.5, 1.5, 2.5];
+        assert_eq!(error_rate_percent(&a, &a), 0.0);
+        assert_eq!(accuracy_percent(&a, &a), 100.0);
+    }
+
+    #[test]
+    fn error_rate_is_scale_invariant() {
+        let a: Vec<f64> = (10..=20).map(|i| i as f64).collect();
+        let p: Vec<f64> = a.iter().map(|v| v * 1.1).collect();
+        let a_big: Vec<f64> = a.iter().map(|v| v * 1e6).collect();
+        let p_big: Vec<f64> = p.iter().map(|v| v * 1e6).collect();
+        let e_small = error_rate_percent(&p, &a);
+        let e_big = error_rate_percent(&p_big, &a_big);
+        assert!((e_small - 10.0).abs() < 1e-9);
+        assert!((e_small - e_big).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_zero_observations_do_not_explode() {
+        let actual = [0.0, 0.0, 1.0, 2.0];
+        let predicted = [0.1, 0.1, 1.0, 2.0];
+        let e = error_rate_percent(&predicted, &actual);
+        assert!(e.is_finite());
+        assert!(e < 50.0);
+    }
+
+    #[test]
+    fn accuracy_is_clamped() {
+        let actual = [1.0, 1.0];
+        let wild = [100.0, -100.0];
+        assert_eq!(accuracy_percent(&wild, &actual), 0.0);
+    }
+
+    #[test]
+    fn feature_error_matches_tables_convention() {
+        // Table II: extraction 30 vs ground truth 25 => 5/30? The paper
+        // reports -5 (-16.67%), i.e. relative to the extraction of 30.
+        // We report relative to ground truth: 5/25 = 20%; the bench layer
+        // converts to the paper's convention when printing. Here we just
+        // check the arithmetic.
+        assert!((feature_error_percent(30.0, 25.0) - 20.0).abs() < 1e-12);
+        assert_eq!(feature_error_percent(9.0, 9.0), 0.0);
+    }
+
+    #[test]
+    fn empty_series_are_safe() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(error_rate_percent(&[], &[]), 0.0);
+        assert_eq!(accuracy_percent(&[], &[]), 100.0);
+    }
+}

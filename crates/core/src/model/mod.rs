@@ -1,0 +1,28 @@
+//! The linear auto-regressive model and its incremental training loop.
+//!
+//! The model is deliberately small — a linear map from `n` lagged values to
+//! the next value — because the whole point of the paper's method is that
+//! training it on mini-batches by gradient descent is cheap enough to run
+//! inside the simulation's main loop. The module provides:
+//!
+//! * [`ArModel`] — the coefficient vector plus prediction / multi-step
+//!   forecasting,
+//! * [`Optimizer`] / [`OptimizerKind`] — plain SGD, momentum and Adagrad
+//!   update rules for the coefficients,
+//! * [`OnlineScaler`] — running standardization of inputs and targets so the
+//!   learning rate is insensitive to the variable's physical units,
+//! * [`IncrementalTrainer`] — the mini-batch training loop with loss
+//!   tracking and convergence detection,
+//! * [`metrics`] — the error-rate and accuracy definitions used by the
+//!   paper's tables.
+
+mod ar;
+pub mod metrics;
+mod optimizer;
+mod scaler;
+mod trainer;
+
+pub use ar::ArModel;
+pub use optimizer::{Adagrad, Momentum, Optimizer, OptimizerKind, Sgd};
+pub use scaler::OnlineScaler;
+pub use trainer::{ConvergenceCriteria, IncrementalTrainer, TrainerConfig, TrainingSummary};

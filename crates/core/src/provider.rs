@@ -1,0 +1,80 @@
+//! The diagnostic-variable provider callback.
+//!
+//! The paper's `td_var_provider` is a user-implemented function that maps a
+//! simulation domain object and a location id to the current value of the
+//! diagnostic variable (velocity, temperature, ...). [`VarProvider`] is the
+//! Rust equivalent; a blanket implementation makes plain closures usable
+//! directly, which keeps the integration code as short as the C example in
+//! the paper's Fig. 2.
+
+/// Maps `(domain, location)` to the current value of a diagnostic variable.
+///
+/// The type parameter `D` is the application's domain type. Implementations
+/// must be cheap — the provider is called once per sampled location on every
+/// collected iteration, inside the simulation's main loop.
+///
+/// ```
+/// use insitu::VarProvider;
+///
+/// struct Domain {
+///     xd: Vec<f64>,
+/// }
+///
+/// // The LULESH provider from the paper's Fig. 2, as a closure.
+/// let provider = |dom: &Domain, loc: usize| dom.xd.get(loc).copied().unwrap_or(0.0);
+///
+/// let dom = Domain { xd: vec![0.5, 0.25, 0.125] };
+/// assert_eq!(provider.value(&dom, 1), 0.25);
+/// assert_eq!(provider.value(&dom, 99), 0.0);
+/// ```
+pub trait VarProvider<D: ?Sized> {
+    /// The current value of the diagnostic variable at `location`.
+    fn value(&self, domain: &D, location: usize) -> f64;
+}
+
+impl<D: ?Sized, F> VarProvider<D> for F
+where
+    F: Fn(&D, usize) -> f64,
+{
+    fn value(&self, domain: &D, location: usize) -> f64 {
+        self(domain, location)
+    }
+}
+
+/// A provider that always returns the same constant, useful as a placeholder
+/// in tests and when an analysis is configured but its variable is not yet
+/// available.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantProvider(pub f64);
+
+impl<D: ?Sized> VarProvider<D> for ConstantProvider {
+    fn value(&self, _domain: &D, _location: usize) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_providers() {
+        let p = |d: &Vec<f64>, loc: usize| d[loc] * 2.0;
+        let data = vec![1.0, 2.0, 3.0];
+        assert_eq!(p.value(&data, 2), 6.0);
+    }
+
+    #[test]
+    fn constant_provider_ignores_inputs() {
+        let p = ConstantProvider(4.5);
+        assert_eq!(VarProvider::<()>::value(&p, &(), 0), 4.5);
+        assert_eq!(VarProvider::<()>::value(&p, &(), 123), 4.5);
+    }
+
+    #[test]
+    fn boxed_providers_are_usable_as_trait_objects() {
+        let boxed: Box<dyn VarProvider<[f64]>> = Box::new(|d: &[f64], loc: usize| d[loc]);
+        let data = [7.0, 8.0];
+        assert_eq!(boxed.value(&data, 1), 8.0);
+    }
+}

@@ -1,0 +1,445 @@
+//! The region driver.
+
+use crate::collect::{CollectionEvent, Collector, SampleHistory};
+use crate::extract::{
+    BreakpointExtractor, DelayTimeExtractor, FeatureKind, OutlierExtractor,
+};
+use crate::model::IncrementalTrainer;
+
+use super::spec::{AnalysisMethod, AnalysisSpec, ExitAction};
+use super::status::{FeatureValue, NullBroadcaster, RegionStatus, StatusBroadcaster};
+
+/// One armed analysis: its specification plus the live collector/trainer
+/// state.
+struct Analysis<D: ?Sized> {
+    spec: AnalysisSpec<D>,
+    collector: Collector,
+    trainer: IncrementalTrainer,
+    feature: Option<FeatureValue>,
+}
+
+impl<D: ?Sized> Analysis<D> {
+    fn new(spec: AnalysisSpec<D>) -> Self {
+        let collector = Collector::new(
+            spec.spatial,
+            spec.temporal,
+            spec.trainer.order,
+            spec.lag,
+            spec.layout,
+            spec.batch_capacity,
+        );
+        let trainer = IncrementalTrainer::new(spec.trainer)
+            .expect("spec builder validated the trainer configuration");
+        Self {
+            spec,
+            collector,
+            trainer,
+            feature: None,
+        }
+    }
+
+    /// Attempts feature extraction from the current history/model state.
+    fn try_extract(&mut self) {
+        let history = self.collector.history();
+        if history.is_empty() {
+            return;
+        }
+        let extracted = match self.spec.feature {
+            FeatureKind::Breakpoint { threshold } => {
+                let peaks = history.peak_per_location();
+                let initial = peaks
+                    .iter()
+                    .map(|(_, v)| v.abs())
+                    .fold(0.0_f64, f64::max);
+                if initial <= 0.0 {
+                    None
+                } else {
+                    BreakpointExtractor::new(threshold.clamp(1e-6, 1.0), initial)
+                        .ok()
+                        .and_then(|ex| ex.extract_from_profile(&peaks).ok())
+                        .map(FeatureValue::Breakpoint)
+                }
+            }
+            FeatureKind::DelayTime => {
+                let location = self.representative_location(history);
+                history.series_of(location).and_then(|series| {
+                    let times: Vec<f64> = series.iter().map(|(it, _)| *it as f64).collect();
+                    let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+                    DelayTimeExtractor::new()
+                        .extract(&times, &values)
+                        .ok()
+                        .map(FeatureValue::DelayTime)
+                })
+            }
+            FeatureKind::Outliers { threshold } => {
+                let profile = history.peak_per_location();
+                OutlierExtractor::new(threshold)
+                    .ok()
+                    .and_then(|ex| ex.extract(&profile).ok())
+                    .map(FeatureValue::Outliers)
+            }
+        };
+        if extracted.is_some() {
+            self.feature = extracted;
+        }
+    }
+
+    /// The location whose series is used for time-series features: the one
+    /// with the most samples (ties broken by the smallest id, which for the
+    /// WD case is the point nearest the domain origin).
+    fn representative_location(&self, history: &SampleHistory) -> usize {
+        history
+            .locations()
+            .into_iter()
+            .max_by_key(|loc| history.series_of(*loc).map_or(0, <[(u64, f64)]>::len))
+            .unwrap_or(0)
+    }
+
+    /// Latest one-step prediction at the representative location, if the
+    /// model is trained and enough history exists.
+    fn latest_prediction(&self) -> Option<f64> {
+        if !self.trainer.model().is_trained() {
+            return None;
+        }
+        let history = self.collector.history();
+        let location = self.representative_location(history);
+        let latest_iteration = history.series_of(location)?.last()?.0;
+        let predictors = self.collector.predictors_for(location, latest_iteration)?;
+        self.trainer.predict(&predictors).ok()
+    }
+
+    /// Whether this analysis considers its work done (model converged, or
+    /// threshold-only analyses once collection finished).
+    fn is_done(&self, iteration: u64) -> bool {
+        match self.spec.method {
+            AnalysisMethod::CurveFitting => {
+                self.trainer.is_converged() || self.collector.finished(iteration)
+            }
+            AnalysisMethod::ThresholdOnly => self.collector.finished(iteration),
+        }
+    }
+}
+
+/// The `td_region_t` of the paper: a named group of in-situ analyses hooked
+/// into a simulation's main loop.
+///
+/// See the crate-level example for end-to-end usage; the typical sequence is
+/// [`Region::new`] → [`Region::add_analysis`] → per iteration
+/// [`Region::begin`] / [`Region::end`] → [`Region::status`].
+pub struct Region<D: ?Sized> {
+    name: String,
+    analyses: Vec<Analysis<D>>,
+    broadcaster: Box<dyn StatusBroadcaster>,
+    status: RegionStatus,
+}
+
+impl<D: ?Sized> std::fmt::Debug for Region<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Region")
+            .field("name", &self.name)
+            .field("analyses", &self.analyses.len())
+            .field("status", &self.status)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: ?Sized> Region<D> {
+    /// Creates an empty region with a no-op broadcaster.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            analyses: Vec::new(),
+            broadcaster: Box::new(NullBroadcaster),
+            status: RegionStatus::default(),
+        }
+    }
+
+    /// Replaces the status broadcaster (e.g. with one backed by a `parsim`
+    /// world so the broadcast cost is accounted like an MPI broadcast).
+    pub fn with_broadcaster<B>(mut self, broadcaster: B) -> Self
+    where
+        B: StatusBroadcaster + 'static,
+    {
+        self.broadcaster = Box::new(broadcaster);
+        self
+    }
+
+    /// The region name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of analyses registered.
+    pub fn analysis_count(&self) -> usize {
+        self.analyses.len()
+    }
+
+    /// Registers an analysis; returns its index for later inspection.
+    pub fn add_analysis(&mut self, spec: AnalysisSpec<D>) -> usize {
+        self.analyses.push(Analysis::new(spec));
+        self.analyses.len() - 1
+    }
+
+    /// The most recent status (identical to the value returned by the last
+    /// [`Region::end`] call).
+    pub fn status(&self) -> &RegionStatus {
+        &self.status
+    }
+
+    /// The sample history of one analysis (by registration index).
+    pub fn history(&self, analysis: usize) -> Option<&SampleHistory> {
+        self.analyses.get(analysis).map(|a| a.collector.history())
+    }
+
+    /// The trainer of one analysis (by registration index), for inspecting
+    /// the fitted model and loss history.
+    pub fn trainer(&self, analysis: usize) -> Option<&IncrementalTrainer> {
+        self.analyses.get(analysis).map(|a| &a.trainer)
+    }
+
+    /// Marks the start of the iteration's main computation
+    /// (`td_region_begin`). Collection happens in [`Region::end`], after the
+    /// computation has produced the iteration's values; `begin` only stamps
+    /// the status so the pairing mirrors the paper's API.
+    pub fn begin(&mut self, iteration: u64) {
+        self.status.iteration = iteration;
+    }
+
+    /// Marks the end of the iteration's main computation
+    /// (`td_region_end`): collects samples, trains on any filled
+    /// mini-batches, attempts feature extraction, broadcasts the updated
+    /// status and returns it.
+    pub fn end(&mut self, iteration: u64, domain: &D) -> RegionStatus {
+        let mut samples_this_iteration = 0;
+        let mut last_loss = self.status.last_loss;
+
+        for analysis in &mut self.analyses {
+            let event = {
+                let Analysis {
+                    collector,
+                    spec,
+                    ..
+                } = analysis;
+                collector.observe(iteration, domain, spec.provider.as_ref())
+            };
+            match event {
+                CollectionEvent::Skipped => {}
+                CollectionEvent::Collected { samples } => {
+                    samples_this_iteration += samples;
+                }
+                CollectionEvent::BatchReady { samples, rows } => {
+                    samples_this_iteration += samples;
+                    if analysis.spec.method == AnalysisMethod::CurveFitting {
+                        if let Ok(loss) = analysis.trainer.train_batch(&rows) {
+                            last_loss = Some(loss);
+                        }
+                    }
+                }
+            }
+            if analysis.is_done(iteration) || analysis.collector.finished(iteration) {
+                analysis.try_extract();
+            }
+        }
+
+        let all_done = !self.analyses.is_empty()
+            && self.analyses.iter().all(|a| a.is_done(iteration));
+        let wants_termination = self
+            .analyses
+            .iter()
+            .any(|a| a.spec.exit == ExitAction::TerminateSimulation);
+
+        self.status.iteration = iteration;
+        self.status.samples_collected += samples_this_iteration;
+        self.status.batches_trained = self
+            .analyses
+            .iter()
+            .map(|a| a.trainer.loss_history().len())
+            .sum();
+        self.status.last_loss = last_loss;
+        self.status.converged = all_done;
+        self.status.predicted_value = self.analyses.first().and_then(Analysis::latest_prediction);
+        self.status.front_location = self.front_location();
+        self.status.features = self
+            .analyses
+            .iter()
+            .filter_map(|a| {
+                a.feature
+                    .clone()
+                    .map(|f| (a.spec.name.clone(), f))
+            })
+            .collect();
+        self.status.should_terminate = all_done && wants_termination;
+
+        self.broadcaster.broadcast(&self.status);
+        self.status.clone()
+    }
+
+    /// Forces feature extraction from whatever has been collected so far
+    /// (normally extraction happens automatically once an analysis is done).
+    pub fn extract_now(&mut self) {
+        for analysis in &mut self.analyses {
+            analysis.try_extract();
+        }
+        self.status.features = self
+            .analyses
+            .iter()
+            .filter_map(|a| a.feature.clone().map(|f| (a.spec.name.clone(), f)))
+            .collect();
+    }
+
+    /// The location of the maximum most-recently-observed value across the
+    /// first analysis' sampled locations — the "wave front" broadcast to
+    /// other ranks in the LULESH case study.
+    fn front_location(&self) -> Option<usize> {
+        let history = self.analyses.first()?.collector.history();
+        history
+            .locations()
+            .into_iter()
+            .filter_map(|loc| history.latest_of(loc).map(|v| (loc, v)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(loc, _)| loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConvergenceCriteria, OptimizerKind, TrainerConfig};
+    use crate::params::IterParam;
+
+    /// A toy domain: an outward-travelling decaying pulse.
+    struct Pulse {
+        values: Vec<f64>,
+    }
+
+    impl Pulse {
+        fn advance(&mut self, iteration: u64) {
+            let front = iteration as f64 * 0.2;
+            for (loc, v) in self.values.iter_mut().enumerate() {
+                let x = loc as f64;
+                *v = 10.0 / (1.0 + x) * (-((x - front) * (x - front)) / 8.0).exp();
+            }
+        }
+    }
+
+    fn breakpoint_spec(exit: ExitAction) -> AnalysisSpec<Pulse> {
+        AnalysisSpec::builder()
+            .name("velocity")
+            .provider(|d: &Pulse, loc: usize| d.values.get(loc).copied().unwrap_or(0.0))
+            .spatial(IterParam::new(1, 12, 1).unwrap())
+            .temporal(IterParam::new(0, 300, 1).unwrap())
+            .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+            .lag(5)
+            .batch_capacity(16)
+            .trainer(TrainerConfig {
+                order: 3,
+                optimizer: OptimizerKind::Sgd { learning_rate: 0.1 },
+                epochs_per_batch: 4,
+                convergence: ConvergenceCriteria {
+                    loss_threshold: 1e-2,
+                    patience: 3,
+                    max_batches: 60,
+                },
+            })
+            .exit(exit)
+            .build()
+            .unwrap()
+    }
+
+    fn run_region(exit: ExitAction, iterations: u64) -> (Region<Pulse>, u64) {
+        let mut region = Region::new("lulesh");
+        region.add_analysis(breakpoint_spec(exit));
+        let mut domain = Pulse {
+            values: vec![0.0; 40],
+        };
+        let mut executed = 0;
+        for it in 0..iterations {
+            region.begin(it);
+            domain.advance(it);
+            let status = region.end(it, &domain);
+            executed = it + 1;
+            if status.should_terminate {
+                break;
+            }
+        }
+        (region, executed)
+    }
+
+    #[test]
+    fn region_collects_and_trains() {
+        let (region, _) = run_region(ExitAction::Continue, 300);
+        let status = region.status();
+        assert!(status.samples_collected > 0);
+        assert!(status.batches_trained > 0);
+        assert!(status.last_loss.is_some());
+        assert!(region.trainer(0).unwrap().model().is_trained());
+    }
+
+    #[test]
+    fn region_extracts_breakpoint_feature() {
+        let (mut region, _) = run_region(ExitAction::Continue, 301);
+        region.extract_now();
+        let status = region.status();
+        let feature = status.feature("velocity");
+        assert!(feature.is_some(), "expected a breakpoint feature");
+        if let Some(FeatureValue::Breakpoint(b)) = feature {
+            assert!(b.radius >= 1 && b.radius <= 12);
+        }
+    }
+
+    #[test]
+    fn early_termination_stops_before_budget() {
+        let (_, executed_continue) = run_region(ExitAction::Continue, 301);
+        let (region, executed_stop) = run_region(ExitAction::TerminateSimulation, 301);
+        assert!(region.status().converged);
+        assert!(region.status().should_terminate);
+        assert!(
+            executed_stop < executed_continue,
+            "early termination should save iterations ({executed_stop} vs {executed_continue})"
+        );
+    }
+
+    #[test]
+    fn broadcaster_is_invoked_every_end() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&count);
+        let mut region: Region<Pulse> = Region::new("bcast")
+            .with_broadcaster(move |_s: &RegionStatus| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        region.add_analysis(breakpoint_spec(ExitAction::Continue));
+        let mut domain = Pulse {
+            values: vec![0.0; 40],
+        };
+        for it in 0..10u64 {
+            region.begin(it);
+            domain.advance(it);
+            region.end(it, &domain);
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn front_location_tracks_the_pulse() {
+        let (region, _) = run_region(ExitAction::Continue, 120);
+        let front = region.status().front_location.unwrap();
+        assert!(front >= 1 && front <= 12);
+    }
+
+    #[test]
+    fn empty_region_reports_nothing() {
+        let mut region: Region<Pulse> = Region::new("empty");
+        region.begin(0);
+        let status = region.end(
+            0,
+            &Pulse {
+                values: vec![0.0; 4],
+            },
+        );
+        assert_eq!(status.samples_collected, 0);
+        assert!(!status.converged);
+        assert!(!status.should_terminate);
+    }
+}

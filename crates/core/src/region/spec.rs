@@ -1,0 +1,333 @@
+//! Analysis specifications.
+
+use serde::{Deserialize, Serialize};
+
+use crate::collect::PredictorLayout;
+use crate::error::{Error, Result};
+use crate::extract::FeatureKind;
+use crate::model::TrainerConfig;
+use crate::params::IterParam;
+use crate::provider::VarProvider;
+
+/// The data-analysis method applied to collected samples. The framework
+/// currently supports curve fitting with the auto-regressive model, matching
+/// the paper's `'Curve_Fitting'` constant; the enum leaves room for the
+/// threshold-only and future methods without breaking the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum AnalysisMethod {
+    /// Fit the collected samples with the auto-regressive model (default).
+    #[default]
+    CurveFitting,
+    /// Track raw values against the threshold without fitting a model.
+    ThresholdOnly,
+}
+
+/// What the analysis should do once its goal is reached — the paper's
+/// `if_simulation_will_terminate` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExitAction {
+    /// Keep simulating; the analysis only reports.
+    #[default]
+    Continue,
+    /// Request early termination of the simulation once the model has
+    /// converged and the feature has been extracted.
+    TerminateSimulation,
+}
+
+/// A complete description of one in-situ analysis: where to sample, how to
+/// model, what to extract, and what to do when done.
+pub struct AnalysisSpec<D: ?Sized> {
+    pub(crate) name: String,
+    pub(crate) provider: Box<dyn VarProvider<D> + Send + Sync>,
+    pub(crate) spatial: IterParam,
+    pub(crate) temporal: IterParam,
+    pub(crate) method: AnalysisMethod,
+    pub(crate) feature: FeatureKind,
+    pub(crate) layout: PredictorLayout,
+    pub(crate) lag: u64,
+    pub(crate) batch_capacity: usize,
+    pub(crate) trainer: TrainerConfig,
+    pub(crate) exit: ExitAction,
+}
+
+impl<D: ?Sized> std::fmt::Debug for AnalysisSpec<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSpec")
+            .field("name", &self.name)
+            .field("spatial", &self.spatial)
+            .field("temporal", &self.temporal)
+            .field("method", &self.method)
+            .field("feature", &self.feature)
+            .field("layout", &self.layout)
+            .field("lag", &self.lag)
+            .field("batch_capacity", &self.batch_capacity)
+            .field("trainer", &self.trainer)
+            .field("exit", &self.exit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: ?Sized> AnalysisSpec<D> {
+    /// Starts building a specification.
+    pub fn builder() -> AnalysisSpecBuilder<D> {
+        AnalysisSpecBuilder::new()
+    }
+
+    /// The analysis name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spatial sampling characteristic.
+    pub fn spatial(&self) -> IterParam {
+        self.spatial
+    }
+
+    /// The temporal sampling characteristic.
+    pub fn temporal(&self) -> IterParam {
+        self.temporal
+    }
+
+    /// The configured feature.
+    pub fn feature(&self) -> FeatureKind {
+        self.feature
+    }
+
+    /// The configured exit action.
+    pub fn exit(&self) -> ExitAction {
+        self.exit
+    }
+}
+
+/// Builder for [`AnalysisSpec`].
+///
+/// Only the provider, spatial and temporal characteristics are mandatory;
+/// everything else has defaults matching the paper's LULESH configuration
+/// (curve fitting, spatio-temporal layout, order-3 AR model, lag 50,
+/// mini-batches of 16 rows, keep simulating when done).
+pub struct AnalysisSpecBuilder<D: ?Sized> {
+    name: String,
+    provider: Option<Box<dyn VarProvider<D> + Send + Sync>>,
+    spatial: Option<IterParam>,
+    temporal: Option<IterParam>,
+    method: AnalysisMethod,
+    feature: FeatureKind,
+    layout: PredictorLayout,
+    lag: u64,
+    batch_capacity: usize,
+    trainer: TrainerConfig,
+    exit: ExitAction,
+}
+
+impl<D: ?Sized> std::fmt::Debug for AnalysisSpecBuilder<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSpecBuilder")
+            .field("name", &self.name)
+            .field("has_provider", &self.provider.is_some())
+            .field("spatial", &self.spatial)
+            .field("temporal", &self.temporal)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: ?Sized> Default for AnalysisSpecBuilder<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D: ?Sized> AnalysisSpecBuilder<D> {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> Self {
+        Self {
+            name: "analysis".to_string(),
+            provider: None,
+            spatial: None,
+            temporal: None,
+            method: AnalysisMethod::CurveFitting,
+            feature: FeatureKind::DelayTime,
+            layout: PredictorLayout::SpatioTemporal,
+            lag: 50,
+            batch_capacity: 16,
+            trainer: TrainerConfig::default(),
+            exit: ExitAction::Continue,
+        }
+    }
+
+    /// Names the analysis (used in reports).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the diagnostic-variable provider (the paper's
+    /// `td_var_provider`). Closures `Fn(&D, usize) -> f64` work directly.
+    pub fn provider<P>(mut self, provider: P) -> Self
+    where
+        P: VarProvider<D> + Send + Sync + 'static,
+    {
+        self.provider = Some(Box::new(provider));
+        self
+    }
+
+    /// Sets the spatial sampling characteristic.
+    pub fn spatial(mut self, spatial: IterParam) -> Self {
+        self.spatial = Some(spatial);
+        self
+    }
+
+    /// Sets the temporal sampling characteristic.
+    pub fn temporal(mut self, temporal: IterParam) -> Self {
+        self.temporal = Some(temporal);
+        self
+    }
+
+    /// Sets the data-analysis method.
+    pub fn method(mut self, method: AnalysisMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the feature to extract.
+    pub fn feature(mut self, feature: FeatureKind) -> Self {
+        self.feature = feature;
+        self
+    }
+
+    /// Sets the predictor layout of the AR model.
+    pub fn layout(mut self, layout: PredictorLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Sets the time-step lag (in iterations).
+    pub fn lag(mut self, lag: u64) -> Self {
+        self.lag = lag;
+        self
+    }
+
+    /// Sets the mini-batch capacity.
+    pub fn batch_capacity(mut self, capacity: usize) -> Self {
+        self.batch_capacity = capacity;
+        self
+    }
+
+    /// Sets the trainer hyper-parameters (model order, optimizer, epochs,
+    /// convergence criteria).
+    pub fn trainer(mut self, trainer: TrainerConfig) -> Self {
+        self.trainer = trainer;
+        self
+    }
+
+    /// Sets the exit action (early termination or keep running).
+    pub fn exit(mut self, exit: ExitAction) -> Self {
+        self.exit = exit;
+        self
+    }
+
+    /// Finalizes the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IncompleteSpec`] if the provider, spatial or temporal
+    /// characteristic is missing, and [`Error::InvalidHyperParameter`] if the
+    /// batch capacity is zero or the trainer configuration is invalid.
+    pub fn build(self) -> Result<AnalysisSpec<D>> {
+        let provider = self.provider.ok_or(Error::IncompleteSpec {
+            missing: "provider",
+        })?;
+        let spatial = self.spatial.ok_or(Error::IncompleteSpec {
+            missing: "spatial characteristic",
+        })?;
+        let temporal = self.temporal.ok_or(Error::IncompleteSpec {
+            missing: "temporal characteristic",
+        })?;
+        if self.batch_capacity == 0 {
+            return Err(Error::InvalidHyperParameter {
+                name: "batch_capacity",
+                what: "must be positive".into(),
+            });
+        }
+        self.trainer.validate()?;
+        Ok(AnalysisSpec {
+            name: self.name,
+            provider,
+            spatial,
+            temporal,
+            method: self.method,
+            feature: self.feature,
+            layout: self.layout,
+            lag: self.lag,
+            batch_capacity: self.batch_capacity,
+            trainer: self.trainer,
+            exit: self.exit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_provider_and_ranges() {
+        let missing_provider = AnalysisSpecBuilder::<Vec<f64>>::new()
+            .spatial(IterParam::single(0))
+            .temporal(IterParam::single(0))
+            .build();
+        assert!(matches!(
+            missing_provider,
+            Err(Error::IncompleteSpec {
+                missing: "provider"
+            })
+        ));
+
+        let missing_spatial = AnalysisSpecBuilder::<Vec<f64>>::new()
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .temporal(IterParam::single(0))
+            .build();
+        assert!(missing_spatial.is_err());
+    }
+
+    #[test]
+    fn builder_applies_defaults_and_overrides() {
+        let spec = AnalysisSpec::<Vec<f64>>::builder()
+            .name("velocity")
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .spatial(IterParam::new(6, 10, 1).unwrap())
+            .temporal(IterParam::new(50, 373, 10).unwrap())
+            .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+            .lag(50)
+            .exit(ExitAction::TerminateSimulation)
+            .build()
+            .unwrap();
+        assert_eq!(spec.name(), "velocity");
+        assert_eq!(spec.exit(), ExitAction::TerminateSimulation);
+        assert_eq!(spec.spatial().len(), 5);
+        assert!(matches!(spec.feature(), FeatureKind::Breakpoint { .. }));
+        assert!(format!("{spec:?}").contains("velocity"));
+    }
+
+    #[test]
+    fn invalid_hyper_parameters_are_rejected() {
+        let zero_batch = AnalysisSpec::<Vec<f64>>::builder()
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .spatial(IterParam::single(1))
+            .temporal(IterParam::single(1))
+            .batch_capacity(0)
+            .build();
+        assert!(zero_batch.is_err());
+
+        let bad_trainer = AnalysisSpec::<Vec<f64>>::builder()
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .spatial(IterParam::single(1))
+            .temporal(IterParam::single(1))
+            .trainer(TrainerConfig {
+                order: 0,
+                ..TrainerConfig::default()
+            })
+            .build();
+        assert!(bad_trainer.is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Finite-difference gradients.
+
+/// First-order differences `v[i+1] - v[i]` — the per-iteration gradients
+/// (`k1, k2, k3, ...`) of the paper's variable-tracking algorithm, where
+/// each iteration represents one simulation time step.
+pub fn gradients(values: &[f64]) -> Vec<f64> {
+    if values.len() < 2 {
+        return Vec::new();
+    }
+    values.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Second-order central differences `v[i+1] - 2 v[i] + v[i-1]`, used as a
+/// curvature estimate when locating inflection points.
+pub fn second_differences(values: &[f64]) -> Vec<f64> {
+    if values.len() < 3 {
+        return Vec::new();
+    }
+    values
+        .windows(3)
+        .map(|w| w[2] - 2.0 * w[1] + w[0])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradients_of_linear_ramp_are_constant() {
+        let v: Vec<f64> = (0..10).map(|i| 3.0 * i as f64).collect();
+        let g = gradients(&v);
+        assert_eq!(g.len(), 9);
+        assert!(g.iter().all(|&x| (x - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn second_differences_of_parabola_are_constant() {
+        let v: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+        let s = second_differences(&v);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|&x| (x - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn short_inputs_yield_empty_outputs() {
+        assert!(gradients(&[1.0]).is_empty());
+        assert!(second_differences(&[1.0, 2.0]).is_empty());
+        assert!(gradients(&[]).is_empty());
+    }
+}

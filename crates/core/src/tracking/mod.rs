@@ -1,0 +1,20 @@
+//! Variable tracking: locating focal points on a curve.
+//!
+//! Section III-B.3 of the paper: compute back-to-back gradients
+//! `k1, k2, k3` from four consecutive values; a sign change from positive
+//! `k2` to negative `k3` marks a local maximum, the opposite change a local
+//! minimum, and applying the same detector to the gradient series locates
+//! inflection points. Threshold crossings with radius refinement complete
+//! the toolbox for threshold-based feature extraction.
+
+mod gradient;
+mod inflection;
+mod peaks;
+mod smoothing;
+mod threshold;
+
+pub use gradient::{gradients, second_differences};
+pub use inflection::{find_inflections, inflections_of_kind, strongest_inflection, InflectionPoint};
+pub use peaks::{find_local_extrema, PeakDetector, TrackedPoint, TrackedPointKind};
+pub use smoothing::{exponential_smooth, moving_average};
+pub use threshold::{first_crossing, last_below, radius_search, CrossingDirection};

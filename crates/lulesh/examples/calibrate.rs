@@ -1,0 +1,32 @@
+//! Calibration helper: prints, for each paper domain size, how many
+//! iterations and how much simulated time it takes for the shock front to
+//! reach 83 % of the domain radius, plus the resulting break-point radii.
+fn main() {
+    for size in [30usize, 60, 90] {
+        let config = lulesh::LuleshConfig {
+            end_time: 1.0e9,
+            max_iterations: 50_000,
+            update_element_fields: false,
+            ..lulesh::LuleshConfig::with_edge_elems(size)
+        };
+        let target = 0.83 * size as f64;
+        let mut sim = lulesh::LuleshSim::new(config);
+        let start = std::time::Instant::now();
+        let summary = sim.run_with(|s, _| s.state().shock_front_radius() < target);
+        let diag = sim.diagnostics();
+        println!(
+            "size {size}: iters {} time {:.3} front {:.1} init_v {:.3} bp(0.1%) {} bp(1%) {} bp(2%) {} bp(5%) {} bp(10%) {} bp(20%) {} wall {:.2}s",
+            summary.iterations,
+            summary.final_time,
+            sim.state().shock_front_radius(),
+            diag.initial_blast_velocity(),
+            diag.breakpoint_radius(0.001),
+            diag.breakpoint_radius(0.01),
+            diag.breakpoint_radius(0.02),
+            diag.breakpoint_radius(0.05),
+            diag.breakpoint_radius(0.10),
+            diag.breakpoint_radius(0.20),
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

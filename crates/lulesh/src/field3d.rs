@@ -1,0 +1,219 @@
+//! Applying the radial solution to the full 3D element mesh.
+//!
+//! LULESH spends its time updating every hexahedral element of the cubic
+//! mesh; the paper's overhead numbers are relative to that cost. The Sedov
+//! problem is spherically symmetric, so the *values* on the 3D mesh are
+//! fully determined by the radial solution — but the *work* of writing them
+//! (one pass over `size³` elements with an interpolation and a handful of
+//! arithmetic operations each, executed by the OpenMP-like thread pool of
+//! the configured rank × thread world) is what gives the proxy the same
+//! cost scaling as the original application.
+
+use parsim::ThreadPool;
+use simkit::field::{ScalarField, VectorField};
+use simkit::index::Extents;
+
+use crate::state::RadialState;
+
+/// Element-centred fields on the 3D mesh, derived from the radial state.
+#[derive(Debug, Clone)]
+pub struct ElementFields {
+    extents: Extents,
+    /// Velocity magnitude per element.
+    pub velocity: ScalarField,
+    /// Velocity vector per element (radially outward).
+    pub velocity_vec: VectorField,
+    /// Internal energy per element.
+    pub energy: ScalarField,
+    /// Pressure per element.
+    pub pressure: ScalarField,
+    /// Pre-computed element centroid radii in element units.
+    radii: Vec<f64>,
+    /// Pre-computed unit direction (outward) per element.
+    directions: Vec<[f64; 3]>,
+}
+
+impl ElementFields {
+    /// Allocates fields for an `edge³` element mesh with the blast origin at
+    /// the domain corner `(0, 0, 0)`, matching LULESH's Sedov setup.
+    pub fn new(edge_elems: usize) -> Self {
+        let extents = Extents::cubic(edge_elems);
+        let n = extents.len();
+        let mut radii = Vec::with_capacity(n);
+        let mut directions = Vec::with_capacity(n);
+        for idx in extents.iter() {
+            let x = idx.i as f64 + 0.5;
+            let y = idx.j as f64 + 0.5;
+            let z = idx.k as f64 + 0.5;
+            let r = (x * x + y * y + z * z).sqrt();
+            radii.push(r);
+            directions.push([x / r, y / r, z / r]);
+        }
+        Self {
+            extents,
+            velocity: ScalarField::zeros("velocity", n),
+            velocity_vec: VectorField::zeros("velocity_vec", n),
+            energy: ScalarField::zeros("energy", n),
+            pressure: ScalarField::zeros("pressure", n),
+            radii,
+            directions,
+        }
+    }
+
+    /// Element-grid extents.
+    pub fn extents(&self) -> Extents {
+        self.extents
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// Whether the mesh has no elements (never true for a valid value).
+    pub fn is_empty(&self) -> bool {
+        self.radii.is_empty()
+    }
+
+    /// Updates every element from the current radial state using the thread
+    /// pool. Linear interpolation in radius between node values.
+    pub fn update_from(&mut self, state: &RadialState, pool: &ThreadPool) {
+        let zones = state.zones();
+        let radii = &self.radii;
+        let node_u = &state.node_u;
+        let zone_e = &state.zone_e;
+        let zone_p = &state.zone_p;
+        let node_r = &state.node_r;
+
+        // Interpolate the radial profile at an arbitrary radius (element
+        // units). Radii beyond the mesh keep the undisturbed values.
+        let sample = move |r: f64| -> (f64, f64, f64) {
+            if r >= node_r[zones] {
+                return (0.0, zone_e[zones - 1], zone_p[zones - 1]);
+            }
+            // The radial mesh deforms, so find the zone by scan from the
+            // nearest undeformed index (meshes stay nearly uniform).
+            let mut j = (r.floor() as usize).min(zones - 1);
+            while j + 1 <= zones - 1 && node_r[j + 1] < r {
+                j += 1;
+            }
+            while j > 0 && node_r[j] > r {
+                j -= 1;
+            }
+            let r0 = node_r[j];
+            let r1 = node_r[j + 1];
+            let t = if r1 > r0 { ((r - r0) / (r1 - r0)).clamp(0.0, 1.0) } else { 0.0 };
+            let u = node_u[j] * (1.0 - t) + node_u[j + 1] * t;
+            (u, zone_e[j], zone_p[j])
+        };
+
+        let mut scratch: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); self.len()];
+        pool.for_each_mut(&mut scratch, |i, out| {
+            *out = sample(radii[i]);
+        });
+
+        for (i, (u, e, p)) in scratch.into_iter().enumerate() {
+            let dir = self.directions[i];
+            self.velocity.set(i, u).expect("index in range");
+            self.velocity_vec
+                .set(i, [u * dir[0], u * dir[1], u * dir[2]])
+                .expect("index in range");
+            self.energy.set(i, e).expect("index in range");
+            self.pressure.set(i, p).expect("index in range");
+        }
+    }
+
+    /// Mean velocity magnitude over all elements whose centroid radius
+    /// rounds to `shell` (element units); 0 when the shell is empty.
+    pub fn shell_mean_velocity(&self, shell: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, &r) in self.radii.iter().enumerate() {
+            if r.round() as usize == shell {
+                sum += self.velocity.get(i).expect("index in range");
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LuleshConfig;
+    use crate::step;
+
+    fn evolved_state(zones: usize, steps: usize) -> RadialState {
+        let config = LuleshConfig::with_edge_elems(zones).without_element_fields();
+        let mut state = RadialState::sedov_initial(&config);
+        let mut time = 0.0;
+        let mut dt = 0.0;
+        for _ in 0..steps {
+            let r = step::step(&mut state, &config, time, dt);
+            time = r.time;
+            dt = r.dt;
+        }
+        state
+    }
+
+    #[test]
+    fn fields_have_one_entry_per_element() {
+        let f = ElementFields::new(8);
+        assert_eq!(f.len(), 512);
+        assert_eq!(f.velocity.len(), 512);
+        assert_eq!(f.extents().len(), 512);
+    }
+
+    #[test]
+    fn update_reflects_spherical_symmetry() {
+        let state = evolved_state(16, 300);
+        let mut fields = ElementFields::new(16);
+        fields.update_from(&state, &ThreadPool::serial());
+        // Elements on the same shell have (nearly) the same velocity.
+        let ext = fields.extents();
+        let a = ext.linearize((5, 0, 0).into()).unwrap();
+        let b = ext.linearize((0, 5, 0).into()).unwrap();
+        let c = ext.linearize((0, 0, 5).into()).unwrap();
+        let va = fields.velocity.get(a).unwrap();
+        let vb = fields.velocity.get(b).unwrap();
+        let vc = fields.velocity.get(c).unwrap();
+        assert!((va - vb).abs() < 1e-9);
+        assert!((vb - vc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_update_matches_serial_update() {
+        let state = evolved_state(12, 200);
+        let mut serial = ElementFields::new(12);
+        serial.update_from(&state, &ThreadPool::serial());
+        let mut parallel = ElementFields::new(12);
+        let pool = ThreadPool::new(parsim::ParallelConfig::new(4, 2).unwrap());
+        parallel.update_from(&state, &pool);
+        for i in 0..serial.len() {
+            assert!(
+                (serial.velocity.get(i).unwrap() - parallel.velocity.get(i).unwrap()).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn shell_mean_velocity_decays_far_behind_the_front() {
+        let state = evolved_state(24, 250);
+        let mut fields = ElementFields::new(24);
+        fields.update_from(&state, &ThreadPool::serial());
+        let front = state.shock_front_radius();
+        assert!(front < 18.0, "front {front} should still be inside the mesh");
+        // Ahead of the shock the material is still (nearly) at rest.
+        let quiet_shell = (front + 5.0).round() as usize;
+        assert!(
+            fields.shell_mean_velocity(quiet_shell)
+                < fields.shell_mean_velocity(front.round() as usize)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! `lulesh` — a Sedov-blast Lagrangian shock-hydrodynamics proxy.
+//!
+//! The paper's first case study instruments LLNL's LULESH 2.0 mini-app,
+//! which simulates the Sedov blast problem: a point deposition of energy in
+//! a uniform medium drives a spherically symmetric shock outward through the
+//! cubic domain, and the diagnostic variable of interest is the material
+//! velocity as a function of radius and time.
+//!
+//! This crate re-implements that workload in Rust as a *proxy*: the
+//! spherically symmetric Lagrangian hydrodynamics (von Neumann–Richtmyer
+//! staggered scheme with artificial viscosity, ideal-gas equation of state
+//! and Courant timestep control) is solved on radial shells, and the
+//! resulting state is applied to every element of the 3D structured mesh on
+//! each iteration so the computational cost — and therefore the relative
+//! overhead of in-situ analysis — scales with the `size³` element count
+//! exactly like the original application. Domain sizes 30/60/90 reproduce
+//! the paper's configurations.
+//!
+//! The crate deliberately does not depend on the `insitu` analysis library:
+//! the coupling happens in the examples and the experiment harness through
+//! the per-iteration callback of [`LuleshSim::run_with`], mirroring how the
+//! paper patches `td_region_begin`/`td_region_end` around LULESH's
+//! `LagrangeLeapFrog` call.
+//!
+//! # Example
+//!
+//! ```
+//! use lulesh::{LuleshConfig, LuleshSim};
+//!
+//! let config = LuleshConfig::with_edge_elems(10);
+//! let mut sim = LuleshSim::new(config);
+//! let summary = sim.run_with(|_sim, _iteration| true);
+//! assert!(summary.iterations > 0);
+//! // The blast decays with radius: velocity near the origin exceeds the rim.
+//! assert!(sim.peak_velocity_at(2) > sim.peak_velocity_at(9));
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod diagnostics;
+mod field3d;
+mod sim;
+mod state;
+mod step;
+
+pub use config::{sedov_end_time, LuleshConfig};
+pub use diagnostics::{RadialDiagnostics, VelocityRecord};
+pub use field3d::ElementFields;
+pub use sim::{LuleshSim, RunSummary};
+pub use state::RadialState;
+pub use step::StepReport;

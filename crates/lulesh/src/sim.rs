@@ -1,0 +1,273 @@
+//! The LULESH-proxy driver.
+
+use parsim::{ThreadPool, World};
+use simkit::timer::TimerRegistry;
+
+use crate::config::LuleshConfig;
+use crate::diagnostics::RadialDiagnostics;
+use crate::field3d::ElementFields;
+use crate::state::RadialState;
+use crate::step::{self, StepReport};
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Final simulation time.
+    pub final_time: f64,
+    /// Whether the run was stopped early by the per-iteration callback.
+    pub terminated_early: bool,
+    /// Wall-clock seconds spent in the main computation (excludes whatever
+    /// the callback itself did).
+    pub compute_seconds: f64,
+}
+
+/// The Sedov-blast proxy application.
+///
+/// A simulation owns the radial Lagrangian state, the 3D element fields, the
+/// simulated parallel world, per-phase timers and the radial diagnostics.
+/// The main loop is driven either step-by-step ([`LuleshSim::step`]) or to
+/// completion with a per-iteration callback ([`LuleshSim::run_with`]) — the
+/// callback is where the in-situ region API is hooked in by the examples and
+/// the experiment harness.
+#[derive(Debug)]
+pub struct LuleshSim {
+    config: LuleshConfig,
+    state: RadialState,
+    fields: ElementFields,
+    world: World,
+    pool: ThreadPool,
+    diagnostics: RadialDiagnostics,
+    timers: TimerRegistry,
+    iteration: u64,
+    time: f64,
+    last_dt: f64,
+}
+
+impl LuleshSim {
+    /// Creates a simulation in its initial (Sedov) state.
+    pub fn new(config: LuleshConfig) -> Self {
+        let state = RadialState::sedov_initial(&config);
+        let fields = ElementFields::new(config.edge_elems);
+        let world = World::new(config.parallel);
+        let pool = ThreadPool::new(config.parallel);
+        let diagnostics = RadialDiagnostics::new(config.radial_zones() + 1);
+        Self {
+            config,
+            state,
+            fields,
+            world,
+            pool,
+            diagnostics,
+            timers: TimerRegistry::new(),
+            iteration: 0,
+            time: 0.0,
+            last_dt: 0.0,
+        }
+    }
+
+    /// The configuration the simulation was created with.
+    pub fn config(&self) -> &LuleshConfig {
+        &self.config
+    }
+
+    /// The current iteration count.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// The current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Whether the run has reached its end time or iteration cap.
+    pub fn done(&self) -> bool {
+        self.time >= self.config.end_time || self.iteration >= self.config.max_iterations
+    }
+
+    /// The radial Lagrangian state.
+    pub fn state(&self) -> &RadialState {
+        &self.state
+    }
+
+    /// The 3D element fields (updated each iteration unless disabled).
+    pub fn fields(&self) -> &ElementFields {
+        &self.fields
+    }
+
+    /// The simulated parallel world (for communication accounting).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The recorded radial diagnostics.
+    pub fn diagnostics(&self) -> &RadialDiagnostics {
+        &self.diagnostics
+    }
+
+    /// Per-phase timers (`"lagrange"`, `"elements"`, `"halo"`).
+    pub fn timers(&self) -> &TimerRegistry {
+        &self.timers
+    }
+
+    /// Radial velocity at an integer location (element units) — the
+    /// diagnostic variable handed to the in-situ library's provider, i.e.
+    /// the equivalent of `locDom->xd(loc)` in the paper's Fig. 2.
+    pub fn velocity_at(&self, location: usize) -> f64 {
+        self.state.velocity_at(location)
+    }
+
+    /// Peak |velocity| observed at a location since the start of the run.
+    pub fn peak_velocity_at(&self, location: usize) -> f64 {
+        self.diagnostics.peak_at(location)
+    }
+
+    /// The blast's initial contact velocity (reference for percentage
+    /// thresholds).
+    pub fn initial_blast_velocity(&self) -> f64 {
+        self.diagnostics.initial_blast_velocity()
+    }
+
+    /// Advances the simulation by one iteration and returns the step report.
+    pub fn step(&mut self) -> StepReport {
+        // Lagrange leapfrog on the radial state.
+        let watch = self.timers.timer_mut("lagrange").start();
+        let report = step::step(&mut self.state, &self.config, self.time, self.last_dt);
+        let elapsed = watch.stop();
+        self.timers.timer_mut("lagrange").add(elapsed);
+
+        // Global timestep agreement (MPI_Allreduce(MIN) in real LULESH).
+        let per_rank_dt = vec![report.dt; self.world.size()];
+        let _ = self.world.allreduce_min(&per_rank_dt);
+
+        // Element-field update across the 3D mesh.
+        if self.config.update_element_fields {
+            let watch = self.timers.timer_mut("elements").start();
+            self.fields.update_from(&self.state, &self.pool);
+            let elapsed = watch.stop();
+            self.timers.timer_mut("elements").add(elapsed);
+        }
+
+        // Face halo exchange between neighbouring ranks (modelled cost).
+        let face_elems = self.config.edge_elems * self.config.edge_elems;
+        self.world.halo_exchange(6, face_elems * std::mem::size_of::<f64>());
+
+        self.iteration += 1;
+        self.time = report.time;
+        self.last_dt = report.dt;
+        self.diagnostics.record(self.iteration, &self.state);
+        report
+    }
+
+    /// Runs until the end time, the iteration cap, or until the callback
+    /// returns `false` (early termination). The callback receives the
+    /// simulation after each completed iteration, which is where
+    /// `td_region_begin`/`td_region_end` are placed by integrations.
+    pub fn run_with<F>(&mut self, mut callback: F) -> RunSummary
+    where
+        F: FnMut(&LuleshSim, u64) -> bool,
+    {
+        let started = std::time::Instant::now();
+        let mut terminated_early = false;
+        while !self.done() {
+            self.step();
+            if !callback(self, self.iteration) {
+                terminated_early = true;
+                break;
+            }
+        }
+        RunSummary {
+            iterations: self.iteration,
+            final_time: self.time,
+            terminated_early,
+            compute_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs the plain simulation to completion (no analysis callback).
+    pub fn run_to_completion(&mut self) -> RunSummary {
+        self.run_with(|_, _| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim::ParallelConfig;
+
+    fn small_config() -> LuleshConfig {
+        LuleshConfig {
+            max_iterations: 2_000,
+            ..LuleshConfig::with_edge_elems(12)
+        }
+    }
+
+    #[test]
+    fn simulation_runs_to_completion() {
+        let mut sim = LuleshSim::new(small_config());
+        let summary = sim.run_to_completion();
+        assert!(summary.iterations > 50);
+        assert!(!summary.terminated_early);
+        assert!(sim.done());
+        assert!(summary.final_time >= sim.config().end_time || summary.iterations == sim.config().max_iterations);
+    }
+
+    #[test]
+    fn callback_can_terminate_early() {
+        let mut sim = LuleshSim::new(small_config());
+        let summary = sim.run_with(|_, iteration| iteration < 40);
+        assert!(summary.terminated_early);
+        assert_eq!(summary.iterations, 40);
+    }
+
+    #[test]
+    fn blast_decays_with_radius() {
+        let mut sim = LuleshSim::new(small_config());
+        sim.run_to_completion();
+        assert!(sim.peak_velocity_at(2) > sim.peak_velocity_at(10));
+        assert!(sim.initial_blast_velocity() > 0.0);
+    }
+
+    #[test]
+    fn iteration_count_grows_with_domain_size() {
+        let mut small = LuleshSim::new(LuleshConfig::with_edge_elems(10).without_element_fields());
+        let mut large = LuleshSim::new(LuleshConfig::with_edge_elems(20).without_element_fields());
+        let s = small.run_to_completion();
+        let l = large.run_to_completion();
+        assert!(
+            l.iterations > s.iterations,
+            "larger domains need more iterations ({} vs {})",
+            l.iterations,
+            s.iterations
+        );
+    }
+
+    #[test]
+    fn timers_and_communication_are_recorded() {
+        let config = LuleshConfig {
+            edge_elems: 10,
+            end_time: 0.5,
+            parallel: ParallelConfig::new(8, 1).unwrap(),
+            ..LuleshConfig::default()
+        };
+        let mut sim = LuleshSim::new(config);
+        sim.run_to_completion();
+        assert!(sim.timers().seconds_of("lagrange") > 0.0);
+        assert!(sim.timers().seconds_of("elements") > 0.0);
+        assert!(sim.world().communication_seconds() > 0.0);
+        assert!(sim.world().collective_count() > 0);
+    }
+
+    #[test]
+    fn velocity_provider_matches_state() {
+        let mut sim = LuleshSim::new(small_config());
+        for _ in 0..30 {
+            sim.step();
+        }
+        for loc in 0..12 {
+            assert_eq!(sim.velocity_at(loc), sim.state().velocity_at(loc));
+        }
+    }
+}

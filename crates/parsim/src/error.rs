@@ -1,0 +1,72 @@
+//! Error types for the simulated parallel runtime.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by configuration and collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A rank or thread count was zero or otherwise unusable.
+    InvalidConfig {
+        /// Human readable description of the offending argument.
+        what: String,
+    },
+    /// A collective referenced a rank outside the world.
+    UnknownRank {
+        /// The rank that was requested.
+        rank: usize,
+        /// Number of ranks in the world.
+        world_size: usize,
+    },
+    /// Per-rank data handed to a collective did not match the world size.
+    WrongContribution {
+        /// Number of contributions supplied.
+        got: usize,
+        /// Number of ranks in the world.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { what } => write!(f, "invalid parallel configuration: {what}"),
+            Error::UnknownRank { rank, world_size } => {
+                write!(f, "rank {rank} does not exist in a world of {world_size}")
+            }
+            Error::WrongContribution { got, expected } => {
+                write!(f, "expected {expected} per-rank contributions, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::UnknownRank {
+            rank: 5,
+            world_size: 4,
+        };
+        assert_eq!(e.to_string(), "rank 5 does not exist in a world of 4");
+        let e = Error::WrongContribution {
+            got: 2,
+            expected: 8,
+        };
+        assert!(e.to_string().contains("8"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,47 @@
+//! `parsim` — a simulated MPI + OpenMP parallel runtime.
+//!
+//! The paper evaluates its in-situ method on LULESH and Castro running under
+//! MPI × OpenMP on a 40-core Xeon server. This workspace has no MPI
+//! installation, so `parsim` provides the closest in-process equivalent:
+//!
+//! * a [`World`] of simulated ranks with the collective operations the
+//!   in-situ library needs (`broadcast`, `allreduce`, `barrier`), whose cost
+//!   is charged to a timer through an alpha–beta [`CostModel`] instead of
+//!   real network traffic;
+//! * an OpenMP-like fork-join [`threadpool`] that executes the per-element
+//!   work of the proxy simulations on real threads, so the *measured*
+//!   execution times still scale with the rank × thread configuration of the
+//!   paper's overhead tables.
+//!
+//! The separation matters for reproducing the paper's overhead numbers: the
+//! main computation and the in-situ analysis both run for real (wall-clock),
+//! while inter-rank communication — which we cannot perform faithfully in a
+//! single process — is modelled and accounted separately.
+//!
+//! # Example
+//!
+//! ```
+//! use parsim::{ParallelConfig, World};
+//!
+//! let config = ParallelConfig::new(8, 2).unwrap();
+//! let world = World::new(config);
+//! let roots = world.broadcast(0, 42_u64);
+//! assert_eq!(roots.len(), 8);
+//! assert!(roots.iter().all(|&v| v == 42));
+//! assert!(world.communication_seconds() > 0.0);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod error;
+pub mod threadpool;
+pub mod world;
+
+pub use config::ParallelConfig;
+pub use cost::CostModel;
+pub use error::{Error, Result};
+pub use threadpool::ThreadPool;
+pub use world::World;

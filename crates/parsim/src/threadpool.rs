@@ -1,0 +1,210 @@
+//! OpenMP-like fork-join data parallelism.
+//!
+//! The proxy simulations express their per-element work as
+//! "apply this closure to every index in `0..n`" — exactly the shape of an
+//! `#pragma omp parallel for`. [`ThreadPool`] executes such loops with
+//! scoped threads (no `unsafe`, no detached workers) and also offers a
+//! map-reduce variant for the global reductions (minimum timestep, total
+//! energy) that dominate the applications' collective use.
+//!
+//! The pool is deliberately simple: workers are spawned per call using
+//! `std::thread::scope`. For the coarse-grained loops of the proxy
+//! applications (thousands to millions of elements per call) the spawn cost
+//! is negligible compared to the loop body, and keeping the pool stateless
+//! avoids any shared-queue contention that would distort the overhead
+//! measurements.
+
+use crossbeam::thread as cb_thread;
+
+use crate::config::ParallelConfig;
+
+/// A fork-join executor bound to a [`ParallelConfig`].
+///
+/// ```
+/// use parsim::{ParallelConfig, ThreadPool};
+///
+/// let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+/// let mut data = vec![0.0_f64; 1000];
+/// pool.for_each_mut(&mut data, |i, v| *v = i as f64);
+/// assert_eq!(data[999], 999.0);
+/// let sum = pool.map_reduce(1000, |i| i as f64, 0.0, |a, b| a + b);
+/// assert_eq!(sum, 499_500.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    config: ParallelConfig,
+}
+
+impl ThreadPool {
+    /// Creates a pool that will use `config.effective_workers()` threads.
+    pub fn new(config: ParallelConfig) -> Self {
+        Self { config }
+    }
+
+    /// A serial pool (one worker).
+    pub fn serial() -> Self {
+        Self {
+            config: ParallelConfig::serial(),
+        }
+    }
+
+    /// The configuration the pool was created with.
+    pub fn config(&self) -> ParallelConfig {
+        self.config
+    }
+
+    /// Number of worker threads used for parallel sections.
+    pub fn workers(&self) -> usize {
+        self.config.effective_workers()
+    }
+
+    /// Applies `f(index, &mut element)` to every element of the slice,
+    /// splitting the slice into contiguous chunks across workers.
+    pub fn for_each_mut<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let workers = self.workers();
+        if workers <= 1 || data.len() < 2 * workers {
+            for (i, item) in data.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = data.len().div_ceil(workers);
+        let f = &f;
+        cb_thread::scope(|scope| {
+            for (c, slice) in data.chunks_mut(chunk).enumerate() {
+                let base = c * chunk;
+                scope.spawn(move |_| {
+                    for (offset, item) in slice.iter_mut().enumerate() {
+                        f(base + offset, item);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Computes `fold(map(0), map(1), ..., map(n-1))` in parallel, where
+    /// `fold` must be associative and `identity` its neutral element.
+    pub fn map_reduce<R, M, F>(&self, n: usize, map: M, identity: R, fold: F) -> R
+    where
+        R: Send + Clone,
+        M: Fn(usize) -> R + Sync,
+        F: Fn(R, R) -> R + Sync + Send,
+    {
+        let workers = self.workers();
+        if workers <= 1 || n < 2 * workers {
+            let mut acc = identity;
+            for i in 0..n {
+                acc = fold(acc, map(i));
+            }
+            return acc;
+        }
+        let chunk = n.div_ceil(workers);
+        let map = &map;
+        let fold = &fold;
+        let partials: Vec<R> = cb_thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let identity = identity.clone();
+                handles.push(scope.spawn(move |_| {
+                    let mut acc = identity;
+                    for i in start..end {
+                        acc = fold(acc, map(i));
+                    }
+                    acc
+                }));
+                start = end;
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("worker thread panicked");
+        partials.into_iter().fold(identity, |a, b| fold(a, b))
+    }
+
+    /// Parallel minimum of `map(i)` over `0..n`; returns `f64::INFINITY`
+    /// when `n == 0`. This is the reduction LULESH uses for its timestep
+    /// control.
+    pub fn min_reduce<M>(&self, n: usize, map: M) -> f64
+    where
+        M: Fn(usize) -> f64 + Sync,
+    {
+        self.map_reduce(n, map, f64::INFINITY, f64::min)
+    }
+
+    /// Parallel sum of `map(i)` over `0..n`.
+    pub fn sum_reduce<M>(&self, n: usize, map: M) -> f64
+    where
+        M: Fn(usize) -> f64 + Sync,
+    {
+        self.map_reduce(n, map, 0.0, |a, b| a + b)
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(workers: usize) -> ThreadPool {
+        ThreadPool::new(ParallelConfig::new(workers, 1).unwrap())
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element() {
+        for workers in [1, 2, 4, 8] {
+            let p = pool(workers);
+            let mut data = vec![0_u64; 10_001];
+            p.for_each_mut(&mut data, |i, v| *v = i as u64 + 1);
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn map_reduce_sum_matches_closed_form() {
+        for workers in [1, 3, 6] {
+            let p = pool(workers);
+            let n = 12_345;
+            let sum = p.sum_reduce(n, |i| i as f64);
+            assert_eq!(sum, (n * (n - 1) / 2) as f64);
+        }
+    }
+
+    #[test]
+    fn min_reduce_finds_global_minimum() {
+        let p = pool(4);
+        let min = p.min_reduce(1000, |i| ((i as f64) - 617.0).abs() + 3.0);
+        assert_eq!(min, 3.0);
+        assert_eq!(p.min_reduce(0, |_| 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_serial_path() {
+        let p = pool(16);
+        let mut data = vec![1.0; 3];
+        p.for_each_mut(&mut data, |_, v| *v *= 2.0);
+        assert_eq!(data, vec![2.0, 2.0, 2.0]);
+        assert_eq!(p.map_reduce(2, |i| i, 0, |a, b| a + b), 1);
+    }
+
+    #[test]
+    fn workers_respects_configuration() {
+        let p = ThreadPool::serial();
+        assert_eq!(p.workers(), 1);
+        let p = pool(2);
+        assert!(p.workers() >= 1 && p.workers() <= 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types shared by the simulation substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by mesh construction, field access and decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A dimension or count argument was zero or otherwise out of range.
+    InvalidExtent {
+        /// Human readable description of the offending argument.
+        what: String,
+    },
+    /// An index was outside the mesh or field it addresses.
+    OutOfBounds {
+        /// The linear index that was requested.
+        index: usize,
+        /// The number of addressable entries.
+        len: usize,
+    },
+    /// Two fields or meshes that must agree in size do not.
+    ShapeMismatch {
+        /// Size of the left-hand operand.
+        left: usize,
+        /// Size of the right-hand operand.
+        right: usize,
+    },
+    /// A decomposition could not be constructed for the requested rank count.
+    Decomposition {
+        /// Human readable description of the failure.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidExtent { what } => write!(f, "invalid extent: {what}"),
+            Error::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Error::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            Error::Decomposition { what } => write!(f, "decomposition error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::OutOfBounds { index: 9, len: 3 };
+        assert_eq!(e.to_string(), "index 9 out of bounds for length 3");
+        let e = Error::InvalidExtent {
+            what: "nx must be positive".into(),
+        };
+        assert!(e.to_string().starts_with("invalid extent"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

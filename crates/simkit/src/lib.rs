@@ -1,0 +1,47 @@
+//! `simkit` — structured-mesh simulation substrate.
+//!
+//! This crate provides the building blocks shared by the two proxy
+//! applications in this workspace (`lulesh` and `wdmerger`): a 3D structured
+//! mesh, scalar/vector fields stored as structure-of-arrays, block domain
+//! decomposition, a generic time-loop driver with instrumentation hooks,
+//! wall-clock timers, and small numeric helpers (time series, summary
+//! statistics).
+//!
+//! Nothing in this crate knows about the in-situ analysis library; the
+//! coupling happens through the [`timeloop::StepHook`] trait which the
+//! `insitu` region API implements on the application side.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::mesh::StructuredMesh;
+//! use simkit::field::ScalarField;
+//!
+//! let mesh = StructuredMesh::cubic(8, 1.0);
+//! let mut density = ScalarField::zeros("density", mesh.num_elements());
+//! density.fill(1.0);
+//! assert_eq!(density.len(), 512);
+//! assert!((density.mean() - 1.0).abs() < 1e-12);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomposition;
+pub mod error;
+pub mod field;
+pub mod index;
+pub mod mesh;
+pub mod series;
+pub mod stats;
+pub mod timeloop;
+pub mod timer;
+
+pub use decomposition::BlockDecomposition;
+pub use error::{Error, Result};
+pub use field::{ScalarField, VectorField};
+pub use index::{Extents, Index3};
+pub use mesh::StructuredMesh;
+pub use series::TimeSeries;
+pub use timeloop::{StepControl, StepHook, TimeLoop};
+pub use timer::{Timer, TimerRegistry};

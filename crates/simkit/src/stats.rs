@@ -1,0 +1,249 @@
+//! Small numeric helpers used throughout the workspace.
+//!
+//! These are the scalar statistics and error metrics that both the
+//! simulations (for diagnostics) and the experiment harness (for
+//! paper-vs-measured comparisons) rely on.
+
+/// Arithmetic mean of a slice; returns 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance of a slice; returns 0 for slices shorter than 2.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Root-mean-square error between two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "rmse requires equal lengths");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    (sum / predicted.len() as f64).sqrt()
+}
+
+/// Mean absolute error between two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "mae requires equal lengths");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Relative error `|predicted - actual| / |actual|` expressed as a percent.
+/// Falls back to the absolute error when `actual` is (nearly) zero so the
+/// metric stays finite on flat curves.
+pub fn percent_error(predicted: f64, actual: f64) -> f64 {
+    let denom = actual.abs();
+    if denom < 1e-12 {
+        (predicted - actual).abs() * 100.0
+    } else {
+        (predicted - actual).abs() / denom * 100.0
+    }
+}
+
+/// Mean relative error (%) between two equally long series, the error-rate
+/// metric reported by the paper's Tables I and V.
+///
+/// Values whose ground-truth magnitude falls below `floor` are compared
+/// against the mean magnitude of the series instead, so a handful of
+/// near-zero samples does not blow the metric up.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mean_percent_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "mean_percent_error requires equal lengths"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let scale = mean(&actual.iter().map(|a| a.abs()).collect::<Vec<_>>()).max(1e-12);
+    let floor = scale * 1e-3;
+    let total: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| {
+            let denom = if a.abs() < floor { scale } else { a.abs() };
+            (p - a).abs() / denom * 100.0
+        })
+        .sum();
+    total / predicted.len() as f64
+}
+
+/// Coefficient of determination (R²) between prediction and ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "r_squared requires equal lengths"
+    );
+    if actual.len() < 2 {
+        return 1.0;
+    }
+    let m = mean(actual);
+    let ss_tot: f64 = actual.iter().map(|a| (a - m) * (a - m)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p) * (a - p))
+        .sum();
+    if ss_tot < 1e-30 {
+        if ss_res < 1e-30 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// `n` evenly spaced values from `start` to `end` inclusive.
+pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => {
+            let step = (end - start) / (n - 1) as f64;
+            (0..n).map(|i| start + step * i as f64).collect()
+        }
+    }
+}
+
+/// Min-max normalization of a series into `[0, 1]`; constant series map to 0.
+pub fn min_max_normalize(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    if span < 1e-30 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - lo) / span).collect()
+}
+
+/// Z-score standardization of a series; constant series map to 0.
+pub fn z_score_normalize(values: &[f64]) -> Vec<f64> {
+    let m = mean(values);
+    let s = std_dev(values);
+    if s < 1e-30 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_series() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((variance(&v) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(mean_percent_error(&[], &[]), 0.0);
+        assert!(min_max_normalize(&[]).is_empty());
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn rmse_and_mae_of_shifted_series() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 3.0, 4.0];
+        assert!((rmse(&p, &a) - 1.0).abs() < 1e-12);
+        assert!((mae(&p, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_error_handles_zero_ground_truth() {
+        assert!((percent_error(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!((percent_error(0.5, 0.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_error_and_unit_r2() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean_percent_error(&a, &a), 0.0);
+        assert!((r_squared(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_penalizes_bad_fits() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        let bad = [4.0, 3.0, 2.0, 1.0];
+        assert!(r_squared(&bad, &actual) < 0.0);
+    }
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[4], 1.0);
+        assert!((v[1] - 0.25).abs() < 1e-12);
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn normalizations_map_to_expected_ranges() {
+        let v = [2.0, 4.0, 6.0];
+        let mm = min_max_normalize(&v);
+        assert_eq!(mm, vec![0.0, 0.5, 1.0]);
+        let z = z_score_normalize(&v);
+        assert!((mean(&z)).abs() < 1e-12);
+        let flat = min_max_normalize(&[3.0, 3.0]);
+        assert_eq!(flat, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Generic time-loop driver with instrumentation hooks.
+//!
+//! Both proxy applications are iterative: each iteration advances the
+//! physical state by one (adaptive) timestep. The in-situ analysis wraps the
+//! main computation of every iteration between a *begin* and an *end* hook
+//! (`td_region_begin` / `td_region_end` in the paper's API). [`TimeLoop`]
+//! owns that structure so the applications only provide a step closure and
+//! the analysis only provides a [`StepHook`].
+
+use crate::timer::TimerRegistry;
+
+/// Outcome of one simulation step, reported by the application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Simulation time after the step.
+    pub time: f64,
+    /// Size of the timestep just taken.
+    pub dt: f64,
+}
+
+/// What the driver should do after a hook or step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepControl {
+    /// Keep iterating.
+    #[default]
+    Continue,
+    /// Stop the loop after the current iteration (early termination).
+    Stop,
+}
+
+/// Observer invoked around every iteration of the time loop.
+///
+/// The type parameter `D` is the application's domain/state type; hooks get
+/// shared access after the step so they can sample diagnostic variables.
+pub trait StepHook<D> {
+    /// Called before the main computation of iteration `iteration`.
+    fn begin(&mut self, iteration: u64) {
+        let _ = iteration;
+    }
+
+    /// Called after the main computation with the updated domain. Returning
+    /// [`StepControl::Stop`] requests early termination of the simulation.
+    fn end(&mut self, iteration: u64, domain: &D, outcome: StepOutcome) -> StepControl;
+}
+
+/// A no-op hook used when running the plain simulation without analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHook;
+
+impl<D> StepHook<D> for NullHook {
+    fn end(&mut self, _iteration: u64, _domain: &D, _outcome: StepOutcome) -> StepControl {
+        StepControl::Continue
+    }
+}
+
+/// Why the time loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The configured iteration budget was exhausted.
+    MaxIterations,
+    /// The configured end time was reached.
+    EndTime,
+    /// A hook requested early termination.
+    HookRequested,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Number of iterations executed.
+    pub iterations: u64,
+    /// Final simulation time.
+    pub final_time: f64,
+    /// Why the loop stopped.
+    pub stop_reason: StopReason,
+}
+
+/// The iterative driver.
+///
+/// ```
+/// use simkit::timeloop::{StepControl, StepHook, StepOutcome, TimeLoop};
+///
+/// struct Counter(u64);
+/// impl StepHook<f64> for Counter {
+///     fn end(&mut self, _i: u64, _d: &f64, _o: StepOutcome) -> StepControl {
+///         self.0 += 1;
+///         StepControl::Continue
+///     }
+/// }
+///
+/// let mut state = 0.0_f64;
+/// let mut hook = Counter(0);
+/// let mut driver = TimeLoop::new(100, 1.0);
+/// let summary = driver.run(&mut state, &mut hook, |s, _iter| {
+///     *s += 0.25;
+///     StepOutcome { time: *s, dt: 0.25 }
+/// });
+/// assert_eq!(summary.iterations, 4);
+/// assert_eq!(hook.0, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeLoop {
+    max_iterations: u64,
+    end_time: f64,
+    timers: TimerRegistry,
+}
+
+impl TimeLoop {
+    /// Creates a driver bounded by an iteration budget and an end time.
+    pub fn new(max_iterations: u64, end_time: f64) -> Self {
+        Self {
+            max_iterations,
+            end_time,
+            timers: TimerRegistry::new(),
+        }
+    }
+
+    /// Maximum number of iterations the driver will execute.
+    pub fn max_iterations(&self) -> u64 {
+        self.max_iterations
+    }
+
+    /// Simulation end time at which the driver stops.
+    pub fn end_time(&self) -> f64 {
+        self.end_time
+    }
+
+    /// Timers accumulated during [`TimeLoop::run`]: `"step"` for the main
+    /// computation and `"hook"` for the analysis callbacks.
+    pub fn timers(&self) -> &TimerRegistry {
+        &self.timers
+    }
+
+    /// Runs the loop: for every iteration call `hook.begin`, the step
+    /// closure, then `hook.end`, stopping on the iteration budget, the end
+    /// time, or a hook request.
+    pub fn run<D, H, F>(&mut self, domain: &mut D, hook: &mut H, mut step: F) -> RunSummary
+    where
+        H: StepHook<D>,
+        F: FnMut(&mut D, u64) -> StepOutcome,
+    {
+        let mut iterations = 0;
+        let mut time = 0.0;
+        let mut reason = StopReason::MaxIterations;
+        while iterations < self.max_iterations {
+            let iteration = iterations;
+
+            let hook_watch = self.timers.timer_mut("hook").start();
+            hook.begin(iteration);
+            let elapsed = hook_watch.stop();
+            self.timers.timer_mut("hook").add(elapsed);
+
+            let step_watch = self.timers.timer_mut("step").start();
+            let outcome = step(domain, iteration);
+            let elapsed = step_watch.stop();
+            self.timers.timer_mut("step").add(elapsed);
+
+            let hook_watch = self.timers.timer_mut("hook").start();
+            let control = hook.end(iteration, domain, outcome);
+            let elapsed = hook_watch.stop();
+            self.timers.timer_mut("hook").add(elapsed);
+
+            iterations += 1;
+            time = outcome.time;
+
+            if control == StepControl::Stop {
+                reason = StopReason::HookRequested;
+                break;
+            }
+            if time >= self.end_time {
+                reason = StopReason::EndTime;
+                break;
+            }
+        }
+        RunSummary {
+            iterations,
+            final_time: time,
+            stop_reason: reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StopAfter {
+        limit: u64,
+        seen: u64,
+    }
+
+    impl StepHook<f64> for StopAfter {
+        fn end(&mut self, _iteration: u64, _domain: &f64, _outcome: StepOutcome) -> StepControl {
+            self.seen += 1;
+            if self.seen >= self.limit {
+                StepControl::Stop
+            } else {
+                StepControl::Continue
+            }
+        }
+    }
+
+    fn advance(state: &mut f64, _iter: u64) -> StepOutcome {
+        *state += 0.1;
+        StepOutcome {
+            time: *state,
+            dt: 0.1,
+        }
+    }
+
+    #[test]
+    fn stops_on_iteration_budget() {
+        let mut state = 0.0;
+        let mut hook = NullHook;
+        let mut driver = TimeLoop::new(5, 1e9);
+        let summary = driver.run(&mut state, &mut hook, advance);
+        assert_eq!(summary.iterations, 5);
+        assert_eq!(summary.stop_reason, StopReason::MaxIterations);
+    }
+
+    #[test]
+    fn stops_on_end_time() {
+        let mut state = 0.0;
+        let mut hook = NullHook;
+        let mut driver = TimeLoop::new(1000, 0.35);
+        let summary = driver.run(&mut state, &mut hook, advance);
+        assert_eq!(summary.stop_reason, StopReason::EndTime);
+        assert_eq!(summary.iterations, 4);
+        assert!(summary.final_time >= 0.35);
+    }
+
+    #[test]
+    fn hook_can_request_early_termination() {
+        let mut state = 0.0;
+        let mut hook = StopAfter { limit: 3, seen: 0 };
+        let mut driver = TimeLoop::new(1000, 1e9);
+        let summary = driver.run(&mut state, &mut hook, advance);
+        assert_eq!(summary.iterations, 3);
+        assert_eq!(summary.stop_reason, StopReason::HookRequested);
+    }
+
+    #[test]
+    fn timers_record_step_and_hook_phases() {
+        let mut state = 0.0;
+        let mut hook = NullHook;
+        let mut driver = TimeLoop::new(10, 1e9);
+        driver.run(&mut state, &mut hook, advance);
+        assert!(driver.timers().seconds_of("step") >= 0.0);
+        assert!(driver.timers().timer("hook").is_some());
+    }
+
+    #[test]
+    fn zero_iteration_budget_runs_nothing() {
+        let mut state = 0.0;
+        let mut hook = NullHook;
+        let mut driver = TimeLoop::new(0, 1.0);
+        let summary = driver.run(&mut state, &mut hook, advance);
+        assert_eq!(summary.iterations, 0);
+        assert_eq!(summary.final_time, 0.0);
+    }
+}

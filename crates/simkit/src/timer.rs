@@ -1,0 +1,231 @@
+//! Wall-clock timers and a named timer registry.
+//!
+//! The paper's overhead tables compare the execution time of the plain
+//! simulation against the simulation with in-situ feature extraction
+//! enabled. The [`TimerRegistry`] gives every phase of the run (main
+//! computation, data collection, model update, broadcast) its own
+//! accumulating [`Timer`] so both wall-clock measurements and modelled
+//! communication costs can be attributed.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// An accumulating timer that can also absorb *modelled* time (for the
+/// simulated communication cost model, which has no wall-clock footprint).
+///
+/// ```
+/// use simkit::timer::Timer;
+///
+/// let mut t = Timer::new();
+/// let guard = t.start();
+/// let elapsed = guard.stop();
+/// t.add(elapsed);
+/// t.add_modeled_seconds(0.5);
+/// assert!(t.total_seconds() >= 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timer {
+    accumulated: Duration,
+    modeled_seconds: f64,
+    samples: u64,
+}
+
+impl Timer {
+    /// Creates a timer with zero accumulated time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a measurement; call [`Stopwatch::stop`] to obtain the elapsed
+    /// duration and feed it back via [`Timer::add`].
+    pub fn start(&self) -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Adds a measured duration.
+    pub fn add(&mut self, elapsed: Duration) {
+        self.accumulated += elapsed;
+        self.samples += 1;
+    }
+
+    /// Adds modelled (synthetic) time in seconds, used by the communication
+    /// cost model in `parsim`.
+    pub fn add_modeled_seconds(&mut self, seconds: f64) {
+        self.modeled_seconds += seconds.max(0.0);
+        self.samples += 1;
+    }
+
+    /// Total time in seconds: wall clock plus modelled.
+    pub fn total_seconds(&self) -> f64 {
+        self.accumulated.as_secs_f64() + self.modeled_seconds
+    }
+
+    /// Wall-clock portion only, in seconds.
+    pub fn measured_seconds(&self) -> f64 {
+        self.accumulated.as_secs_f64()
+    }
+
+    /// Modelled portion only, in seconds.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.modeled_seconds
+    }
+
+    /// Number of measurements (wall clock or modelled) recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Resets the timer to zero.
+    pub fn reset(&mut self) {
+        *self = Timer::default();
+    }
+}
+
+/// An in-flight measurement started by [`Timer::start`].
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Ends the measurement and returns the elapsed duration.
+    pub fn stop(self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time so far without consuming the stopwatch.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// A collection of named timers.
+///
+/// ```
+/// use simkit::timer::TimerRegistry;
+///
+/// let mut reg = TimerRegistry::new();
+/// reg.timer_mut("main").add_modeled_seconds(2.0);
+/// reg.timer_mut("analysis").add_modeled_seconds(0.04);
+/// assert!((reg.total_seconds() - 2.04).abs() < 1e-12);
+/// assert!((reg.fraction_of_total("analysis") - 0.04 / 2.04).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimerRegistry {
+    timers: BTreeMap<String, Timer>,
+}
+
+impl TimerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the timer registered under `name`, creating it on first use.
+    pub fn timer_mut(&mut self, name: &str) -> &mut Timer {
+        self.timers.entry(name.to_string()).or_default()
+    }
+
+    /// Returns the timer registered under `name`, if it exists.
+    pub fn timer(&self, name: &str) -> Option<&Timer> {
+        self.timers.get(name)
+    }
+
+    /// Total seconds across all timers.
+    pub fn total_seconds(&self) -> f64 {
+        self.timers.values().map(Timer::total_seconds).sum()
+    }
+
+    /// Seconds accumulated by one timer (0 if it does not exist).
+    pub fn seconds_of(&self, name: &str) -> f64 {
+        self.timers.get(name).map_or(0.0, Timer::total_seconds)
+    }
+
+    /// Fraction (0..=1) of the registry total attributed to `name`.
+    pub fn fraction_of_total(&self, name: &str) -> f64 {
+        let total = self.total_seconds();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.seconds_of(name) / total
+        }
+    }
+
+    /// Iterates over `(name, seconds)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.timers
+            .iter()
+            .map(|(name, timer)| (name.as_str(), timer.total_seconds()))
+    }
+
+    /// Names of all registered timers.
+    pub fn names(&self) -> Vec<&str> {
+        self.timers.keys().map(String::as_str).collect()
+    }
+
+    /// Resets every timer to zero while keeping the names registered.
+    pub fn reset(&mut self) {
+        self.timers.values_mut().for_each(Timer::reset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_accumulates_measured_and_modeled_time() {
+        let mut t = Timer::new();
+        t.add(Duration::from_millis(10));
+        t.add_modeled_seconds(0.5);
+        assert!(t.total_seconds() >= 0.51 - 1e-9);
+        assert_eq!(t.samples(), 2);
+        t.reset();
+        assert_eq!(t.total_seconds(), 0.0);
+        assert_eq!(t.samples(), 0);
+    }
+
+    #[test]
+    fn negative_modeled_time_is_ignored() {
+        let mut t = Timer::new();
+        t.add_modeled_seconds(-5.0);
+        assert_eq!(t.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn stopwatch_measures_something_nonnegative() {
+        let t = Timer::new();
+        let guard = t.start();
+        let elapsed = guard.stop();
+        assert!(elapsed.as_secs_f64() >= 0.0);
+    }
+
+    #[test]
+    fn registry_creates_timers_on_demand() {
+        let mut reg = TimerRegistry::new();
+        reg.timer_mut("a").add_modeled_seconds(1.0);
+        reg.timer_mut("b").add_modeled_seconds(3.0);
+        assert_eq!(reg.total_seconds(), 4.0);
+        assert_eq!(reg.seconds_of("a"), 1.0);
+        assert_eq!(reg.seconds_of("missing"), 0.0);
+        assert_eq!(reg.fraction_of_total("b"), 0.75);
+        assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn registry_reset_keeps_names() {
+        let mut reg = TimerRegistry::new();
+        reg.timer_mut("main").add_modeled_seconds(2.0);
+        reg.reset();
+        assert_eq!(reg.total_seconds(), 0.0);
+        assert_eq!(reg.names(), vec!["main"]);
+    }
+
+    #[test]
+    fn empty_registry_fraction_is_zero() {
+        let reg = TimerRegistry::new();
+        assert_eq!(reg.fraction_of_total("anything"), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Calibration helper: prints the ignition time and the shape of the four
+//! diagnostic series for the default configuration.
+use wdmerger::{DiagnosticVariable, WdMergerConfig, WdMergerSim};
+
+fn main() {
+    for res in [16usize, 32, 48] {
+        let mut sim = WdMergerSim::new(WdMergerConfig::with_resolution(res));
+        let start = std::time::Instant::now();
+        sim.run_to_completion();
+        let diag = sim.diagnostics();
+        println!(
+            "res {res}: ignition {:?} wall {:.3}s",
+            diag.ground_truth_delay_time(),
+            start.elapsed().as_secs_f64()
+        );
+        if res == 32 {
+            for v in DiagnosticVariable::all() {
+                let s = diag.series(v);
+                let vals = s.values();
+                println!(
+                    "  {v}: start {:.3} @30 {:.3} @40 {:.3} end {:.3}",
+                    vals[0],
+                    vals[30],
+                    vals[40],
+                    vals[vals.len() - 1]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The wdmerger-proxy driver.
+
+use parsim::{ThreadPool, World};
+use simkit::timer::TimerRegistry;
+
+use crate::binary::{BinaryState, MergerPhase};
+use crate::config::WdMergerConfig;
+use crate::diagnostics::{DiagnosticVariable, WdDiagnostics};
+use crate::grid::DensityGrid;
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Diagnostic timesteps executed.
+    pub steps: u64,
+    /// Whether the detonation happened during the run.
+    pub detonated: bool,
+    /// Whether the run was stopped early by the per-iteration callback.
+    pub terminated_early: bool,
+    /// Wall-clock seconds spent in the run (main computation plus whatever
+    /// the callback did).
+    pub wall_seconds: f64,
+}
+
+/// The binary white-dwarf merger proxy application.
+#[derive(Debug)]
+pub struct WdMergerSim {
+    config: WdMergerConfig,
+    state: BinaryState,
+    grid: DensityGrid,
+    world: World,
+    pool: ThreadPool,
+    diagnostics: WdDiagnostics,
+    timers: TimerRegistry,
+    step: u64,
+}
+
+impl WdMergerSim {
+    /// Creates a simulation in its initial (detached inspiral) state.
+    pub fn new(config: WdMergerConfig) -> Self {
+        let state = BinaryState::initial(&config);
+        let grid = DensityGrid::new(config.resolution, config.initial_separation * 2.0);
+        let world = World::new(config.parallel);
+        let pool = ThreadPool::new(config.parallel);
+        Self {
+            config,
+            state,
+            grid,
+            world,
+            pool,
+            diagnostics: WdDiagnostics::new(),
+            timers: TimerRegistry::new(),
+            step: 0,
+        }
+    }
+
+    /// The configuration the simulation was created with.
+    pub fn config(&self) -> &WdMergerConfig {
+        &self.config
+    }
+
+    /// Diagnostic timesteps executed so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Whether the run has used its full step budget.
+    pub fn done(&self) -> bool {
+        self.step >= self.config.steps
+    }
+
+    /// The reduced-order binary state.
+    pub fn state(&self) -> &BinaryState {
+        &self.state
+    }
+
+    /// The deposited 3D grid.
+    pub fn grid(&self) -> &DensityGrid {
+        &self.grid
+    }
+
+    /// The simulated parallel world (communication accounting).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The recorded diagnostics.
+    pub fn diagnostics(&self) -> &WdDiagnostics {
+        &self.diagnostics
+    }
+
+    /// Per-phase timers (`"odes"`, `"grid"`).
+    pub fn timers(&self) -> &TimerRegistry {
+        &self.timers
+    }
+
+    /// Whether the detonation has been triggered.
+    pub fn detonated(&self) -> bool {
+        self.state.detonated()
+    }
+
+    /// Current merger phase.
+    pub fn phase(&self) -> MergerPhase {
+        self.state.phase
+    }
+
+    /// The current value of a diagnostic variable — the quantity handed to
+    /// the in-situ provider, addressed by the variable's location index
+    /// (see [`DiagnosticVariable::location`]). Unknown locations return 0.
+    pub fn diagnostic_at(&self, location: usize) -> f64 {
+        match DiagnosticVariable::from_location(location) {
+            Some(DiagnosticVariable::Temperature) => self.state.temperature,
+            Some(DiagnosticVariable::AngularMomentum) => self.state.angular_momentum(),
+            Some(DiagnosticVariable::Mass) => self.state.bound_mass(),
+            Some(DiagnosticVariable::Energy) => self.state.released_energy,
+            None => 0.0,
+        }
+    }
+
+    /// Advances the simulation by one diagnostic timestep.
+    pub fn step(&mut self) {
+        // Reduced-order dynamics.
+        let watch = self.timers.timer_mut("odes").start();
+        self.state.advance(&self.config);
+        let elapsed = watch.stop();
+        self.timers.timer_mut("odes").add(elapsed);
+
+        // Grid deposition across the 3D mesh (the resolution³ work term).
+        let watch = self.timers.timer_mut("grid").start();
+        self.grid.deposit(&self.state, &self.pool);
+        let elapsed = watch.stop();
+        self.timers.timer_mut("grid").add(elapsed);
+
+        // Global reductions the real code performs every step (total mass,
+        // momentum, energy across ranks) plus a halo exchange.
+        let per_rank = vec![self.state.bound_mass() / self.world.size() as f64; self.world.size()];
+        let _ = self.world.allreduce_sum(&per_rank);
+        let face_cells = self.config.resolution * self.config.resolution;
+        self.world
+            .halo_exchange(6, face_cells * std::mem::size_of::<f64>());
+
+        self.diagnostics.record(self.step, &self.state);
+        self.step += 1;
+    }
+
+    /// Runs until the step budget is exhausted or the callback returns
+    /// `false` (early termination). The callback is invoked after every
+    /// completed step.
+    pub fn run_with<F>(&mut self, mut callback: F) -> RunSummary
+    where
+        F: FnMut(&WdMergerSim, u64) -> bool,
+    {
+        let started = std::time::Instant::now();
+        let mut terminated_early = false;
+        while !self.done() {
+            self.step();
+            if !callback(self, self.step) {
+                terminated_early = true;
+                break;
+            }
+        }
+        RunSummary {
+            steps: self.step,
+            detonated: self.detonated(),
+            terminated_early,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs the plain simulation to completion.
+    pub fn run_to_completion(&mut self) -> RunSummary {
+        self.run_with(|_, _| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim::ParallelConfig;
+
+    fn small() -> WdMergerConfig {
+        WdMergerConfig::with_resolution(12)
+    }
+
+    #[test]
+    fn full_run_detonates_and_records_everything() {
+        let mut sim = WdMergerSim::new(small());
+        let summary = sim.run_to_completion();
+        assert_eq!(summary.steps, sim.config().steps);
+        assert!(summary.detonated);
+        assert!(!summary.terminated_early);
+        assert_eq!(sim.diagnostics().steps(), sim.config().steps);
+        assert!(sim.diagnostics().ground_truth_delay_time().is_some());
+    }
+
+    #[test]
+    fn callback_terminates_early() {
+        let mut sim = WdMergerSim::new(small());
+        let summary = sim.run_with(|_, step| step < 25);
+        assert!(summary.terminated_early);
+        assert_eq!(summary.steps, 25);
+        assert_eq!(sim.step_count(), 25);
+    }
+
+    #[test]
+    fn diagnostic_provider_matches_state() {
+        let mut sim = WdMergerSim::new(small());
+        for _ in 0..40 {
+            sim.step();
+        }
+        assert_eq!(sim.diagnostic_at(0), sim.state().temperature);
+        assert_eq!(sim.diagnostic_at(2), sim.state().bound_mass());
+        assert_eq!(sim.diagnostic_at(9), 0.0);
+    }
+
+    #[test]
+    fn timers_and_communication_are_recorded() {
+        let config = small().with_parallel(ParallelConfig::new(8, 2).unwrap());
+        let mut sim = WdMergerSim::new(config);
+        sim.run_with(|_, step| step < 10);
+        assert!(sim.timers().seconds_of("odes") > 0.0);
+        assert!(sim.timers().seconds_of("grid") > 0.0);
+        assert!(sim.world().communication_seconds() > 0.0);
+    }
+
+    #[test]
+    fn higher_resolution_costs_more_per_step() {
+        let mut coarse = WdMergerSim::new(WdMergerConfig::with_resolution(16));
+        let mut fine = WdMergerSim::new(WdMergerConfig::with_resolution(48));
+        let steps = 15;
+        let c = coarse.run_with(|_, step| step < steps);
+        let f = fine.run_with(|_, step| step < steps);
+        assert!(
+            f.wall_seconds > c.wall_seconds,
+            "resolution 48 should cost more than 16 ({} vs {})",
+            f.wall_seconds,
+            c.wall_seconds
+        );
+    }
+
+    #[test]
+    fn phase_progresses_through_the_merger_stages() {
+        let mut sim = WdMergerSim::new(small());
+        assert_eq!(sim.phase(), MergerPhase::Inspiral);
+        sim.run_to_completion();
+        assert!(matches!(
+            sim.phase(),
+            MergerPhase::Remnant | MergerPhase::Detonation
+        ));
+    }
+}

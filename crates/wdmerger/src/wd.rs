@@ -1,0 +1,105 @@
+//! White-dwarf structure relations.
+//!
+//! All quantities use solar units (masses in solar masses, lengths in solar
+//! radii) — the reduced-order model only needs ratios, so the unit system is
+//! chosen for readability.
+
+/// The Chandrasekhar mass limit in solar masses.
+pub fn chandrasekhar_mass() -> f64 {
+    1.44
+}
+
+/// Nauenberg's zero-temperature white-dwarf mass–radius relation, in solar
+/// radii. Radius shrinks as the mass approaches the Chandrasekhar limit.
+///
+/// ```
+/// use wdmerger::wd_radius;
+/// // A 0.6 solar-mass WD is roughly 0.012 solar radii.
+/// let r = wd_radius(0.6);
+/// assert!(r > 0.008 && r < 0.02);
+/// // More massive WDs are smaller.
+/// assert!(wd_radius(1.2) < wd_radius(0.6));
+/// ```
+pub fn wd_radius(mass_solar: f64) -> f64 {
+    let m = mass_solar.clamp(0.05, chandrasekhar_mass() - 1e-3);
+    let x = (m / chandrasekhar_mass()).powf(4.0 / 3.0);
+    0.0126 * m.powf(-1.0 / 3.0) * (1.0 - x).sqrt()
+}
+
+/// Eggleton's approximation of the Roche-lobe radius of the donor (mass
+/// `donor`) in a binary with companion mass `accretor` and separation
+/// `separation` (same length units as the result).
+///
+/// ```
+/// use wdmerger::roche_lobe_radius;
+/// let rl = roche_lobe_radius(0.6, 0.9, 0.05);
+/// assert!(rl > 0.0 && rl < 0.05);
+/// ```
+pub fn roche_lobe_radius(donor: f64, accretor: f64, separation: f64) -> f64 {
+    let q = (donor / accretor).max(1e-6);
+    let q13 = q.powf(1.0 / 3.0);
+    let q23 = q13 * q13;
+    separation * 0.49 * q23 / (0.6 * q23 + (1.0 + q13).ln())
+}
+
+/// Orbital angular momentum of a point-mass binary, `μ √(G M a)`, in units
+/// where `G = 1` (solar masses, solar radii, and the matching time unit).
+pub fn orbital_angular_momentum(m1: f64, m2: f64, separation: f64) -> f64 {
+    let total = m1 + m2;
+    let reduced = m1 * m2 / total;
+    reduced * (total * separation.max(0.0)).sqrt()
+}
+
+/// Gravitational binding energy scale of the binary, `−G m1 m2 / (2a)`, in
+/// the same `G = 1` units.
+pub fn orbital_energy(m1: f64, m2: f64, separation: f64) -> f64 {
+    -m1 * m2 / (2.0 * separation.max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_decreases_with_mass_and_stays_positive() {
+        let masses = [0.3, 0.6, 0.9, 1.2, 1.35];
+        for w in masses.windows(2) {
+            assert!(wd_radius(w[0]) > wd_radius(w[1]));
+        }
+        assert!(wd_radius(1.43) > 0.0);
+        // Clamping keeps even unphysical inputs finite.
+        assert!(wd_radius(2.0).is_finite());
+        assert!(wd_radius(0.0).is_finite());
+    }
+
+    #[test]
+    fn roche_lobe_scales_linearly_with_separation() {
+        let a = roche_lobe_radius(0.6, 0.9, 0.05);
+        let b = roche_lobe_radius(0.6, 0.9, 0.10);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roche_lobe_grows_with_mass_ratio() {
+        // A relatively heavier donor has a larger Roche lobe.
+        let light = roche_lobe_radius(0.3, 0.9, 0.05);
+        let heavy = roche_lobe_radius(0.9, 0.9, 0.05);
+        assert!(heavy > light);
+    }
+
+    #[test]
+    fn angular_momentum_and_energy_behave() {
+        let j_close = orbital_angular_momentum(0.9, 0.6, 0.02);
+        let j_far = orbital_angular_momentum(0.9, 0.6, 0.08);
+        assert!(j_far > j_close);
+        let e_close = orbital_energy(0.9, 0.6, 0.02);
+        let e_far = orbital_energy(0.9, 0.6, 0.08);
+        assert!(e_close < e_far, "tighter binaries are more bound");
+        assert!(e_close < 0.0);
+    }
+
+    #[test]
+    fn chandrasekhar_limit_value() {
+        assert!((chandrasekhar_mass() - 1.44).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Early termination: how much of the simulation can be skipped once the
+//! auto-regressive model is accurate enough, across a sweep of velocity
+//! thresholds (the behaviour behind the paper's Table IV).
+//!
+//! Run with `cargo run --release --example early_termination`.
+
+use insitu_repro::prelude::*;
+
+fn run_until_answered(size: usize, full_iterations: u64, threshold: f64) -> (u64, Option<f64>) {
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region: Region<LuleshSim> = Region::new("lulesh");
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|sim: &LuleshSim, loc: usize| sim.velocity_at(loc))
+        .spatial(IterParam::new(1, 10, 1).expect("valid range"))
+        .temporal(
+            IterParam::new(1, (full_iterations as f64 * 0.4) as u64, 1).expect("valid range"),
+        )
+        .feature(FeatureKind::Breakpoint { threshold })
+        .lag(5)
+        .exit(ExitAction::TerminateSimulation)
+        .build()
+        .expect("complete spec");
+    region.add_analysis(spec);
+
+    let summary = sim.run_with(|sim_ref, iteration| {
+        region.begin(iteration);
+        let status = region.end(iteration, sim_ref);
+        // Stop as soon as the analysis is done *and* the observed data
+        // already answers the threshold query.
+        let initial = sim_ref.initial_blast_velocity();
+        let answered = initial > 0.0
+            && sim_ref
+                .diagnostics()
+                .peak_profile()
+                .iter()
+                .any(|(loc, peak)| {
+                    (*loc as f64) + 1.0 < sim_ref.state().shock_front_radius()
+                        && *peak < threshold * initial
+                });
+        !(status.should_terminate || (answered && status.batches_trained >= 5))
+    });
+    region.extract_now();
+    let radius = region.status().feature("velocity").map(|f| f.scalar());
+    (summary.iterations, radius)
+}
+
+fn main() {
+    let size = 30;
+    let mut full = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let full_summary = full.run_to_completion();
+    println!(
+        "full simulation: {} iterations (domain size {size})",
+        full_summary.iterations
+    );
+    println!();
+    println!("threshold(%)  iterations  % of full  extracted radius");
+    for threshold_percent in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
+        let (iterations, radius) = run_until_answered(
+            size,
+            full_summary.iterations,
+            threshold_percent / 100.0,
+        );
+        println!(
+            "{threshold_percent:>11.1}  {iterations:>10}  {:>8.1}%  {:>16}",
+            iterations as f64 / full_summary.iterations as f64 * 100.0,
+            radius.map(|r| format!("{r:.0}")).unwrap_or_else(|| "-".into())
+        );
+    }
+}

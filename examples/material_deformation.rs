@@ -1,0 +1,65 @@
+//! Case study 1 end-to-end: material deformation analysis on the LULESH
+//! Sedov-blast proxy, mirroring the integration in the paper's Fig. 2 —
+//! velocity curve fitting over the inner locations, threshold-based
+//! break-point extraction, and a comparison against the full-simulation
+//! ground truth.
+//!
+//! Run with `cargo run --release --example material_deformation`.
+
+use insitu_repro::prelude::*;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let size = 30;
+    let threshold = 0.05; // 5 % of the initial blast velocity
+
+    // Ground truth: the full simulation.
+    let mut full = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let full_summary = full.run_to_completion();
+    let truth_radius = full.diagnostics().breakpoint_radius(threshold);
+    println!(
+        "full simulation: {} iterations, break-point radius at {:.0}% threshold = {}",
+        full_summary.iterations,
+        threshold * 100.0,
+        truth_radius
+    );
+
+    // In-situ run: attach the analysis and let it terminate the simulation
+    // once the model has converged and the threshold query is answered.
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region: Region<LuleshSim> = Region::new("lulesh");
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|sim: &LuleshSim, loc: usize| sim.velocity_at(loc))
+        .spatial(IterParam::new(1, 10, 1)?)
+        .temporal(IterParam::new(1, (full_summary.iterations as f64 * 0.4) as u64, 1)?)
+        .method(AnalysisMethod::CurveFitting)
+        .feature(FeatureKind::Breakpoint { threshold })
+        .lag(5)
+        .exit(ExitAction::TerminateSimulation)
+        .build()?;
+    region.add_analysis(spec);
+
+    let summary = sim.run_with(|sim_ref, iteration| {
+        region.begin(iteration);
+        let status = region.end(iteration, sim_ref);
+        !status.should_terminate
+    });
+    region.extract_now();
+
+    println!(
+        "in-situ run: {} iterations ({:.1}% of the full run), terminated early: {}",
+        summary.iterations,
+        summary.iterations as f64 / full_summary.iterations as f64 * 100.0,
+        summary.terminated_early
+    );
+    if let Some(feature) = region.status().feature("velocity") {
+        println!("extracted break-point radius = {:.0}", feature.scalar());
+        println!("ground-truth radius          = {truth_radius}");
+    }
+    println!(
+        "samples collected: {}, mini-batches trained: {}",
+        region.status().samples_collected,
+        region.status().batches_trained
+    );
+    Ok(())
+}

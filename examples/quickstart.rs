@@ -1,0 +1,72 @@
+//! Quickstart: attach the real-time auto-regression analysis to a toy
+//! iterative simulation in ~30 lines, using the paper's `td_*` API names.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use insitu_repro::prelude::*;
+
+/// A toy "simulation": an outward-travelling, decaying pulse sampled at 32
+/// locations. Any iterative code with a per-iteration state works the same
+/// way.
+struct ToyDomain {
+    velocity: Vec<f64>,
+}
+
+impl ToyDomain {
+    fn advance(&mut self, iteration: u64) {
+        let front = iteration as f64 * 0.2;
+        for (loc, v) in self.velocity.iter_mut().enumerate() {
+            let x = loc as f64;
+            *v = 8.0 / (1.0 + x) * (-((x - front) * (x - front)) / 6.0).exp();
+        }
+    }
+}
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    // 1. Initialize the region and the sampling characteristics
+    //    (td_region_init / td_iter_param_init in the paper).
+    let mut region = td_region_init::<ToyDomain>("quickstart");
+    let locations = td_iter_param_init(1, 12, 1)?;
+    let iterations = td_iter_param_init(0, 400, 1)?;
+
+    // 2. Describe the analysis: which variable, where, how to model it and
+    //    which feature to extract (td_region_add_analysis).
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|d: &ToyDomain, loc: usize| d.velocity.get(loc).copied().unwrap_or(0.0))
+        .spatial(locations)
+        .temporal(iterations)
+        .method(AnalysisMethod::CurveFitting)
+        .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+        .lag(5)
+        .exit(ExitAction::TerminateSimulation)
+        .build()?;
+    td_region_add_analysis(&mut region, spec);
+
+    // 3. Wrap the main computation with td_region_begin / td_region_end.
+    let mut domain = ToyDomain {
+        velocity: vec![0.0; 32],
+    };
+    let mut executed = 0;
+    for iteration in 0..400u64 {
+        td_region_begin(&mut region, iteration);
+        domain.advance(iteration); // the "main computation"
+        let status = td_region_end(&mut region, iteration, &domain);
+        executed = iteration + 1;
+        if status.should_terminate {
+            println!("early termination requested at iteration {iteration}");
+            break;
+        }
+    }
+
+    // 4. Inspect what the analysis learned.
+    region.extract_now();
+    let status = region.status();
+    println!("iterations executed : {executed}");
+    println!("samples collected   : {}", status.samples_collected);
+    println!("mini-batches trained: {}", status.batches_trained);
+    if let Some((name, feature)) = status.features.first() {
+        println!("extracted feature   : {name} = {:.2}", feature.scalar());
+    }
+    Ok(())
+}

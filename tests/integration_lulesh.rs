@@ -1,0 +1,168 @@
+//! Integration tests spanning the `insitu` library and the LULESH proxy:
+//! the full material-deformation pipeline of the paper's first case study.
+
+use insitu_repro::prelude::*;
+
+fn small_size() -> usize {
+    14
+}
+
+fn full_run(size: usize) -> LuleshSim {
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    sim.run_to_completion();
+    sim
+}
+
+#[test]
+fn instrumented_run_matches_plain_run_physics() {
+    // Attaching the analysis must not change the simulated physics at all.
+    let size = small_size();
+    let plain = full_run(size);
+
+    let mut instrumented = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region: Region<LuleshSim> = Region::new("check");
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|s: &LuleshSim, loc: usize| s.velocity_at(loc))
+        .spatial(IterParam::new(1, 8, 1).unwrap())
+        .temporal(IterParam::new(1, 10_000, 1).unwrap())
+        .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+        .lag(5)
+        .build()
+        .unwrap();
+    region.add_analysis(spec);
+    instrumented.run_with(|s, it| {
+        region.begin(it);
+        region.end(it, s);
+        true
+    });
+
+    assert_eq!(plain.iteration(), instrumented.iteration());
+    for loc in 0..size {
+        let a = plain.state().velocity_at(loc);
+        let b = instrumented.state().velocity_at(loc);
+        assert!(
+            (a - b).abs() < 1e-12,
+            "velocity at {loc} differs: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn region_collects_exactly_the_configured_samples() {
+    let size = small_size();
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region: Region<LuleshSim> = Region::new("count");
+    let spatial = IterParam::new(1, 6, 1).unwrap();
+    let temporal = IterParam::new(10, 60, 5).unwrap();
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|s: &LuleshSim, loc: usize| s.velocity_at(loc))
+        .spatial(spatial)
+        .temporal(temporal)
+        .feature(FeatureKind::Outliers { threshold: 1.0 })
+        .build()
+        .unwrap();
+    region.add_analysis(spec);
+    sim.run_with(|s, it| {
+        region.begin(it);
+        region.end(it, s);
+        it < 100
+    });
+    // Every sampled iteration contributes one sample per sampled location.
+    assert_eq!(
+        region.status().samples_collected,
+        spatial.len() * temporal.len()
+    );
+    let history = region.history(0).unwrap();
+    assert_eq!(history.locations().len(), spatial.len());
+}
+
+#[test]
+fn breakpoint_feature_agrees_with_ground_truth_for_coarse_thresholds() {
+    let size = small_size();
+    let full = full_run(size);
+    let truth = full.diagnostics().breakpoint_radius(0.20);
+
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region: Region<LuleshSim> = Region::new("bp");
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|s: &LuleshSim, loc: usize| s.velocity_at(loc))
+        .spatial(IterParam::new(1, (size - 2) as u64, 1).unwrap())
+        .temporal(IterParam::new(1, 10_000, 1).unwrap())
+        .feature(FeatureKind::Breakpoint { threshold: 0.20 })
+        .lag(5)
+        .build()
+        .unwrap();
+    region.add_analysis(spec);
+    sim.run_with(|s, it| {
+        region.begin(it);
+        region.end(it, s);
+        true
+    });
+    region.extract_now();
+    let extracted = region
+        .status()
+        .feature("velocity")
+        .map(|f| f.scalar())
+        .expect("breakpoint feature extracted");
+    assert!(
+        (extracted - truth as f64).abs() <= 2.0,
+        "extracted {extracted} vs ground truth {truth}"
+    );
+}
+
+#[test]
+fn early_termination_executes_fewer_iterations_than_full_run() {
+    let size = small_size();
+    let full = full_run(size);
+    let full_iterations = full.iteration();
+
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region: Region<LuleshSim> = Region::new("early");
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|s: &LuleshSim, loc: usize| s.velocity_at(loc))
+        .spatial(IterParam::new(1, 8, 1).unwrap())
+        .temporal(IterParam::new(1, (full_iterations as f64 * 0.4) as u64, 1).unwrap())
+        .feature(FeatureKind::Breakpoint { threshold: 0.1 })
+        .lag(5)
+        .exit(ExitAction::TerminateSimulation)
+        .build()
+        .unwrap();
+    region.add_analysis(spec);
+    let summary = sim.run_with(|s, it| {
+        region.begin(it);
+        !region.end(it, s).should_terminate
+    });
+    assert!(summary.terminated_early);
+    assert!(summary.iterations < full_iterations);
+    // The paper's Table IV regime: early termination lands well below the
+    // full iteration budget (≈ 40 % collection window plus convergence).
+    assert!(summary.iterations as f64 <= full_iterations as f64 * 0.6);
+}
+
+#[test]
+fn td_compat_layer_drives_the_same_pipeline() {
+    let size = small_size();
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region = td_region_init::<LuleshSim>("compat");
+    let loc = td_iter_param_init(1, 8, 1).unwrap();
+    let iters = td_iter_param_init(1, 200, 1).unwrap();
+    let spec = AnalysisSpec::builder()
+        .provider(|s: &LuleshSim, l: usize| s.velocity_at(l))
+        .spatial(loc)
+        .temporal(iters)
+        .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+        .build()
+        .unwrap();
+    td_region_add_analysis(&mut region, spec);
+    sim.run_with(|s, it| {
+        td_region_begin(&mut region, it);
+        let status = td_region_end(&mut region, it, s);
+        !status.should_terminate
+    });
+    assert!(region.status().samples_collected > 0);
+    assert!(region.status().batches_trained > 0);
+}

@@ -1,0 +1,132 @@
+//! Integration tests spanning the `insitu` library and the wdmerger proxy:
+//! the delay-time pipeline of the paper's second case study.
+
+use insitu::collect::PredictorLayout;
+use insitu_repro::prelude::*;
+
+fn region_for(config: &WdMergerConfig) -> Region<WdMergerSim> {
+    let mut region: Region<WdMergerSim> = Region::new("wdmerger");
+    for variable in DiagnosticVariable::all() {
+        let spec = AnalysisSpec::builder()
+            .name(variable.name())
+            .provider(move |sim: &WdMergerSim, loc: usize| sim.diagnostic_at(loc))
+            .spatial(IterParam::single(variable.location() as u64))
+            .temporal(IterParam::new(1, config.steps, 1).unwrap())
+            .layout(PredictorLayout::Temporal)
+            .feature(FeatureKind::DelayTime)
+            .lag(1)
+            .batch_capacity(8)
+            .build()
+            .unwrap();
+        region.add_analysis(spec);
+    }
+    region
+}
+
+#[test]
+fn delay_time_features_cluster_around_the_ignition_time() {
+    let config = WdMergerConfig::with_resolution(12);
+    let mut sim = WdMergerSim::new(config);
+    let mut region = region_for(&config);
+    sim.run_with(|s, step| {
+        region.begin(step);
+        region.end(step, s);
+        true
+    });
+    region.extract_now();
+
+    let truth = sim.diagnostics().ground_truth_delay_time().unwrap();
+    let mut extracted = 0;
+    for variable in DiagnosticVariable::all() {
+        if let Some(feature) = region.status().feature(variable.name()) {
+            let delay = feature.scalar();
+            assert!(
+                (delay - truth).abs() <= 8.0,
+                "{}: delay {delay} too far from ignition {truth}",
+                variable.name()
+            );
+            extracted += 1;
+        }
+    }
+    assert!(extracted >= 3, "expected most variables to yield a delay time");
+}
+
+#[test]
+fn instrumented_wd_run_preserves_the_physics() {
+    let config = WdMergerConfig::with_resolution(12);
+    let mut plain = WdMergerSim::new(config);
+    plain.run_to_completion();
+
+    let mut instrumented = WdMergerSim::new(config);
+    let mut region = region_for(&config);
+    instrumented.run_with(|s, step| {
+        region.begin(step);
+        region.end(step, s);
+        true
+    });
+
+    let a = plain.diagnostics();
+    let b = instrumented.diagnostics();
+    assert_eq!(a.steps(), b.steps());
+    assert_eq!(
+        a.ground_truth_delay_time(),
+        b.ground_truth_delay_time(),
+        "analysis must not perturb the detonation time"
+    );
+    for variable in DiagnosticVariable::all() {
+        let last_a = a.latest(variable).unwrap();
+        let last_b = b.latest(variable).unwrap();
+        assert!((last_a - last_b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn four_analyses_collect_independent_series() {
+    let config = WdMergerConfig::with_resolution(12).with_steps(40);
+    let mut sim = WdMergerSim::new(config);
+    let mut region = region_for(&config);
+    sim.run_with(|s, step| {
+        region.begin(step);
+        region.end(step, s);
+        true
+    });
+    for index in 0..4 {
+        let history = region.history(index).unwrap();
+        assert_eq!(history.locations().len(), 1);
+        let series = history.series_of(history.locations()[0]).unwrap();
+        assert_eq!(series.len(), 40, "one sample per analysed step");
+    }
+    // Mass and temperature series must differ (they are different variables).
+    let mass = region.history(2).unwrap();
+    let temp = region.history(0).unwrap();
+    let mass_last = mass.latest_of(mass.locations()[0]).unwrap();
+    let temp_last = temp.latest_of(temp.locations()[0]).unwrap();
+    assert_ne!(mass_last, temp_last);
+}
+
+#[test]
+fn early_termination_after_detonation_saves_steps() {
+    let config = WdMergerConfig::with_resolution(12);
+    let mut sim = WdMergerSim::new(config);
+    let mut region: Region<WdMergerSim> = Region::new("early");
+    let spec = AnalysisSpec::builder()
+        .name("temperature")
+        .provider(|s: &WdMergerSim, loc: usize| s.diagnostic_at(loc))
+        .spatial(IterParam::single(0))
+        .temporal(IterParam::new(1, config.steps / 2, 1).unwrap())
+        .layout(PredictorLayout::Temporal)
+        .feature(FeatureKind::DelayTime)
+        .lag(1)
+        .batch_capacity(8)
+        .exit(ExitAction::TerminateSimulation)
+        .build()
+        .unwrap();
+    region.add_analysis(spec);
+    let summary = sim.run_with(|s, step| {
+        region.begin(step);
+        let status = region.end(step, s);
+        !(status.should_terminate && s.detonated())
+    });
+    assert!(summary.detonated);
+    assert!(summary.steps < config.steps);
+}

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the analysis library and its substrates.
+
+use insitu::collect::{BatchRow, MiniBatch, Sample, SampleHistory};
+use insitu::model::{metrics, IncrementalTrainer, OnlineScaler, TrainerConfig};
+use insitu::tracking::{find_local_extrema, moving_average, PeakDetector};
+use insitu::IterParam;
+use proptest::prelude::*;
+use simkit::decomposition::BlockDecomposition;
+use simkit::index::Extents;
+use simkit::stats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- IterParam -------------------------------------------------------
+
+    #[test]
+    fn iter_param_len_matches_enumeration(begin in 0u64..500, span in 0u64..500, step in 1u64..50) {
+        let param = IterParam::new(begin, begin + span, step).unwrap();
+        let enumerated: Vec<u64> = param.iter().collect();
+        prop_assert_eq!(enumerated.len(), param.len());
+        for value in &enumerated {
+            prop_assert!(param.contains(*value));
+        }
+        // index_of and nth are inverse on every enumerated value.
+        for (idx, value) in enumerated.iter().enumerate() {
+            prop_assert_eq!(param.index_of(*value), Some(idx));
+            prop_assert_eq!(param.nth(idx), Some(*value));
+        }
+    }
+
+    #[test]
+    fn iter_param_truncation_never_grows(begin in 0u64..100, span in 0u64..400, step in 1u64..20, frac in 0.0f64..1.5) {
+        let param = IterParam::new(begin, begin + span, step).unwrap();
+        let truncated = param.truncate_fraction(frac);
+        prop_assert!(truncated.len() <= param.len());
+        prop_assert!(truncated.len() >= 1);
+        prop_assert_eq!(truncated.begin(), param.begin());
+    }
+
+    // ---- online scaler ----------------------------------------------------
+
+    #[test]
+    fn scaler_round_trips_and_matches_batch_moments(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut scaler = OnlineScaler::new();
+        scaler.update_all(&values);
+        // Round trip.
+        for v in &values {
+            let z = scaler.transform(*v);
+            prop_assert!((scaler.inverse(z) - v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+        // Matches batch statistics.
+        prop_assert!((scaler.mean() - stats::mean(&values)).abs() < 1e-6 * (1.0 + scaler.mean().abs()));
+    }
+
+    // ---- sample history ----------------------------------------------------
+
+    #[test]
+    fn history_preserves_every_recorded_sample(
+        samples in prop::collection::vec((0u64..200, 0usize..16, -1e3f64..1e3), 1..200)
+    ) {
+        let mut history = SampleHistory::new();
+        let mut expected: std::collections::BTreeMap<(usize, u64), f64> = Default::default();
+        // Record in iteration order per location, as a simulation would.
+        let mut ordered = samples.clone();
+        ordered.sort_by_key(|(it, loc, _)| (*loc, *it));
+        for (iteration, location, value) in ordered {
+            history.record(Sample::new(iteration, location, value));
+            expected.insert((location, iteration), value);
+        }
+        for ((location, iteration), value) in &expected {
+            prop_assert_eq!(history.value_at(*location, *iteration), Some(*value));
+        }
+        prop_assert_eq!(history.len(), expected.len());
+    }
+
+    // ---- mini batch ---------------------------------------------------------
+
+    #[test]
+    fn minibatch_fills_and_drains_exactly(capacity in 1usize..32, extra in 0usize..32) {
+        let mut batch = MiniBatch::with_capacity(capacity);
+        let total = capacity + extra;
+        let mut drained = 0;
+        for i in 0..total {
+            batch.push(BatchRow::new(vec![i as f64], i as f64)).unwrap();
+            if batch.is_full() {
+                drained += batch.drain().len();
+                prop_assert!(batch.is_empty());
+            }
+        }
+        prop_assert_eq!(drained + batch.len(), total);
+        prop_assert!(batch.len() < capacity);
+    }
+
+    // ---- metrics -------------------------------------------------------------
+
+    #[test]
+    fn error_rate_is_zero_iff_perfect_and_scale_invariant(
+        values in prop::collection::vec(0.1f64..1e3, 4..100),
+        scale in 0.001f64..1e3
+    ) {
+        prop_assert!(metrics::error_rate_percent(&values, &values) < 1e-9);
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let shifted: Vec<f64> = values.iter().map(|v| v * 1.07).collect();
+        let shifted_scaled: Vec<f64> = scaled.iter().map(|v| v * 1.07).collect();
+        let a = metrics::error_rate_percent(&shifted, &values);
+        let b = metrics::error_rate_percent(&shifted_scaled, &scaled);
+        prop_assert!((a - b).abs() < 1e-6, "scale invariance violated: {a} vs {b}");
+        // A uniform +7% deviation reports at most 7% error (values that fall
+        // below the near-zero floor contribute less, never more).
+        prop_assert!(a > 0.0 && a <= 7.0 + 1e-6);
+    }
+
+    #[test]
+    fn accuracy_is_bounded(predicted in prop::collection::vec(-1e3f64..1e3, 1..50),
+                           actual in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let n = predicted.len().min(actual.len());
+        let acc = metrics::accuracy_percent(&predicted[..n], &actual[..n]);
+        prop_assert!((0.0..=100.0).contains(&acc));
+    }
+
+    // ---- tracking -------------------------------------------------------------
+
+    #[test]
+    fn streaming_and_batch_peak_detection_agree(values in prop::collection::vec(-100f64..100.0, 4..200)) {
+        let batch = find_local_extrema(&values);
+        let mut detector = PeakDetector::new();
+        let mut streamed = Vec::new();
+        for &v in &values {
+            if let Some(p) = detector.push(v) {
+                streamed.push(p);
+            }
+        }
+        prop_assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert!((a.value - b.value).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_preserves_length_and_bounds(values in prop::collection::vec(-1e3f64..1e3, 1..200), half in 0usize..10) {
+        let smooth = moving_average(&values, half);
+        prop_assert_eq!(smooth.len(), values.len());
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in smooth {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    // ---- trainer ----------------------------------------------------------------
+
+    #[test]
+    fn trainer_loss_is_finite_on_arbitrary_bounded_batches(
+        targets in prop::collection::vec(-1e4f64..1e4, 8..64)
+    ) {
+        let mut trainer = IncrementalTrainer::new(TrainerConfig::default()).unwrap();
+        let rows: Vec<BatchRow> = targets
+            .windows(4)
+            .map(|w| BatchRow::new(vec![w[2], w[1], w[0]], w[3]))
+            .collect();
+        for chunk in rows.chunks(16) {
+            let loss = trainer.train_batch(chunk).unwrap();
+            prop_assert!(loss.is_finite());
+            prop_assert!(loss >= 0.0);
+        }
+        // Coefficients stay finite thanks to gradient clipping.
+        for c in trainer.model().coefficients() {
+            prop_assert!(c.is_finite());
+        }
+    }
+
+    // ---- decomposition ------------------------------------------------------------
+
+    #[test]
+    fn decomposition_partitions_all_elements(edge in 2usize..12, ranks in 1usize..9) {
+        let extents = Extents::cubic(edge);
+        prop_assume!(ranks <= extents.len());
+        let dec = BlockDecomposition::new(extents, ranks).unwrap();
+        let mut counts = vec![0usize; ranks];
+        for e in 0..extents.len() {
+            counts[dec.owner_of(e).unwrap()] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), extents.len());
+        prop_assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    // ---- simkit stats ----------------------------------------------------------------
+
+    #[test]
+    fn normalization_outputs_stay_in_unit_interval(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        for v in stats::min_max_normalize(&values) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let z = stats::z_score_normalize(&values);
+        prop_assert_eq!(z.len(), values.len());
+    }
+}
