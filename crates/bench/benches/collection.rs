@@ -1,9 +1,11 @@
 //! Criterion bench: cost of the per-iteration data-collection helper
 //! (sampling the provider over the spatial characteristic and assembling
-//! mini-batch rows).
+//! mini-batch rows), including the scalar-vs-batch provider comparison for
+//! the `VarProvider::fill` fast path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use insitu::collect::{Collector, PredictorLayout};
+use insitu::provider::SliceProvider;
 use insitu::IterParam;
 
 fn collector(locations: u64) -> Collector {
@@ -39,5 +41,44 @@ fn bench_collection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_collection);
+/// Scalar vs batch sampling: the same collection workload driven through a
+/// per-location closure provider (the default `fill` falls back to one
+/// dynamically-dispatched `value` call per location) and through
+/// [`SliceProvider`], whose overridden `fill` gathers the whole spatial
+/// characteristic from contiguous storage in one call.
+fn bench_scalar_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection_provider");
+    group.sample_size(30);
+    let domain: Vec<f64> = (0..256).map(|i| (i as f64 * 0.2).cos()).collect();
+    let scalar = |d: &Vec<f64>, loc: usize| d.get(loc).copied().unwrap_or(0.0);
+    for &locations in &[10u64, 60, 200] {
+        group.bench_function(format!("scalar_{locations}_locations"), |b| {
+            b.iter_batched(
+                || collector(locations),
+                |mut col| {
+                    for iteration in 0..50u64 {
+                        col.observe(iteration, &domain, &scalar);
+                    }
+                    col
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("batch_fill_{locations}_locations"), |b| {
+            b.iter_batched(
+                || collector(locations),
+                |mut col| {
+                    for iteration in 0..50u64 {
+                        col.observe(iteration, &domain, &SliceProvider);
+                    }
+                    col
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collection, bench_scalar_vs_batch);
 criterion_main!(benches);

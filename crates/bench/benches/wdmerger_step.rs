@@ -9,9 +9,8 @@ fn bench_wdmerger_step(c: &mut Criterion) {
     group.sample_size(10);
     for &resolution in &[16usize, 32, 48] {
         group.bench_function(format!("step_resolution_{resolution}"), |b| {
-            let mut sim = WdMergerSim::new(
-                WdMergerConfig::with_resolution(resolution).with_steps(1_000_000),
-            );
+            let mut sim =
+                WdMergerSim::new(WdMergerConfig::with_resolution(resolution).with_steps(1_000_000));
             for _ in 0..5 {
                 sim.step();
             }

@@ -5,7 +5,11 @@ use bench::ablation::lag_order_sweep;
 use bench::table::{fmt_pct, TextTable};
 
 fn main() {
-    let size = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 30 };
+    let size = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        30
+    };
     let rows = lag_order_sweep(size, 8.min(size / 2), &[1, 2, 3, 5], &[1, 10, 25, 50, 100]);
     let mut table = TextTable::new(vec!["configuration", "error rate", "batches"]);
     for row in &rows {

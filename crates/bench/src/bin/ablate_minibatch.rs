@@ -4,7 +4,11 @@ use bench::ablation::minibatch_sweep;
 use bench::table::{fmt_pct, TextTable};
 
 fn main() {
-    let size = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 30 };
+    let size = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        30
+    };
     let rows = minibatch_sweep(size, 8.min(size / 2), &[4, 8, 16, 32, 64]);
     let mut table = TextTable::new(vec!["configuration", "error rate", "batches"]);
     for row in &rows {

@@ -5,7 +5,11 @@ use bench::ablation::optimizer_sweep;
 use bench::table::{fmt_pct, TextTable};
 
 fn main() {
-    let size = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 30 };
+    let size = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        30
+    };
     let rows = optimizer_sweep(size, 8.min(size / 2));
     let mut table = TextTable::new(vec!["optimizer", "error rate", "batches"]);
     for row in &rows {

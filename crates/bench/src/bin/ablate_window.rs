@@ -5,7 +5,11 @@ use bench::ablation::window_sweep;
 use bench::table::{fmt_pct, TextTable};
 
 fn main() {
-    let size = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 30 };
+    let size = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        30
+    };
     let third = size / 3;
     let windows = [
         (1, third),

@@ -5,9 +5,17 @@ use bench::lulesh_exp::lag_sweep;
 use bench::table::{fmt_pct, TextTable};
 
 fn main() {
-    let size = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 30 };
+    let size = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        30
+    };
     let location = 10.min(size / 2);
-    let lags: Vec<usize> = if size >= 30 { vec![50, 100] } else { vec![10, 20] };
+    let lags: Vec<usize> = if size >= 30 {
+        vec![50, 100]
+    } else {
+        vec![10, 20]
+    };
     let rows = lag_sweep(size, location, &lags);
     let mut table = TextTable::new(vec!["lag", "40% iters", "60% iters", "80% iters"]);
     for &lag in &lags {
@@ -19,8 +27,6 @@ fn main() {
         };
         table.add_row(vec![lag.to_string(), cell(0.4), cell(0.6), cell(0.8)]);
     }
-    println!(
-        "Figure 4 — curve-fitting error at location {location} vs lag, domain size {size}"
-    );
+    println!("Figure 4 — curve-fitting error at location {location} vs lag, domain size {size}");
     println!("{table}");
 }

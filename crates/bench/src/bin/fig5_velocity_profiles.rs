@@ -7,11 +7,20 @@ use bench::lulesh_exp::velocity_profiles;
 use bench::table::{fmt_f, TextTable};
 
 fn main() {
-    let size = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 30 };
+    let size = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        30
+    };
     let locations: Vec<usize> = (1..=10.min(size)).collect();
     let profiles = velocity_profiles(size, &locations);
     println!("Figure 5 — velocity over timesteps at locations 1..=10, domain size {size}");
-    let mut table = TextTable::new(vec!["location", "samples", "peak velocity", "final velocity"]);
+    let mut table = TextTable::new(vec![
+        "location",
+        "samples",
+        "peak velocity",
+        "final velocity",
+    ]);
     for (loc, pairs) in &profiles {
         let peak = pairs.iter().map(|(_, v)| v.abs()).fold(0.0_f64, f64::max);
         let last = pairs.last().map(|(_, v)| *v).unwrap_or(0.0);

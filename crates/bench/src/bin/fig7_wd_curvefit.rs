@@ -5,7 +5,11 @@ use bench::table::{fmt_f, fmt_pct, TextTable};
 use bench::wd_exp::curve_fit_series;
 
 fn main() {
-    let resolution = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 32 };
+    let resolution = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        32
+    };
     let series = curve_fit_series(resolution, 0.25);
     println!("Figure 7 — curve-fitting (pred vs real) at 25% training, resolution {resolution}");
     let mut table = TextTable::new(vec!["diagnostic var.", "points", "error rate", "accuracy"]);

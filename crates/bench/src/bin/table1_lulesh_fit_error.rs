@@ -6,7 +6,11 @@ use bench::lulesh_exp::fit_error_table;
 use bench::table::{fmt_pct, TextTable};
 
 fn main() {
-    let size = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 30 };
+    let size = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        30
+    };
     let lag = 50.min(size);
     let rows = fit_error_table(size, lag);
     let mut table = TextTable::new(vec![
@@ -38,6 +42,8 @@ fn main() {
             cell(0.8),
         ]);
     }
-    println!("Table I — error rates of curve-fitting (%) for velocity, domain size {size}, lag {lag}");
+    println!(
+        "Table I — error rates of curve-fitting (%) for velocity, domain size {size}, lag {lag}"
+    );
     println!("{table}");
 }

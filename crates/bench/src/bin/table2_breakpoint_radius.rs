@@ -5,7 +5,11 @@ use bench::lulesh_exp::breakpoint_table;
 use bench::table::{fmt_f, TextTable};
 
 fn main() {
-    let size = if std::env::var("BENCH_QUICK").is_ok() { 20 } else { 30 };
+    let size = if std::env::var("BENCH_QUICK").is_ok() {
+        20
+    } else {
+        30
+    };
     let thresholds = [0.1, 0.2, 0.5, 0.75, 1.0, 2.0, 5.0, 10.0, 20.0];
     let rows = breakpoint_table(size, &thresholds, 0.4, (size / 3).max(10));
     let mut table = TextTable::new(vec![

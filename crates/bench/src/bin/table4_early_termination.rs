@@ -25,7 +25,9 @@ fn main() {
         table.add_row(vec![
             row.size.to_string(),
             fmt_f(row.threshold_percent, 2),
-            row.radius.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            row.radius
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
             format!("{} ({})", row.iterations, row.full_iterations),
             fmt_pct(row.iteration_percent()),
             fmt_f(row.seconds, 4),

@@ -7,7 +7,11 @@ use bench::wd_exp::fit_error_table;
 use wdmerger::DiagnosticVariable;
 
 fn main() {
-    let resolution = if std::env::var("BENCH_QUICK").is_ok() { 16 } else { 32 };
+    let resolution = if std::env::var("BENCH_QUICK").is_ok() {
+        16
+    } else {
+        32
+    };
     let fractions = [0.10, 0.25, 0.50];
     let rows = fit_error_table(resolution, &fractions);
     let mut table = TextTable::new(vec!["diagnostic var.", "10%", "25%", "50%"]);

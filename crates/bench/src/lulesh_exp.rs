@@ -215,7 +215,7 @@ fn extrapolate_peaks(observed: &[f64], extra: usize) -> Vec<f64> {
     };
     let outcome = fit_series(&logs, 1.0, config);
     // Roll the trained model forward from the last observed values.
-    let mut window = vec![logs[logs.len() - 1], logs[logs.len() - 2]];
+    let mut window = [logs[logs.len() - 1], logs[logs.len() - 2]];
     let mut out = Vec::with_capacity(extra);
     // Rebuild a trainer-equivalent forecast from the outcome's predictions by
     // continuing the one-step recursion with the last fitted relationship:
@@ -416,9 +416,8 @@ pub fn overhead_table(sizes: &[usize], rank_configs: &[usize]) -> Vec<OverheadRo
         for &ranks in rank_configs {
             let parallel = ParallelConfig::new(ranks, 1).expect("positive rank count");
             // Plain run.
-            let mut origin = LuleshSim::new(
-                LuleshConfig::with_edge_elems(size).with_parallel(parallel),
-            );
+            let mut origin =
+                LuleshSim::new(LuleshConfig::with_edge_elems(size).with_parallel(parallel));
             let origin_summary = origin.run_to_completion();
             let origin_seconds = origin_summary.compute_seconds;
             let full_iterations = origin_summary.iterations;
@@ -478,7 +477,10 @@ impl EarlyTerminationRow {
 }
 
 /// Table IV: early-termination performance per size and threshold.
-pub fn early_termination_table(sizes: &[usize], thresholds_percent: &[f64]) -> Vec<EarlyTerminationRow> {
+pub fn early_termination_table(
+    sizes: &[usize],
+    thresholds_percent: &[f64],
+) -> Vec<EarlyTerminationRow> {
     let mut rows = Vec::new();
     for &size in sizes {
         let parallel = ParallelConfig::serial();

@@ -112,6 +112,6 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(fmt_f(1.23456, 2), "1.23");
-        assert_eq!(fmt_pct(3.14159), "3.14%");
+        assert_eq!(fmt_pct(3.25169), "3.25%");
     }
 }

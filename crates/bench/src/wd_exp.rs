@@ -82,13 +82,7 @@ pub fn normalized_series(resolution: usize) -> Vec<(DiagnosticVariable, Vec<f64>
     sim.diagnostics()
         .normalized_series()
         .into_iter()
-        .map(|(variable, series)| {
-            (
-                variable,
-                series.times().to_vec(),
-                series.values().to_vec(),
-            )
-        })
+        .map(|(variable, series)| (variable, series.times().to_vec(), series.values().to_vec()))
         .collect()
 }
 
@@ -273,8 +267,7 @@ pub fn overhead_table(
             let temporal_end_stop = ((steps as f64) * early_stop_fraction).round() as u64;
             let (_, nonstop_seconds) =
                 run_instrumented(resolution, parallel, temporal_end_nonstop, false);
-            let (_, stop_seconds) =
-                run_instrumented(resolution, parallel, temporal_end_stop, true);
+            let (_, stop_seconds) = run_instrumented(resolution, parallel, temporal_end_stop, true);
             rows.push(WdOverheadRow {
                 resolution,
                 config: parallel.label(),

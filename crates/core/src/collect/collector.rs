@@ -47,6 +47,12 @@ pub struct Collector {
     history: SampleHistory,
     batch: MiniBatch,
     iterations_collected: u64,
+    /// The spatial characteristic enumerated once, so the *sample* stage can
+    /// hand the provider the whole location set in one batch call.
+    locations: Vec<usize>,
+    /// Scratch buffer the provider's batch fill writes into (reused across
+    /// iterations — no per-iteration allocation on the hot path).
+    scratch: Vec<f64>,
 }
 
 impl Collector {
@@ -68,6 +74,7 @@ impl Collector {
         layout: PredictorLayout,
         batch_capacity: usize,
     ) -> Self {
+        let locations: Vec<usize> = spatial.iter().map(|loc| loc as usize).collect();
         Self {
             spatial,
             temporal,
@@ -75,6 +82,8 @@ impl Collector {
             history: SampleHistory::new(),
             batch: MiniBatch::with_capacity(batch_capacity),
             iterations_collected: 0,
+            scratch: vec![0.0; locations.len()],
+            locations,
         }
     }
 
@@ -110,8 +119,58 @@ impl Collector {
         iteration > self.temporal.end()
     }
 
+    /// The locations enumerated from the spatial characteristic, in sampling
+    /// order.
+    pub fn locations(&self) -> &[usize] {
+        &self.locations
+    }
+
+    /// The **sample** stage: if `iteration` matches the temporal
+    /// characteristic, queries the provider for the whole spatial
+    /// characteristic in one batch [`VarProvider::fill`] call and records
+    /// the values in the history. Returns the number of samples recorded
+    /// (`0` for unselected iterations).
+    pub fn sample<D: ?Sized, P: VarProvider<D> + ?Sized>(
+        &mut self,
+        iteration: u64,
+        domain: &D,
+        provider: &P,
+    ) -> usize {
+        if !self.temporal.contains(iteration) {
+            return 0;
+        }
+        provider.fill(domain, &self.locations, &mut self.scratch);
+        for (&location, &value) in self.locations.iter().zip(&self.scratch) {
+            self.history.record(Sample::new(iteration, location, value));
+        }
+        self.iterations_collected += 1;
+        self.locations.len()
+    }
+
+    /// The **assemble** stage: turns the iteration's fresh samples into
+    /// training rows and returns the drained rows once the mini-batch fills
+    /// up. Must be called after [`Collector::sample`] for the same
+    /// iteration.
+    pub fn assemble(&mut self, iteration: u64) -> Option<Vec<BatchRow>> {
+        for row in self.assembler.rows_for_iteration(&self.history, iteration) {
+            // Rows from one iteration share the model order, so this cannot
+            // fail; ignore the impossible error rather than panicking inside
+            // the simulation loop.
+            let _ = self.batch.push(row);
+        }
+        if self.batch.is_full() {
+            Some(self.batch.drain())
+        } else {
+            None
+        }
+    }
+
     /// Observes one simulation iteration: samples the provider if the
     /// iteration is selected and returns what happened.
+    ///
+    /// This is the one-call convenience wrapper around the explicit
+    /// [`Collector::sample`] → [`Collector::assemble`] stages the engine
+    /// drives separately.
     pub fn observe<D: ?Sized, P: VarProvider<D> + ?Sized>(
         &mut self,
         iteration: u64,
@@ -121,28 +180,10 @@ impl Collector {
         if !self.temporal.contains(iteration) {
             return CollectionEvent::Skipped;
         }
-        let mut samples = 0;
-        for loc in self.spatial.iter() {
-            let value = provider.value(domain, loc as usize);
-            self.history.record(Sample::new(iteration, loc as usize, value));
-            samples += 1;
-        }
-        self.iterations_collected += 1;
-
-        for row in self.assembler.rows_for_iteration(&self.history, iteration) {
-            // Rows from one iteration share the model order, so this cannot
-            // fail; ignore the impossible error rather than panicking inside
-            // the simulation loop.
-            let _ = self.batch.push(row);
-        }
-
-        if self.batch.is_full() {
-            CollectionEvent::BatchReady {
-                samples,
-                rows: self.batch.drain(),
-            }
-        } else {
-            CollectionEvent::Collected { samples }
+        let samples = self.sample(iteration, domain, provider);
+        match self.assemble(iteration) {
+            Some(rows) => CollectionEvent::BatchReady { samples, rows },
+            None => CollectionEvent::Collected { samples },
         }
     }
 
@@ -211,6 +252,54 @@ mod tests {
         let c = collector();
         assert!(!c.finished(100));
         assert!(c.finished(101));
+    }
+
+    #[test]
+    fn sample_and_assemble_stages_compose_to_observe() {
+        let provider = |_d: &(), loc: usize| loc as f64;
+        let mut staged = collector();
+        let mut fused = collector();
+        for it in (0..=100u64).step_by(10) {
+            let samples = staged.sample(it, &(), &provider);
+            let rows = staged.assemble(it);
+            match fused.observe(it, &(), &provider) {
+                CollectionEvent::Skipped => {
+                    assert_eq!(samples, 0);
+                    assert!(rows.is_none());
+                }
+                CollectionEvent::Collected { samples: s } => {
+                    assert_eq!(samples, s);
+                    assert!(rows.is_none());
+                }
+                CollectionEvent::BatchReady {
+                    samples: s,
+                    rows: r,
+                } => {
+                    assert_eq!(samples, s);
+                    assert_eq!(rows.unwrap(), r);
+                }
+            }
+        }
+        assert_eq!(staged.history().len(), fused.history().len());
+    }
+
+    #[test]
+    fn batch_fill_provider_matches_scalar_provider() {
+        let domain: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let scalar = |d: &Vec<f64>, loc: usize| d.get(loc).copied().unwrap_or(0.0);
+        let mut with_scalar = collector();
+        let mut with_batch = collector();
+        for it in (0..=100u64).step_by(10) {
+            with_scalar.observe(it, &domain, &scalar);
+            with_batch.observe(it, &domain, &crate::provider::SliceProvider);
+        }
+        assert_eq!(with_scalar.history().len(), with_batch.history().len());
+        for &loc in with_scalar.locations() {
+            assert_eq!(
+                with_scalar.history().series_of(loc),
+                with_batch.history().series_of(loc)
+            );
+        }
     }
 
     #[test]

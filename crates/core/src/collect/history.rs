@@ -93,15 +93,20 @@ impl SampleHistory {
         if series.len() < count {
             return None;
         }
-        Some(series[series.len() - count..].iter().map(|(_, v)| *v).collect())
+        Some(
+            series[series.len() - count..]
+                .iter()
+                .map(|(_, v)| *v)
+                .collect(),
+        )
     }
 
     /// Values of all sampled locations at a fixed iteration (location order).
     /// Locations that were not sampled at that iteration are skipped.
     pub fn spatial_profile_at(&self, iteration: u64) -> Vec<(usize, f64)> {
         self.per_location
-            .iter()
-            .filter_map(|(loc, _)| self.value_at(*loc, iteration).map(|v| (*loc, v)))
+            .keys()
+            .filter_map(|loc| self.value_at(*loc, iteration).map(|v| (*loc, v)))
             .collect()
     }
 
@@ -111,7 +116,10 @@ impl SampleHistory {
         self.per_location
             .iter()
             .map(|(loc, series)| {
-                let peak = series.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+                let peak = series
+                    .iter()
+                    .map(|(_, v)| *v)
+                    .fold(f64::NEG_INFINITY, f64::max);
                 (*loc, peak)
             })
             .collect()

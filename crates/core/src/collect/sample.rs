@@ -43,6 +43,6 @@ mod tests {
         let a = Sample::new(1, 2, 3.0);
         let b = a;
         assert_eq!(a, b);
-        assert_eq!(format!("{a:?}").contains("iteration"), true);
+        assert!(format!("{a:?}").contains("iteration"));
     }
 }

@@ -1,19 +1,23 @@
-//! Free functions mirroring the paper's `td_*` C API.
+//! Free functions mirroring the paper's `td_*` C API (deprecated shims).
 //!
 //! The paper's library framework exposes six C-style entry points
-//! (Section III-C, Fig. 2). Idiomatic Rust users should call the methods on
-//! [`Region`] and [`AnalysisSpec`] directly; these wrappers exist so code
-//! ported from an existing `td_*` integration reads almost line-for-line the
-//! same:
+//! (Section III-C, Fig. 2). These wrappers exist so code ported from an
+//! existing `td_*` integration reads almost line-for-line the same; they are
+//! thin shims over the [`Engine`](crate::engine::Engine) (via the legacy
+//! single-region [`Region`] wrapper) and are **deprecated** in favour of the
+//! handle-based engine API, which additionally offers multi-region sessions,
+//! batch sampling and off-thread training:
 //!
-//! | paper API                  | this module                                      |
-//! |----------------------------|--------------------------------------------------|
-//! | `td_var_provider`          | any closure `Fn(&D, usize) -> f64` (see [`VarProvider`](crate::provider::VarProvider)) |
-//! | `td_region_init`           | [`td_region_init`]                               |
-//! | `td_iter_param_init`       | [`td_iter_param_init`]                           |
-//! | `td_region_add_analysis`   | [`td_region_add_analysis`]                       |
-//! | `td_region_begin`          | [`td_region_begin`]                              |
-//! | `td_region_end`            | [`td_region_end`]                                |
+//! | paper API                  | this module (deprecated)   | engine API                                        |
+//! |----------------------------|----------------------------|---------------------------------------------------|
+//! | `td_var_provider`          | any closure `Fn(&D, usize) -> f64` | [`VarProvider`](crate::provider::VarProvider) (plus batch `fill`) |
+//! | `td_region_init`           | [`td_region_init`]         | [`Engine::add_region`](crate::engine::Engine::add_region) |
+//! | `td_iter_param_init`       | [`td_iter_param_init`]     | [`IterParam::new`](crate::params::IterParam::new) |
+//! | `td_region_add_analysis`   | [`td_region_add_analysis`] | [`Engine::add_analysis`](crate::engine::Engine::add_analysis) |
+//! | `td_region_begin`          | [`td_region_begin`]        | [`Engine::step`](crate::engine::Engine::step)     |
+//! | `td_region_end`            | [`td_region_end`]          | [`StepScope::complete`](crate::engine::StepScope::complete) |
+
+#![allow(deprecated)]
 
 use crate::error::Result;
 use crate::params::IterParam;
@@ -22,10 +26,12 @@ use crate::region::{AnalysisSpec, Region, RegionStatus};
 /// Initializes an empty feature-extraction region (`td_region_init`).
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use insitu::compat::td_region_init;
 /// let region = td_region_init::<Vec<f64>>("lulesh_region");
 /// assert_eq!(region.name(), "lulesh_region");
 /// ```
+#[deprecated(note = "use insitu::engine::Engine::add_region")]
 pub fn td_region_init<D: ?Sized>(name: &str) -> Region<D> {
     Region::new(name)
 }
@@ -37,18 +43,21 @@ pub fn td_region_init<D: ?Sized>(name: &str) -> Region<D> {
 ///
 /// Returns [`Error::InvalidRange`](crate::Error::InvalidRange) if `step` is
 /// zero or `end < begin`.
+#[deprecated(note = "use insitu::IterParam::new")]
 pub fn td_iter_param_init(begin: u64, end: u64, step: u64) -> Result<IterParam> {
     IterParam::new(begin, end, step)
 }
 
 /// Registers an analysis with a region (`td_region_add_analysis`); returns
 /// the analysis index.
+#[deprecated(note = "use insitu::engine::Engine::add_analysis")]
 pub fn td_region_add_analysis<D: ?Sized>(region: &mut Region<D>, spec: AnalysisSpec<D>) -> usize {
     region.add_analysis(spec)
 }
 
 /// Marks the beginning of the code block under analysis
 /// (`td_region_begin`).
+#[deprecated(note = "use insitu::engine::Engine::step")]
 pub fn td_region_begin<D: ?Sized>(region: &mut Region<D>, iteration: u64) {
     region.begin(iteration);
 }
@@ -56,6 +65,7 @@ pub fn td_region_begin<D: ?Sized>(region: &mut Region<D>, iteration: u64) {
 /// Marks the end of the code block under analysis (`td_region_end`):
 /// collects, trains, extracts, broadcasts and returns the region status —
 /// including the early-termination flag.
+#[deprecated(note = "use insitu::engine::StepScope::complete")]
 pub fn td_region_end<D: ?Sized>(
     region: &mut Region<D>,
     iteration: u64,

@@ -1,0 +1,265 @@
+//! One armed analysis: specification plus live pipeline state.
+
+use std::collections::VecDeque;
+
+use parsim::ThreadPool;
+
+use crate::collect::{BatchRow, Collector, SampleHistory};
+use crate::extract::{BreakpointExtractor, DelayTimeExtractor, FeatureKind, OutlierExtractor};
+use crate::model::IncrementalTrainer;
+use crate::region::{AnalysisMethod, AnalysisSpec, FeatureValue};
+
+use super::background::TrainerSlot;
+
+/// One armed analysis: its specification plus the live collector/trainer
+/// state, driven through the explicit **sample → assemble → train →
+/// extract** stages by the engine.
+pub(crate) struct Analysis<D: ?Sized> {
+    pub(crate) spec: AnalysisSpec<D>,
+    collector: Collector,
+    slot: TrainerSlot,
+    /// Batches waiting for the background trainer, oldest first. Training
+    /// order is preserved, which is what makes background results
+    /// bit-identical to inline ones once drained.
+    pending: VecDeque<Vec<BatchRow>>,
+    feature: Option<FeatureValue>,
+    /// Cached representative location (the one with the longest series),
+    /// recomputed only when the history grows instead of on every status
+    /// poll / prediction.
+    representative: Option<usize>,
+    representative_len: usize,
+    /// Batches trained so far (kept here because the trainer itself may be
+    /// in flight on a worker thread).
+    pub(crate) batches_trained: usize,
+}
+
+impl<D: ?Sized> Analysis<D> {
+    pub(crate) fn new(spec: AnalysisSpec<D>) -> Self {
+        let collector = Collector::new(
+            spec.spatial,
+            spec.temporal,
+            spec.trainer.order,
+            spec.lag,
+            spec.layout,
+            spec.batch_capacity,
+        );
+        let trainer = IncrementalTrainer::new(spec.trainer)
+            .expect("spec builder validated the trainer configuration");
+        Self {
+            spec,
+            collector,
+            slot: TrainerSlot::Idle(trainer),
+            pending: VecDeque::new(),
+            feature: None,
+            representative: None,
+            representative_len: 0,
+            batches_trained: 0,
+        }
+    }
+
+    pub(crate) fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    pub(crate) fn feature(&self) -> Option<&FeatureValue> {
+        self.feature.as_ref()
+    }
+
+    /// The trainer, when it is resident (not off training on a worker).
+    pub(crate) fn trainer(&self) -> Option<&IncrementalTrainer> {
+        self.slot.trainer()
+    }
+
+    /// Stage 1 — **sample**: batch-query the provider over the spatial
+    /// characteristic and append to the history. Returns the number of
+    /// samples recorded (0 when the iteration is not selected).
+    pub(crate) fn sample(&mut self, iteration: u64, domain: &D) -> usize {
+        let samples = self
+            .collector
+            .sample(iteration, domain, self.spec.provider.as_ref());
+        if samples > 0 {
+            self.refresh_representative();
+        }
+        samples
+    }
+
+    /// Stage 2 — **assemble**: turn fresh samples into training rows;
+    /// returns a full mini-batch when one is ready.
+    pub(crate) fn assemble(&mut self, iteration: u64) -> Option<Vec<BatchRow>> {
+        let rows = self.collector.assemble(iteration)?;
+        (self.spec.method == AnalysisMethod::CurveFitting).then_some(rows)
+    }
+
+    /// Stage 3 (inline) — **train** the batch on the calling thread.
+    /// Returns the batch's loss when the trainer accepted it.
+    pub(crate) fn train_inline(&mut self, rows: &[BatchRow]) -> Option<f64> {
+        let TrainerSlot::Idle(trainer) = &mut self.slot else {
+            unreachable!("inline training never leaves the trainer in flight");
+        };
+        let loss = trainer.train_batch(rows).ok();
+        self.record_batch_outcome(loss)
+    }
+
+    /// Stage 3 (background) — queue the batch and keep the worker fed.
+    /// Returns the loss of a batch reclaimed from the worker, if any
+    /// finished in the meantime.
+    pub(crate) fn queue_batch(&mut self, rows: Vec<BatchRow>, pool: &ThreadPool) -> Option<f64> {
+        self.pending.push_back(rows);
+        self.pump(pool)
+    }
+
+    /// Non-blocking progress: reclaims a finished training job and launches
+    /// the next queued batch, preserving batch order. Returns the reclaimed
+    /// batch's loss, if a job finished since the last call.
+    pub(crate) fn pump(&mut self, pool: &ThreadPool) -> Option<f64> {
+        let loss = self
+            .slot
+            .reclaim_if_finished()
+            .and_then(|loss| self.record_batch_outcome(loss));
+        if self.slot.is_idle() {
+            if let Some(rows) = self.pending.pop_front() {
+                self.slot.launch(rows, pool);
+            }
+        }
+        loss
+    }
+
+    /// Blocks until every queued batch has been trained and the trainer is
+    /// resident again. Returns the loss of the last batch trained during
+    /// the drain, if any.
+    pub(crate) fn drain(&mut self, pool: &ThreadPool) -> Option<f64> {
+        let mut last = None;
+        loop {
+            if let Some(loss) = self.slot.join_if_busy() {
+                if let Some(loss) = self.record_batch_outcome(loss) {
+                    last = Some(loss);
+                }
+            }
+            match self.pending.pop_front() {
+                Some(rows) => self.slot.launch(rows, pool),
+                None => break,
+            }
+        }
+        last
+    }
+
+    fn record_batch_outcome(&mut self, loss: Option<f64>) -> Option<f64> {
+        if loss.is_some() {
+            self.batches_trained += 1;
+        }
+        loss
+    }
+
+    /// Number of batches queued but not yet picked up by a worker.
+    pub(crate) fn queued_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a training job is currently in flight.
+    pub(crate) fn training_in_flight(&self) -> bool {
+        !self.slot.is_idle()
+    }
+
+    /// Stage 4 — **extract**: attempts feature extraction from the current
+    /// history/model state.
+    pub(crate) fn try_extract(&mut self) {
+        let history = self.collector.history();
+        if history.is_empty() {
+            return;
+        }
+        let extracted = match self.spec.feature {
+            FeatureKind::Breakpoint { threshold } => {
+                let peaks = history.peak_per_location();
+                let initial = peaks.iter().map(|(_, v)| v.abs()).fold(0.0_f64, f64::max);
+                if initial <= 0.0 {
+                    None
+                } else {
+                    BreakpointExtractor::new(threshold.clamp(1e-6, 1.0), initial)
+                        .ok()
+                        .and_then(|ex| ex.extract_from_profile(&peaks).ok())
+                        .map(FeatureValue::Breakpoint)
+                }
+            }
+            FeatureKind::DelayTime => {
+                let location = self.representative.unwrap_or(0);
+                history.series_of(location).and_then(|series| {
+                    let times: Vec<f64> = series.iter().map(|(it, _)| *it as f64).collect();
+                    let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+                    DelayTimeExtractor::new()
+                        .extract(&times, &values)
+                        .ok()
+                        .map(FeatureValue::DelayTime)
+                })
+            }
+            FeatureKind::Outliers { threshold } => {
+                let profile = history.peak_per_location();
+                OutlierExtractor::new(threshold)
+                    .ok()
+                    .and_then(|ex| ex.extract(&profile).ok())
+                    .map(FeatureValue::Outliers)
+            }
+        };
+        if extracted.is_some() {
+            self.feature = extracted;
+        }
+    }
+
+    /// Updates the cached representative location — the location with the
+    /// most samples (ties broken by the smallest id). Called from the sample
+    /// stage, the only place the history grows.
+    fn refresh_representative(&mut self) {
+        let history = self.collector.history();
+        if history.len() == self.representative_len {
+            return;
+        }
+        self.representative_len = history.len();
+        self.representative = history
+            .locations()
+            .into_iter()
+            .max_by_key(|loc| history.series_of(*loc).map_or(0, <[(u64, f64)]>::len));
+    }
+
+    /// The cached representative location (see
+    /// [`Analysis::refresh_representative`]).
+    pub(crate) fn representative_location(&self) -> usize {
+        self.representative.unwrap_or(0)
+    }
+
+    /// Latest one-step prediction at the representative location, if the
+    /// model is resident, trained, and enough history exists.
+    pub(crate) fn latest_prediction(&self) -> Option<f64> {
+        let trainer = self.slot.trainer()?;
+        if !trainer.model().is_trained() {
+            return None;
+        }
+        let history = self.collector.history();
+        let location = self.representative_location();
+        let latest_iteration = history.series_of(location)?.last()?.0;
+        let predictors = self.collector.predictors_for(location, latest_iteration)?;
+        trainer.predict(&predictors).ok()
+    }
+
+    /// Whether this analysis considers its work done (model converged, or
+    /// threshold-only analyses once collection finished). While a background
+    /// training job is in flight the analysis is never done — convergence
+    /// cannot be judged until the trainer is resident.
+    pub(crate) fn is_done(&self, iteration: u64) -> bool {
+        match self.spec.method {
+            AnalysisMethod::CurveFitting => {
+                let converged = self
+                    .slot
+                    .trainer()
+                    .is_some_and(IncrementalTrainer::is_converged);
+                (converged || self.collector.finished(iteration))
+                    && !self.training_in_flight()
+                    && self.pending.is_empty()
+            }
+            AnalysisMethod::ThresholdOnly => self.collector.finished(iteration),
+        }
+    }
+
+    /// History accessor used by the engine's public API.
+    pub(crate) fn history(&self) -> &SampleHistory {
+        self.collector.history()
+    }
+}

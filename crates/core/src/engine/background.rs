@@ -1,0 +1,89 @@
+//! Off-thread training machinery.
+//!
+//! In [`TrainingMode::Background`](super::TrainingMode::Background) the
+//! engine moves each analysis' trainer onto a `parsim` worker whenever a
+//! mini-batch is ready, so the gradient-descent epochs run concurrently with
+//! the simulation's next iterations. The trainer is *moved*, not shared: at
+//! any moment it is either resident in the [`TrainerSlot`] or owned by
+//! exactly one in-flight job, which keeps the design lock-free and the
+//! training sequence identical to inline mode (same batches, same order —
+//! bit-identical results once drained).
+
+use parsim::{JobHandle, ThreadPool};
+
+use crate::collect::BatchRow;
+use crate::model::IncrementalTrainer;
+
+/// Result of one background training job: the trainer comes back together
+/// with the batch's loss (`None` if the batch was rejected).
+pub(crate) struct TrainJob {
+    trainer: IncrementalTrainer,
+    loss: Option<f64>,
+}
+
+/// Where an analysis' trainer currently lives.
+pub(crate) enum TrainerSlot {
+    /// Resident and ready for the next batch (always the case in inline
+    /// mode).
+    Idle(IncrementalTrainer),
+    /// Off training a mini-batch on a worker thread.
+    Busy(JobHandle<TrainJob>),
+    /// Transient state while ownership moves between the two variants; never
+    /// observable from outside this module.
+    Moving,
+}
+
+impl TrainerSlot {
+    /// The resident trainer, if it is not in flight.
+    pub(crate) fn trainer(&self) -> Option<&IncrementalTrainer> {
+        match self {
+            TrainerSlot::Idle(trainer) => Some(trainer),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn is_idle(&self) -> bool {
+        matches!(self, TrainerSlot::Idle(_))
+    }
+
+    /// Moves the trainer onto a worker to train `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trainer is already in flight — callers reclaim first.
+    pub(crate) fn launch(&mut self, rows: Vec<BatchRow>, pool: &ThreadPool) {
+        let TrainerSlot::Idle(mut trainer) = std::mem::replace(self, TrainerSlot::Moving) else {
+            panic!("launch requires a resident trainer");
+        };
+        *self = TrainerSlot::Busy(pool.spawn_job(move || {
+            let loss = trainer.train_batch(&rows).ok();
+            TrainJob { trainer, loss }
+        }));
+    }
+
+    /// If the in-flight job has finished, reclaims the trainer and returns
+    /// `Some(loss)`; returns `None` (without blocking) otherwise.
+    pub(crate) fn reclaim_if_finished(&mut self) -> Option<Option<f64>> {
+        if matches!(self, TrainerSlot::Busy(handle) if handle.is_finished()) {
+            Some(self.join_if_busy().expect("slot was busy"))
+        } else {
+            None
+        }
+    }
+
+    /// Blocks until the in-flight job (if any) finishes and reclaims the
+    /// trainer; returns the job's loss, or `None` if the slot was idle.
+    pub(crate) fn join_if_busy(&mut self) -> Option<Option<f64>> {
+        match std::mem::replace(self, TrainerSlot::Moving) {
+            TrainerSlot::Busy(handle) => {
+                let TrainJob { trainer, loss } = handle.join();
+                *self = TrainerSlot::Idle(trainer);
+                Some(loss)
+            }
+            other => {
+                *self = other;
+                None
+            }
+        }
+    }
+}

@@ -1,0 +1,779 @@
+//! The in-situ engine: handle-based multi-region sessions with staged
+//! sampling, training and extraction.
+//!
+//! [`Engine`] is the library's primary entry point. Where the legacy
+//! [`Region`](crate::region::Region) type owns one group of analyses and
+//! trains inline on the simulation thread, an engine owns **many** regions
+//! and analyses behind copyable integer handles ([`RegionId`],
+//! [`AnalysisId`]) — mirroring the paper's C API, which also hands out ids —
+//! and splits every iteration into four explicit stages:
+//!
+//! 1. **sample** — batch-query each analysis' provider over its spatial
+//!    characteristic ([`VarProvider::fill`](crate::provider::VarProvider::fill)),
+//! 2. **assemble** — turn fresh samples into mini-batch training rows,
+//! 3. **train** — run gradient descent on full batches, either
+//!    [`TrainingMode::Inline`] on the simulation thread or
+//!    [`TrainingMode::Background`] on a `parsim` worker,
+//! 4. **extract** — derive the requested features once an analysis is done.
+//!
+//! The paired `begin`/`end` calls of the paper's API are replaced by the
+//! RAII [`StepScope`] returned from [`Engine::step`].
+//!
+//! # Example
+//!
+//! ```
+//! use insitu::engine::{Engine, EngineConfig, TrainingMode};
+//! use insitu::extract::FeatureKind;
+//! use insitu::region::AnalysisSpec;
+//! use insitu::IterParam;
+//!
+//! let mut engine: Engine<Vec<f64>> = Engine::new();
+//! let region = engine.add_region("demo").unwrap();
+//! let analysis = engine
+//!     .add_analysis(
+//!         region,
+//!         AnalysisSpec::builder()
+//!             .name("velocity")
+//!             .provider(|d: &Vec<f64>, loc: usize| d.get(loc).copied().unwrap_or(0.0))
+//!             .spatial(IterParam::new(1, 10, 1).unwrap())
+//!             .temporal(IterParam::new(0, 100, 1).unwrap())
+//!             .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+//!             .lag(5)
+//!             .build()
+//!             .unwrap(),
+//!     )
+//!     .unwrap();
+//!
+//! let mut domain = vec![0.0_f64; 32];
+//! for iteration in 0..100u64 {
+//!     let step = engine.step(iteration);
+//!     // ... main computation updates `domain` ...
+//!     for (loc, v) in domain.iter_mut().enumerate() {
+//!         let front = iteration as f64 * 0.2;
+//!         let x = loc as f64;
+//!         *v = 5.0 / (1.0 + x) * (-(x - front) * (x - front) / 8.0).exp();
+//!     }
+//!     let report = step.complete(&domain);
+//!     if report.should_terminate() {
+//!         break;
+//!     }
+//! }
+//! engine.drain();
+//! assert!(engine.status(region).unwrap().samples_collected > 0);
+//! assert!(engine.history(analysis).is_some());
+//! ```
+
+mod analysis;
+mod background;
+mod step;
+
+pub use step::{StepReport, StepScope};
+
+use parsim::ThreadPool;
+
+use crate::collect::SampleHistory;
+use crate::error::{Error, Result};
+use crate::model::IncrementalTrainer;
+use crate::region::{AnalysisSpec, ExitAction, NullBroadcaster, RegionStatus, StatusBroadcaster};
+
+use analysis::Analysis;
+
+/// Where the gradient-descent training of full mini-batches runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainingMode {
+    /// Train on the simulation thread inside
+    /// [`StepScope::complete`] — the paper's original behaviour, lowest
+    /// latency to convergence signals.
+    #[default]
+    Inline,
+    /// Move the trainer onto a `parsim` worker whenever a batch fills, so
+    /// the simulation thread only pays for sampling and assembly. Poll with
+    /// [`Engine::poll`]; [`Engine::drain`] blocks until the background work
+    /// has caught up, after which results are bit-identical to inline mode
+    /// (same batches, same order).
+    Background,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Inline or background training (default inline).
+    pub training_mode: TrainingMode,
+    /// Thread pool used for background training jobs.
+    pub pool: ThreadPool,
+}
+
+impl EngineConfig {
+    /// Inline training (the default).
+    pub fn inline() -> Self {
+        Self::default()
+    }
+
+    /// Background training on the given pool.
+    pub fn background(pool: ThreadPool) -> Self {
+        Self {
+            training_mode: TrainingMode::Background,
+            pool,
+        }
+    }
+}
+
+/// Copyable handle to a region registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(usize);
+
+impl RegionId {
+    /// The raw registration index (stable for the engine's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Copyable handle to an analysis registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AnalysisId {
+    region: usize,
+    index: usize,
+}
+
+impl AnalysisId {
+    /// The handle of the region this analysis belongs to.
+    pub fn region(self) -> RegionId {
+        RegionId(self.region)
+    }
+
+    /// The analysis' registration index within its region.
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+/// Non-blocking snapshot of the engine's background-training backlog,
+/// returned by [`Engine::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrainingProgress {
+    /// Training jobs currently running on workers.
+    pub in_flight: usize,
+    /// Full batches queued behind an in-flight job.
+    pub queued: usize,
+}
+
+impl TrainingProgress {
+    /// Whether all training has caught up with collection.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight == 0 && self.queued == 0
+    }
+}
+
+/// One named region: a group of analyses sharing a status and broadcaster.
+struct EngineRegion<D: ?Sized> {
+    name: String,
+    analyses: Vec<Analysis<D>>,
+    broadcaster: Box<dyn StatusBroadcaster>,
+    status: RegionStatus,
+}
+
+/// A multi-region in-situ session: the owner of every analysis' collector,
+/// trainer and extracted features, addressed through copyable handles.
+///
+/// See the [module documentation](self) for the pipeline model and an
+/// end-to-end example.
+pub struct Engine<D: ?Sized> {
+    config: EngineConfig,
+    regions: Vec<EngineRegion<D>>,
+}
+
+impl<D: ?Sized> std::fmt::Debug for Engine<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("training_mode", &self.config.training_mode)
+            .field("regions", &self.regions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: ?Sized> Default for Engine<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D: ?Sized> Engine<D> {
+    /// An engine with inline training (the paper's behaviour).
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Self {
+            config,
+            regions: Vec::new(),
+        }
+    }
+
+    /// The configured training mode.
+    pub fn training_mode(&self) -> TrainingMode {
+        self.config.training_mode
+    }
+
+    /// Registers a new, empty region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateName`] if a region with this name already
+    /// exists.
+    pub fn add_region(&mut self, name: impl Into<String>) -> Result<RegionId> {
+        let name = name.into();
+        if self.regions.iter().any(|r| r.name == name) {
+            return Err(Error::DuplicateName {
+                what: "region",
+                name,
+            });
+        }
+        self.regions.push(EngineRegion {
+            name,
+            analyses: Vec::new(),
+            broadcaster: Box::new(NullBroadcaster),
+            status: RegionStatus::default(),
+        });
+        Ok(RegionId(self.regions.len() - 1))
+    }
+
+    /// Looks up a region handle by name.
+    pub fn region_id(&self, name: &str) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .position(|r| r.name == name)
+            .map(RegionId)
+    }
+
+    /// The name a region was registered under.
+    pub fn region_name(&self, region: RegionId) -> Option<&str> {
+        self.regions.get(region.0).map(|r| r.name.as_str())
+    }
+
+    /// Number of registered regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Registers an analysis with a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownHandle`] if `region` does not refer to a
+    /// region of this engine, and [`Error::DuplicateName`] if the region
+    /// already has an analysis with the spec's name.
+    pub fn add_analysis(&mut self, region: RegionId, spec: AnalysisSpec<D>) -> Result<AnalysisId> {
+        if self
+            .regions
+            .get(region.0)
+            .is_some_and(|r| r.analyses.iter().any(|a| a.spec.name() == spec.name()))
+        {
+            return Err(Error::DuplicateName {
+                what: "analysis",
+                name: spec.name().to_string(),
+            });
+        }
+        self.add_analysis_allow_duplicate(region, spec)
+    }
+
+    /// Registers an analysis without the duplicate-name check. Used by the
+    /// legacy [`Region`](crate::region::Region) shim, whose historical
+    /// contract accepted any number of same-named analyses (features are
+    /// then looked up by first match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownHandle`] if `region` does not refer to a
+    /// region of this engine.
+    pub(crate) fn add_analysis_allow_duplicate(
+        &mut self,
+        region: RegionId,
+        spec: AnalysisSpec<D>,
+    ) -> Result<AnalysisId> {
+        let slot = self.regions.get_mut(region.0).ok_or(Error::UnknownHandle {
+            what: "region",
+            index: region.0,
+        })?;
+        slot.analyses.push(Analysis::new(spec));
+        Ok(AnalysisId {
+            region: region.0,
+            index: slot.analyses.len() - 1,
+        })
+    }
+
+    /// Number of analyses registered with a region.
+    pub fn analysis_count(&self, region: RegionId) -> Option<usize> {
+        self.regions.get(region.0).map(|r| r.analyses.len())
+    }
+
+    /// Builds the handle for a region's `index`-th analysis (registration
+    /// order), if it exists.
+    pub fn analysis_id(&self, region: RegionId, index: usize) -> Option<AnalysisId> {
+        let slot = self.regions.get(region.0)?;
+        (index < slot.analyses.len()).then_some(AnalysisId {
+            region: region.0,
+            index,
+        })
+    }
+
+    /// Replaces a region's status broadcaster (e.g. with one backed by a
+    /// `parsim` world so broadcast costs are accounted like MPI broadcasts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownHandle`] for a stale region handle.
+    pub fn set_broadcaster<B>(&mut self, region: RegionId, broadcaster: B) -> Result<()>
+    where
+        B: StatusBroadcaster + 'static,
+    {
+        let slot = self.regions.get_mut(region.0).ok_or(Error::UnknownHandle {
+            what: "region",
+            index: region.0,
+        })?;
+        slot.broadcaster = Box::new(broadcaster);
+        Ok(())
+    }
+
+    /// Opens the RAII scope for one simulation iteration. Call at the top of
+    /// the iteration; call [`StepScope::complete`] once the main computation
+    /// has produced the iteration's values.
+    pub fn step(&mut self, iteration: u64) -> StepScope<'_, D> {
+        StepScope::new(self, iteration)
+    }
+
+    /// The most recent status of a region: the value carried by the last
+    /// [`StepReport`], unless [`Engine::poll`] or [`Engine::drain`]
+    /// refreshed it since.
+    pub fn status(&self, region: RegionId) -> Option<&RegionStatus> {
+        self.regions.get(region.0).map(|r| &r.status)
+    }
+
+    /// The sample history of one analysis.
+    pub fn history(&self, analysis: AnalysisId) -> Option<&SampleHistory> {
+        self.regions
+            .get(analysis.region)?
+            .analyses
+            .get(analysis.index)
+            .map(Analysis::history)
+    }
+
+    /// The trainer of one analysis, for inspecting the fitted model and loss
+    /// history. Returns `None` for stale handles **and** while the trainer
+    /// is off on a background worker — call [`Engine::drain`] first for a
+    /// guaranteed-resident trainer.
+    pub fn trainer(&self, analysis: AnalysisId) -> Option<&IncrementalTrainer> {
+        self.regions
+            .get(analysis.region)?
+            .analyses
+            .get(analysis.index)?
+            .trainer()
+    }
+
+    /// Non-blocking background-training progress: reclaims finished jobs,
+    /// launches queued batches, and reports what is still outstanding. Any
+    /// region whose training advanced gets its status fully refreshed
+    /// (extraction included) and broadcast, so polling to idle leaves the
+    /// same coherent terminal state as [`Engine::drain`]. Always idle in
+    /// inline mode.
+    pub fn poll(&mut self) -> TrainingProgress {
+        let mut progress = TrainingProgress::default();
+        for region in &mut self.regions {
+            let iteration = region.status.iteration;
+            let mut advanced = false;
+            for analysis in &mut region.analyses {
+                if let Some(loss) = analysis.pump(&self.config.pool) {
+                    region.status.last_loss = Some(loss);
+                    advanced = true;
+                }
+                if analysis.training_in_flight() {
+                    progress.in_flight += 1;
+                }
+                progress.queued += analysis.queued_batches();
+            }
+            if advanced {
+                for analysis in &mut region.analyses {
+                    if analysis.is_done(iteration) || analysis.collector().finished(iteration) {
+                        analysis.try_extract();
+                    }
+                }
+                Self::refresh_status(region, iteration);
+                region.broadcaster.broadcast(&region.status);
+            }
+        }
+        progress
+    }
+
+    /// Blocks until every queued mini-batch has been trained, then re-runs
+    /// extraction, refreshes every region's status and broadcasts it (so
+    /// rank-notification broadcasters observe the terminal status even when
+    /// the deciding batch finished inside the drain). After `drain`,
+    /// background-mode results are bit-identical to an inline run over the
+    /// same iterations: the trainers consumed the same batches in the same
+    /// order.
+    pub fn drain(&mut self) {
+        for region in &mut self.regions {
+            let iteration = region.status.iteration;
+            for analysis in &mut region.analyses {
+                if let Some(loss) = analysis.drain(&self.config.pool) {
+                    region.status.last_loss = Some(loss);
+                }
+                if analysis.is_done(iteration) || analysis.collector().finished(iteration) {
+                    analysis.try_extract();
+                }
+            }
+            Self::refresh_status(region, iteration);
+            region.broadcaster.broadcast(&region.status);
+        }
+    }
+
+    /// Forces feature extraction for one region from whatever has been
+    /// collected so far (normally extraction happens automatically once an
+    /// analysis is done).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownHandle`] for a stale region handle.
+    pub fn extract_now(&mut self, region: RegionId) -> Result<()> {
+        let slot = self.regions.get_mut(region.0).ok_or(Error::UnknownHandle {
+            what: "region",
+            index: region.0,
+        })?;
+        for analysis in &mut slot.analyses {
+            analysis.try_extract();
+        }
+        slot.status.features = slot
+            .analyses
+            .iter()
+            .filter_map(|a| a.feature().cloned().map(|f| (a.spec.name().to_string(), f)))
+            .collect();
+        Ok(())
+    }
+
+    /// Stamps the iteration on every region without sampling — the effect of
+    /// a dropped (uncompleted) [`StepScope`], and of the legacy
+    /// `td_region_begin`.
+    pub(crate) fn stamp_iteration(&mut self, iteration: u64) {
+        for region in &mut self.regions {
+            region.status.iteration = iteration;
+        }
+    }
+
+    /// The full pipeline for one completed step: **sample → assemble →
+    /// train → extract** for every analysis of every region, then status
+    /// refresh and broadcast.
+    pub(crate) fn run_pipeline(&mut self, iteration: u64, domain: &D) -> StepReport {
+        let background = self.config.training_mode == TrainingMode::Background;
+        let mut statuses = Vec::with_capacity(self.regions.len());
+        for region in &mut self.regions {
+            let mut samples_this_iteration = 0;
+            let mut last_loss = region.status.last_loss;
+            for analysis in &mut region.analyses {
+                // Stage 1: sample (batch provider fill).
+                samples_this_iteration += analysis.sample(iteration, domain);
+                // Stage 2: assemble mini-batch rows.
+                let batch = analysis.assemble(iteration);
+                // Stage 3: train.
+                let trained = if let Some(rows) = batch {
+                    if background {
+                        analysis.queue_batch(rows, &self.config.pool)
+                    } else {
+                        analysis.train_inline(&rows)
+                    }
+                } else if background {
+                    // Keep reclaiming finished jobs even on iterations that
+                    // produced no batch.
+                    analysis.pump(&self.config.pool)
+                } else {
+                    None
+                };
+                if let Some(loss) = trained {
+                    last_loss = Some(loss);
+                }
+                // Stage 4: extract once the analysis is done.
+                if analysis.is_done(iteration) || analysis.collector().finished(iteration) {
+                    analysis.try_extract();
+                }
+            }
+            region.status.samples_collected += samples_this_iteration;
+            region.status.last_loss = last_loss;
+            Self::refresh_status(region, iteration);
+            region.broadcaster.broadcast(&region.status);
+            statuses.push(region.status.clone());
+        }
+        StepReport { statuses }
+    }
+
+    /// Recomputes the derived fields of a region's status from its analyses.
+    fn refresh_status(region: &mut EngineRegion<D>, iteration: u64) {
+        let analyses = &region.analyses;
+        let all_done = !analyses.is_empty() && analyses.iter().all(|a| a.is_done(iteration));
+        let wants_termination = analyses
+            .iter()
+            .any(|a| a.spec.exit() == ExitAction::TerminateSimulation);
+
+        region.status.iteration = iteration;
+        region.status.batches_trained = analyses.iter().map(|a| a.batches_trained).sum();
+        region.status.converged = all_done;
+        region.status.predicted_value = analyses.first().and_then(Analysis::latest_prediction);
+        region.status.front_location = Self::front_location(analyses);
+        region.status.features = analyses
+            .iter()
+            .filter_map(|a| a.feature().cloned().map(|f| (a.spec.name().to_string(), f)))
+            .collect();
+        region.status.should_terminate = all_done && wants_termination;
+    }
+
+    /// The location of the maximum most-recently-observed value across the
+    /// first analysis' sampled locations — the "wave front" broadcast to
+    /// other ranks in the LULESH case study.
+    fn front_location(analyses: &[Analysis<D>]) -> Option<usize> {
+        let history = analyses.first()?.history();
+        history
+            .locations()
+            .into_iter()
+            .filter_map(|loc| history.latest_of(loc).map(|v| (loc, v)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(loc, _)| loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::FeatureKind;
+    use crate::model::{ConvergenceCriteria, OptimizerKind, TrainerConfig};
+    use crate::params::IterParam;
+    use parsim::ParallelConfig;
+
+    /// A toy domain: an outward-travelling decaying pulse.
+    struct Pulse {
+        values: Vec<f64>,
+    }
+
+    impl Pulse {
+        fn new() -> Self {
+            Self {
+                values: vec![0.0; 40],
+            }
+        }
+
+        fn advance(&mut self, iteration: u64) {
+            let front = iteration as f64 * 0.2;
+            for (loc, v) in self.values.iter_mut().enumerate() {
+                let x = loc as f64;
+                *v = 10.0 / (1.0 + x) * (-((x - front) * (x - front)) / 8.0).exp();
+            }
+        }
+    }
+
+    fn pulse_spec(name: &str) -> AnalysisSpec<Pulse> {
+        AnalysisSpec::builder()
+            .name(name)
+            .provider(|d: &Pulse, loc: usize| d.values.get(loc).copied().unwrap_or(0.0))
+            .spatial(IterParam::new(1, 12, 1).unwrap())
+            .temporal(IterParam::new(0, 300, 1).unwrap())
+            .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+            .lag(5)
+            .batch_capacity(16)
+            .trainer(TrainerConfig {
+                order: 3,
+                optimizer: OptimizerKind::Sgd { learning_rate: 0.1 },
+                epochs_per_batch: 4,
+                convergence: ConvergenceCriteria {
+                    loss_threshold: 1e-2,
+                    patience: 3,
+                    max_batches: 60,
+                },
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn run_engine(mut engine: Engine<Pulse>, iterations: u64) -> (Engine<Pulse>, RegionId) {
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        let mut domain = Pulse::new();
+        for it in 0..iterations {
+            let step = engine.step(it);
+            domain.advance(it);
+            step.complete(&domain);
+        }
+        engine.drain();
+        (engine, region)
+    }
+
+    #[test]
+    fn background_training_is_bit_identical_to_inline_after_drain() {
+        let (inline, inline_region) = run_engine(Engine::new(), 301);
+        let pool = ThreadPool::new(ParallelConfig::new(1, 2).unwrap());
+        let (background, bg_region) =
+            run_engine(Engine::with_config(EngineConfig::background(pool)), 301);
+
+        let a = inline.status(inline_region).unwrap();
+        let b = background.status(bg_region).unwrap();
+        assert_eq!(a.samples_collected, b.samples_collected);
+        assert_eq!(a.batches_trained, b.batches_trained);
+        assert!(a.batches_trained > 0);
+        assert_eq!(a.last_loss, b.last_loss, "loss sequence must be identical");
+        assert_eq!(a.features, b.features, "features must be bit-identical");
+        assert!(!a.features.is_empty());
+
+        // The fitted models are bit-identical too: same batches, same order.
+        let ia = inline.analysis_id(inline_region, 0).unwrap();
+        let ib = background.analysis_id(bg_region, 0).unwrap();
+        assert_eq!(
+            inline.trainer(ia).unwrap().model().coefficients(),
+            background.trainer(ib).unwrap().model().coefficients()
+        );
+    }
+
+    #[test]
+    fn poll_reports_progress_and_reaches_idle() {
+        let pool = ThreadPool::new(ParallelConfig::new(1, 2).unwrap());
+        let mut engine: Engine<Pulse> = Engine::with_config(EngineConfig::background(pool));
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        let mut domain = Pulse::new();
+        for it in 0..200u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            step.complete(&domain);
+        }
+        // Eventually the background backlog clears without ever blocking.
+        let mut progress = engine.poll();
+        let mut spins = 0usize;
+        while !progress.is_idle() {
+            assert!(spins < 1_000_000, "background training never caught up");
+            spins += 1;
+            std::thread::yield_now();
+            progress = engine.poll();
+        }
+        // Polling to idle leaves a coherent terminal status: every reclaimed
+        // batch is counted and a subsequent drain() changes nothing.
+        let polled = engine.status(region).unwrap().clone();
+        assert!(polled.batches_trained > 0);
+        let analysis = engine.analysis_id(region, 0).unwrap();
+        assert_eq!(
+            polled.batches_trained,
+            engine.trainer(analysis).unwrap().loss_history().len()
+        );
+        engine.drain();
+        assert_eq!(&polled, engine.status(region).unwrap());
+    }
+
+    #[test]
+    fn inline_engines_are_always_idle() {
+        let (mut engine, _region) = run_engine(Engine::new(), 50);
+        assert!(engine.poll().is_idle());
+        assert_eq!(engine.training_mode(), TrainingMode::Inline);
+    }
+
+    #[test]
+    fn unknown_region_handles_are_rejected() {
+        // Forge a handle from a second engine with more regions than the
+        // first: it is valid there, stale here.
+        let mut other: Engine<Pulse> = Engine::new();
+        other.add_region("a").unwrap();
+        let stale = other.add_region("b").unwrap();
+
+        let mut engine: Engine<Pulse> = Engine::new();
+        engine.add_region("only").unwrap();
+        assert!(matches!(
+            engine.add_analysis(stale, pulse_spec("velocity")),
+            Err(Error::UnknownHandle { what: "region", .. })
+        ));
+        assert!(matches!(
+            engine.extract_now(stale),
+            Err(Error::UnknownHandle { .. })
+        ));
+        assert!(engine.status(stale).is_none());
+        assert!(engine.analysis_count(stale).is_none());
+        assert!(engine.region_name(stale).is_none());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut engine: Engine<Pulse> = Engine::new();
+        let region = engine.add_region("pulse").unwrap();
+        assert!(matches!(
+            engine.add_region("pulse"),
+            Err(Error::DuplicateName { what: "region", .. })
+        ));
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        assert!(matches!(
+            engine.add_analysis(region, pulse_spec("velocity")),
+            Err(Error::DuplicateName {
+                what: "analysis",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn analysis_handles_round_trip_and_bounds_check() {
+        let mut engine: Engine<Pulse> = Engine::new();
+        let region = engine.add_region("pulse").unwrap();
+        let analysis = engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        assert_eq!(analysis.region(), region);
+        assert_eq!(analysis.index(), 0);
+        assert_eq!(engine.analysis_id(region, 0), Some(analysis));
+        assert_eq!(engine.analysis_id(region, 1), None);
+        assert_eq!(engine.region_id("pulse"), Some(region));
+        assert_eq!(engine.region_id("missing"), None);
+        assert!(engine.history(analysis).is_some());
+        assert!(engine.trainer(analysis).is_some());
+    }
+
+    #[test]
+    fn dropped_step_scope_stamps_iteration_without_sampling() {
+        let mut engine: Engine<Pulse> = Engine::new();
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        // begin-without-end: the scope is dropped (skipped) — the iteration
+        // advances but nothing is sampled.
+        engine.step(7).skip();
+        let status = engine.status(region).unwrap();
+        assert_eq!(status.iteration, 7);
+        assert_eq!(status.samples_collected, 0);
+        // And an unpolled drop behaves the same.
+        {
+            let _scope = engine.step(9);
+        }
+        let status = engine.status(region).unwrap();
+        assert_eq!(status.iteration, 9);
+        assert_eq!(status.samples_collected, 0);
+    }
+
+    #[test]
+    fn multi_region_sessions_progress_independently() {
+        let mut engine: Engine<Pulse> = Engine::new();
+        let dense = engine.add_region("dense").unwrap();
+        let sparse = engine.add_region("sparse").unwrap();
+        engine.add_analysis(dense, pulse_spec("velocity")).unwrap();
+        let sparse_spec = AnalysisSpec::builder()
+            .name("velocity")
+            .provider(|d: &Pulse, loc: usize| d.values.get(loc).copied().unwrap_or(0.0))
+            .spatial(IterParam::new(1, 12, 1).unwrap())
+            .temporal(IterParam::new(0, 300, 10).unwrap())
+            .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+            .lag(10)
+            .build()
+            .unwrap();
+        engine.add_analysis(sparse, sparse_spec).unwrap();
+
+        let mut domain = Pulse::new();
+        for it in 0..100u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            let report = step.complete(&domain);
+            assert_eq!(report.regions().len(), 2);
+        }
+        let dense_samples = engine.status(dense).unwrap().samples_collected;
+        let sparse_samples = engine.status(sparse).unwrap().samples_collected;
+        assert!(dense_samples > sparse_samples);
+        assert!(sparse_samples > 0);
+    }
+}

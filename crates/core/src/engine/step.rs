@@ -1,0 +1,85 @@
+//! The per-iteration RAII scope guard.
+
+use crate::region::RegionStatus;
+
+use super::{Engine, RegionId};
+
+/// RAII guard for one simulation iteration, replacing the paired
+/// `td_region_begin` / `td_region_end` calls of the paper's C API.
+///
+/// Obtained from [`Engine::step`] at the top of the iteration (the `begin`
+/// half). After the main computation has produced the iteration's values,
+/// call [`StepScope::complete`] with the domain to run the engine's
+/// **sample → assemble → train → extract** pipeline (the `end` half) and get
+/// back a [`StepReport`].
+///
+/// Dropping the scope without completing it is the equivalent of a `begin`
+/// with no matching `end`: the iteration counter advances but nothing is
+/// sampled — useful for iterations the caller wants to skip entirely.
+#[must_use = "complete the step with `.complete(&domain)` or it only stamps the iteration"]
+pub struct StepScope<'e, D: ?Sized> {
+    engine: &'e mut Engine<D>,
+    iteration: u64,
+    completed: bool,
+}
+
+impl<'e, D: ?Sized> StepScope<'e, D> {
+    pub(super) fn new(engine: &'e mut Engine<D>, iteration: u64) -> Self {
+        Self {
+            engine,
+            iteration,
+            completed: false,
+        }
+    }
+
+    /// The iteration this scope covers.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Runs the pipeline over every region and analysis of the engine and
+    /// returns the per-region statuses.
+    pub fn complete(mut self, domain: &D) -> StepReport {
+        self.completed = true;
+        self.engine.run_pipeline(self.iteration, domain)
+    }
+
+    /// Explicitly skips the iteration (identical to dropping the scope).
+    pub fn skip(self) {}
+}
+
+impl<D: ?Sized> Drop for StepScope<'_, D> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.engine.stamp_iteration(self.iteration);
+        }
+    }
+}
+
+/// What one completed step produced: a snapshot of every region's status.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StepReport {
+    pub(super) statuses: Vec<RegionStatus>,
+}
+
+impl StepReport {
+    /// The status of one region.
+    pub fn region(&self, id: RegionId) -> Option<&RegionStatus> {
+        self.statuses.get(id.index())
+    }
+
+    /// Statuses of all regions, in registration order.
+    pub fn regions(&self) -> &[RegionStatus] {
+        &self.statuses
+    }
+
+    /// Whether any region requests early termination of the simulation.
+    pub fn should_terminate(&self) -> bool {
+        self.statuses.iter().any(|s| s.should_terminate)
+    }
+
+    /// Whether every region (with at least one analysis) has converged.
+    pub fn all_converged(&self) -> bool {
+        !self.statuses.is_empty() && self.statuses.iter().all(|s| s.converged)
+    }
+}

@@ -36,6 +36,22 @@ pub enum Error {
     },
     /// Prediction was requested before the model had been trained.
     ModelNotTrained,
+    /// An engine handle (region or analysis id) did not refer to a live
+    /// entity of this engine.
+    UnknownHandle {
+        /// What kind of handle was presented ("region", "analysis").
+        what: &'static str,
+        /// The raw index carried by the handle.
+        index: usize,
+    },
+    /// A region or analysis was registered under a name that is already
+    /// taken within its scope.
+    DuplicateName {
+        /// What kind of entity was being added ("region", "analysis").
+        what: &'static str,
+        /// The offending name.
+        name: String,
+    },
     /// A feature could not be derived from the available curve.
     FeatureNotFound {
         /// Human readable description of what was being extracted.
@@ -61,6 +77,12 @@ impl fmt::Display for Error {
                 "not enough data: {available} samples available, {required} required"
             ),
             Error::ModelNotTrained => write!(f, "model has not been trained yet"),
+            Error::UnknownHandle { what, index } => {
+                write!(f, "unknown {what} handle (index {index})")
+            }
+            Error::DuplicateName { what, name } => {
+                write!(f, "duplicate {what} name `{name}`")
+            }
             Error::FeatureNotFound { what } => write!(f, "feature not found: {what}"),
         }
     }

@@ -153,9 +153,7 @@ impl BreakpointExtractor {
                 bounded: true,
             })
             .ok_or_else(|| Error::FeatureNotFound {
-                what: format!(
-                    "no location in {start}..={end} below threshold {threshold:.3e}"
-                ),
+                what: format!("no location in {start}..={end} below threshold {threshold:.3e}"),
             })
     }
 }
@@ -165,7 +163,9 @@ mod tests {
     use super::*;
 
     fn decaying_profile(n: usize, initial: f64) -> Vec<(usize, f64)> {
-        (1..=n).map(|r| (r, initial / (r as f64).powf(1.2))).collect()
+        (1..=n)
+            .map(|r| (r, initial / (r as f64).powf(1.2)))
+            .collect()
     }
 
     #[test]

@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn feature_names_are_stable() {
-        assert_eq!(FeatureKind::Breakpoint { threshold: 0.1 }.name(), "breakpoint");
+        assert_eq!(
+            FeatureKind::Breakpoint { threshold: 0.1 }.name(),
+            "breakpoint"
+        );
         assert_eq!(FeatureKind::DelayTime.name(), "delay-time");
         assert_eq!(FeatureKind::Outliers { threshold: 1.0 }.name(), "outliers");
     }

@@ -118,9 +118,6 @@ mod tests {
         assert!(OutlierExtractor::new(f64::NAN).is_err());
         assert!(OutlierExtractor::new(f64::INFINITY).is_err());
         let ex = OutlierExtractor::new(0.0).unwrap();
-        assert!(matches!(
-            ex.extract(&[]),
-            Err(Error::NotEnoughData { .. })
-        ));
+        assert!(matches!(ex.extract(&[]), Err(Error::NotEnoughData { .. })));
     }
 }

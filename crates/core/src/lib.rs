@@ -17,9 +17,14 @@
 //! optionally requesting **early termination** of the simulation once the
 //! model is accurate enough ([`region`]).
 //!
-//! The public surface mirrors the paper's library framework: the
-//! [`region::Region`] type plus the `td_*` free functions in [`compat`]
-//! correspond one-to-one to the API listed in the paper's Section III-C.
+//! The primary entry point is the handle-based multi-region
+//! [`engine::Engine`], which drives every iteration through explicit
+//! **sample → assemble → train → extract** stages and can move training off
+//! the simulation thread ([`engine::TrainingMode::Background`]). The paper's
+//! library framework is preserved as thin layers on top: the legacy
+//! [`region::Region`] type wraps a single-region inline engine, and the
+//! `td_*` free functions in [`compat`] correspond one-to-one to the API
+//! listed in the paper's Section III-C.
 //!
 //! # Quick start
 //!
@@ -64,6 +69,7 @@
 
 pub mod collect;
 pub mod compat;
+pub mod engine;
 pub mod error;
 pub mod extract;
 pub mod model;
@@ -80,15 +86,19 @@ pub use provider::VarProvider;
 /// The most commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::collect::{Collector, MiniBatch, Sample, SampleHistory};
+    #[allow(deprecated)]
     pub use crate::compat::{
-        td_iter_param_init, td_region_add_analysis, td_region_begin, td_region_end,
-        td_region_init,
+        td_iter_param_init, td_region_add_analysis, td_region_begin, td_region_end, td_region_init,
+    };
+    pub use crate::engine::{
+        AnalysisId, Engine, EngineConfig, RegionId, StepReport, StepScope, TrainingMode,
+        TrainingProgress,
     };
     pub use crate::error::{Error, Result};
     pub use crate::extract::{BreakpointExtractor, DelayTimeExtractor, FeatureKind};
     pub use crate::model::{ArModel, IncrementalTrainer, Optimizer, OptimizerKind, TrainerConfig};
     pub use crate::params::IterParam;
-    pub use crate::provider::VarProvider;
+    pub use crate::provider::{SliceProvider, VarProvider};
     pub use crate::region::{
         AnalysisMethod, AnalysisSpec, ExitAction, Region, RegionStatus, StatusBroadcaster,
     };

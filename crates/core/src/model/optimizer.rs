@@ -62,9 +62,7 @@ impl OptimizerKind {
                 learning_rate,
                 beta,
             } => Box::new(Momentum::new(learning_rate, beta, dim)),
-            OptimizerKind::Adagrad { learning_rate } => {
-                Box::new(Adagrad::new(learning_rate, dim))
-            }
+            OptimizerKind::Adagrad { learning_rate } => Box::new(Adagrad::new(learning_rate, dim)),
         }
     }
 }
@@ -157,7 +155,11 @@ impl Optimizer for Adagrad {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         assert_eq!(params.len(), grads.len(), "parameter/gradient mismatch");
         assert_eq!(params.len(), self.accumulator.len(), "dimension mismatch");
-        for ((p, g), a) in params.iter_mut().zip(grads).zip(self.accumulator.iter_mut()) {
+        for ((p, g), a) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.accumulator.iter_mut())
+        {
             *a += g * g;
             *p -= self.learning_rate * g / (a.sqrt() + self.epsilon);
         }

@@ -344,8 +344,10 @@ mod tests {
         assert!(c.validate().is_ok());
         c.order = 0;
         assert!(c.validate().is_err());
-        let mut c = TrainerConfig::default();
-        c.epochs_per_batch = 0;
+        let c = TrainerConfig {
+            epochs_per_batch: 0,
+            ..TrainerConfig::default()
+        };
         assert!(IncrementalTrainer::new(c).is_err());
     }
 

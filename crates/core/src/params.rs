@@ -96,7 +96,7 @@ impl IterParam {
 
     /// Whether `value` is one of the sampled points.
     pub fn contains(&self, value: u64) -> bool {
-        value >= self.begin && value <= self.end && (value - self.begin) % self.step == 0
+        value >= self.begin && value <= self.end && (value - self.begin).is_multiple_of(self.step)
     }
 
     /// The position of `value` within the sampled sequence, if it is sampled.
@@ -110,7 +110,9 @@ impl IterParam {
 
     /// The `index`-th sampled value, if it exists.
     pub fn nth(&self, index: usize) -> Option<u64> {
-        let candidate = self.begin.checked_add(self.step.checked_mul(index as u64)?)?;
+        let candidate = self
+            .begin
+            .checked_add(self.step.checked_mul(index as u64)?)?;
         (candidate <= self.end).then_some(candidate)
     }
 

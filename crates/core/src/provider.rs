@@ -30,6 +30,26 @@
 pub trait VarProvider<D: ?Sized> {
     /// The current value of the diagnostic variable at `location`.
     fn value(&self, domain: &D, location: usize) -> f64;
+
+    /// Writes the current values at `locations` into `out`, one per
+    /// location.
+    ///
+    /// This is the batch fast path used by the engine's *sample* stage: the
+    /// collector hands the whole spatial characteristic over in one call, so
+    /// providers backed by contiguous storage can gather without paying one
+    /// dynamic dispatch per location. The default implementation falls back
+    /// to calling [`VarProvider::value`] per location, so existing scalar
+    /// providers (including plain closures) keep working unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume `locations.len() == out.len()`; the
+    /// default implementation only fills the common prefix.
+    fn fill(&self, domain: &D, locations: &[usize], out: &mut [f64]) {
+        for (slot, &location) in out.iter_mut().zip(locations) {
+            *slot = self.value(domain, location);
+        }
+    }
 }
 
 impl<D: ?Sized, F> VarProvider<D> for F
@@ -50,6 +70,43 @@ pub struct ConstantProvider(pub f64);
 impl<D: ?Sized> VarProvider<D> for ConstantProvider {
     fn value(&self, _domain: &D, _location: usize) -> f64 {
         self.0
+    }
+
+    fn fill(&self, _domain: &D, _locations: &[usize], out: &mut [f64]) {
+        out.fill(self.0);
+    }
+}
+
+/// A provider for domains that *are* (or dereference to) a slice of values
+/// indexed by location, with an overridden batch [`VarProvider::fill`] that
+/// gathers directly from the slice — the fastest sampling path for
+/// simulations whose diagnostic variable lives in one contiguous field.
+///
+/// Out-of-range locations read as `0.0`, matching the defensive closures
+/// used throughout the examples.
+///
+/// ```
+/// use insitu::provider::{SliceProvider, VarProvider};
+///
+/// let field = vec![0.5, 0.25, 0.125];
+/// assert_eq!(SliceProvider.value(&field, 1), 0.25);
+/// let mut out = [0.0; 2];
+/// SliceProvider.fill(&field, &[2, 9], &mut out);
+/// assert_eq!(out, [0.125, 0.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SliceProvider;
+
+impl<D: ?Sized + AsRef<[f64]>> VarProvider<D> for SliceProvider {
+    fn value(&self, domain: &D, location: usize) -> f64 {
+        domain.as_ref().get(location).copied().unwrap_or(0.0)
+    }
+
+    fn fill(&self, domain: &D, locations: &[usize], out: &mut [f64]) {
+        let values = domain.as_ref();
+        for (slot, &location) in out.iter_mut().zip(locations) {
+            *slot = values.get(location).copied().unwrap_or(0.0);
+        }
     }
 }
 
@@ -76,5 +133,33 @@ mod tests {
         let boxed: Box<dyn VarProvider<[f64]>> = Box::new(|d: &[f64], loc: usize| d[loc]);
         let data = [7.0, 8.0];
         assert_eq!(boxed.value(&data, 1), 8.0);
+    }
+
+    #[test]
+    fn default_fill_matches_per_location_values() {
+        let p = |d: &Vec<f64>, loc: usize| d.get(loc).copied().unwrap_or(-1.0);
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let locations = [3, 0, 17];
+        let mut out = [0.0; 3];
+        p.fill(&data, &locations, &mut out);
+        assert_eq!(out, [4.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn slice_provider_gathers_and_zero_fills_out_of_range() {
+        let data = vec![1.0, 2.0, 3.0];
+        assert_eq!(SliceProvider.value(&data, 2), 3.0);
+        assert_eq!(SliceProvider.value(&data, 3), 0.0);
+        let mut out = [9.0; 4];
+        SliceProvider.fill(&data, &[0, 2, 5, 1], &mut out);
+        assert_eq!(out, [1.0, 3.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_provider_fill_floods_the_buffer() {
+        let p = ConstantProvider(2.5);
+        let mut out = [0.0; 3];
+        VarProvider::<()>::fill(&p, &(), &[0, 1, 2], &mut out);
+        assert_eq!(out, [2.5, 2.5, 2.5]);
     }
 }

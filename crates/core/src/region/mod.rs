@@ -8,6 +8,7 @@
 //! [`StatusBroadcaster`], every other rank) can consult — including the
 //! early-termination request once the auto-regressive model has converged.
 
+#[allow(clippy::module_inception)]
 mod region;
 mod spec;
 mod status;

@@ -1,144 +1,36 @@
-//! The region driver.
+//! The legacy single-region driver, now a thin shim over the engine.
 
-use crate::collect::{CollectionEvent, Collector, SampleHistory};
-use crate::extract::{
-    BreakpointExtractor, DelayTimeExtractor, FeatureKind, OutlierExtractor,
-};
+use crate::collect::SampleHistory;
+use crate::engine::{Engine, RegionId};
 use crate::model::IncrementalTrainer;
 
-use super::spec::{AnalysisMethod, AnalysisSpec, ExitAction};
-use super::status::{FeatureValue, NullBroadcaster, RegionStatus, StatusBroadcaster};
-
-/// One armed analysis: its specification plus the live collector/trainer
-/// state.
-struct Analysis<D: ?Sized> {
-    spec: AnalysisSpec<D>,
-    collector: Collector,
-    trainer: IncrementalTrainer,
-    feature: Option<FeatureValue>,
-}
-
-impl<D: ?Sized> Analysis<D> {
-    fn new(spec: AnalysisSpec<D>) -> Self {
-        let collector = Collector::new(
-            spec.spatial,
-            spec.temporal,
-            spec.trainer.order,
-            spec.lag,
-            spec.layout,
-            spec.batch_capacity,
-        );
-        let trainer = IncrementalTrainer::new(spec.trainer)
-            .expect("spec builder validated the trainer configuration");
-        Self {
-            spec,
-            collector,
-            trainer,
-            feature: None,
-        }
-    }
-
-    /// Attempts feature extraction from the current history/model state.
-    fn try_extract(&mut self) {
-        let history = self.collector.history();
-        if history.is_empty() {
-            return;
-        }
-        let extracted = match self.spec.feature {
-            FeatureKind::Breakpoint { threshold } => {
-                let peaks = history.peak_per_location();
-                let initial = peaks
-                    .iter()
-                    .map(|(_, v)| v.abs())
-                    .fold(0.0_f64, f64::max);
-                if initial <= 0.0 {
-                    None
-                } else {
-                    BreakpointExtractor::new(threshold.clamp(1e-6, 1.0), initial)
-                        .ok()
-                        .and_then(|ex| ex.extract_from_profile(&peaks).ok())
-                        .map(FeatureValue::Breakpoint)
-                }
-            }
-            FeatureKind::DelayTime => {
-                let location = self.representative_location(history);
-                history.series_of(location).and_then(|series| {
-                    let times: Vec<f64> = series.iter().map(|(it, _)| *it as f64).collect();
-                    let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
-                    DelayTimeExtractor::new()
-                        .extract(&times, &values)
-                        .ok()
-                        .map(FeatureValue::DelayTime)
-                })
-            }
-            FeatureKind::Outliers { threshold } => {
-                let profile = history.peak_per_location();
-                OutlierExtractor::new(threshold)
-                    .ok()
-                    .and_then(|ex| ex.extract(&profile).ok())
-                    .map(FeatureValue::Outliers)
-            }
-        };
-        if extracted.is_some() {
-            self.feature = extracted;
-        }
-    }
-
-    /// The location whose series is used for time-series features: the one
-    /// with the most samples (ties broken by the smallest id, which for the
-    /// WD case is the point nearest the domain origin).
-    fn representative_location(&self, history: &SampleHistory) -> usize {
-        history
-            .locations()
-            .into_iter()
-            .max_by_key(|loc| history.series_of(*loc).map_or(0, <[(u64, f64)]>::len))
-            .unwrap_or(0)
-    }
-
-    /// Latest one-step prediction at the representative location, if the
-    /// model is trained and enough history exists.
-    fn latest_prediction(&self) -> Option<f64> {
-        if !self.trainer.model().is_trained() {
-            return None;
-        }
-        let history = self.collector.history();
-        let location = self.representative_location(history);
-        let latest_iteration = history.series_of(location)?.last()?.0;
-        let predictors = self.collector.predictors_for(location, latest_iteration)?;
-        self.trainer.predict(&predictors).ok()
-    }
-
-    /// Whether this analysis considers its work done (model converged, or
-    /// threshold-only analyses once collection finished).
-    fn is_done(&self, iteration: u64) -> bool {
-        match self.spec.method {
-            AnalysisMethod::CurveFitting => {
-                self.trainer.is_converged() || self.collector.finished(iteration)
-            }
-            AnalysisMethod::ThresholdOnly => self.collector.finished(iteration),
-        }
-    }
-}
+use super::spec::AnalysisSpec;
+use super::status::{RegionStatus, StatusBroadcaster};
 
 /// The `td_region_t` of the paper: a named group of in-situ analyses hooked
 /// into a simulation's main loop.
+///
+/// `Region` predates the multi-region [`Engine`](crate::engine::Engine) and
+/// is kept as a thin wrapper over an engine with exactly one region and
+/// inline training, so existing integrations (and the paper-shaped `td_*`
+/// functions in [`compat`](crate::compat)) keep working unchanged. New code
+/// should use the engine directly: it supports many regions behind copyable
+/// handles, batch sampling, and off-thread training.
 ///
 /// See the crate-level example for end-to-end usage; the typical sequence is
 /// [`Region::new`] → [`Region::add_analysis`] → per iteration
 /// [`Region::begin`] / [`Region::end`] → [`Region::status`].
 pub struct Region<D: ?Sized> {
-    name: String,
-    analyses: Vec<Analysis<D>>,
-    broadcaster: Box<dyn StatusBroadcaster>,
-    status: RegionStatus,
+    engine: Engine<D>,
+    id: RegionId,
 }
 
 impl<D: ?Sized> std::fmt::Debug for Region<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Region")
-            .field("name", &self.name)
-            .field("analyses", &self.analyses.len())
-            .field("status", &self.status)
+            .field("name", &self.name())
+            .field("analyses", &self.analysis_count())
+            .field("status", self.status())
             .finish_non_exhaustive()
     }
 }
@@ -146,12 +38,11 @@ impl<D: ?Sized> std::fmt::Debug for Region<D> {
 impl<D: ?Sized> Region<D> {
     /// Creates an empty region with a no-op broadcaster.
     pub fn new(name: impl Into<String>) -> Self {
-        Self {
-            name: name.into(),
-            analyses: Vec::new(),
-            broadcaster: Box::new(NullBroadcaster),
-            status: RegionStatus::default(),
-        }
+        let mut engine = Engine::new();
+        let id = engine
+            .add_region(name)
+            .expect("a fresh engine has no duplicate region names");
+        Self { engine, id }
     }
 
     /// Replaces the status broadcaster (e.g. with one backed by a `parsim`
@@ -160,41 +51,57 @@ impl<D: ?Sized> Region<D> {
     where
         B: StatusBroadcaster + 'static,
     {
-        self.broadcaster = Box::new(broadcaster);
+        self.engine
+            .set_broadcaster(self.id, broadcaster)
+            .expect("the region exists for the engine's lifetime");
         self
     }
 
     /// The region name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.engine
+            .region_name(self.id)
+            .expect("the region exists for the engine's lifetime")
     }
 
     /// Number of analyses registered.
     pub fn analysis_count(&self) -> usize {
-        self.analyses.len()
+        self.engine
+            .analysis_count(self.id)
+            .expect("the region exists for the engine's lifetime")
     }
 
     /// Registers an analysis; returns its index for later inspection.
+    ///
+    /// Unlike [`Engine::add_analysis`](crate::engine::Engine::add_analysis),
+    /// duplicate analysis names are accepted (the historical contract of
+    /// this type); [`RegionStatus::feature`] then returns the first match.
     pub fn add_analysis(&mut self, spec: AnalysisSpec<D>) -> usize {
-        self.analyses.push(Analysis::new(spec));
-        self.analyses.len() - 1
+        self.engine
+            .add_analysis_allow_duplicate(self.id, spec)
+            .expect("the region exists for the engine's lifetime")
+            .index()
     }
 
     /// The most recent status (identical to the value returned by the last
     /// [`Region::end`] call).
     pub fn status(&self) -> &RegionStatus {
-        &self.status
+        self.engine
+            .status(self.id)
+            .expect("the region exists for the engine's lifetime")
     }
 
     /// The sample history of one analysis (by registration index).
     pub fn history(&self, analysis: usize) -> Option<&SampleHistory> {
-        self.analyses.get(analysis).map(|a| a.collector.history())
+        self.engine
+            .history(self.engine.analysis_id(self.id, analysis)?)
     }
 
     /// The trainer of one analysis (by registration index), for inspecting
     /// the fitted model and loss history.
     pub fn trainer(&self, analysis: usize) -> Option<&IncrementalTrainer> {
-        self.analyses.get(analysis).map(|a| &a.trainer)
+        self.engine
+            .trainer(self.engine.analysis_id(self.id, analysis)?)
     }
 
     /// Marks the start of the iteration's main computation
@@ -202,110 +109,42 @@ impl<D: ?Sized> Region<D> {
     /// computation has produced the iteration's values; `begin` only stamps
     /// the status so the pairing mirrors the paper's API.
     pub fn begin(&mut self, iteration: u64) {
-        self.status.iteration = iteration;
+        self.engine.step(iteration).skip();
     }
 
     /// Marks the end of the iteration's main computation
-    /// (`td_region_end`): collects samples, trains on any filled
-    /// mini-batches, attempts feature extraction, broadcasts the updated
-    /// status and returns it.
+    /// (`td_region_end`): runs the engine pipeline — sample, assemble,
+    /// train, extract — broadcasts the updated status and returns it.
     pub fn end(&mut self, iteration: u64, domain: &D) -> RegionStatus {
-        let mut samples_this_iteration = 0;
-        let mut last_loss = self.status.last_loss;
-
-        for analysis in &mut self.analyses {
-            let event = {
-                let Analysis {
-                    collector,
-                    spec,
-                    ..
-                } = analysis;
-                collector.observe(iteration, domain, spec.provider.as_ref())
-            };
-            match event {
-                CollectionEvent::Skipped => {}
-                CollectionEvent::Collected { samples } => {
-                    samples_this_iteration += samples;
-                }
-                CollectionEvent::BatchReady { samples, rows } => {
-                    samples_this_iteration += samples;
-                    if analysis.spec.method == AnalysisMethod::CurveFitting {
-                        if let Ok(loss) = analysis.trainer.train_batch(&rows) {
-                            last_loss = Some(loss);
-                        }
-                    }
-                }
-            }
-            if analysis.is_done(iteration) || analysis.collector.finished(iteration) {
-                analysis.try_extract();
-            }
-        }
-
-        let all_done = !self.analyses.is_empty()
-            && self.analyses.iter().all(|a| a.is_done(iteration));
-        let wants_termination = self
-            .analyses
-            .iter()
-            .any(|a| a.spec.exit == ExitAction::TerminateSimulation);
-
-        self.status.iteration = iteration;
-        self.status.samples_collected += samples_this_iteration;
-        self.status.batches_trained = self
-            .analyses
-            .iter()
-            .map(|a| a.trainer.loss_history().len())
-            .sum();
-        self.status.last_loss = last_loss;
-        self.status.converged = all_done;
-        self.status.predicted_value = self.analyses.first().and_then(Analysis::latest_prediction);
-        self.status.front_location = self.front_location();
-        self.status.features = self
-            .analyses
-            .iter()
-            .filter_map(|a| {
-                a.feature
-                    .clone()
-                    .map(|f| (a.spec.name.clone(), f))
-            })
-            .collect();
-        self.status.should_terminate = all_done && wants_termination;
-
-        self.broadcaster.broadcast(&self.status);
-        self.status.clone()
+        let report = self.engine.step(iteration).complete(domain);
+        report
+            .region(self.id)
+            .cloned()
+            .expect("the region exists for the engine's lifetime")
     }
 
     /// Forces feature extraction from whatever has been collected so far
     /// (normally extraction happens automatically once an analysis is done).
     pub fn extract_now(&mut self) {
-        for analysis in &mut self.analyses {
-            analysis.try_extract();
-        }
-        self.status.features = self
-            .analyses
-            .iter()
-            .filter_map(|a| a.feature.clone().map(|f| (a.spec.name.clone(), f)))
-            .collect();
+        self.engine
+            .extract_now(self.id)
+            .expect("the region exists for the engine's lifetime");
     }
 
-    /// The location of the maximum most-recently-observed value across the
-    /// first analysis' sampled locations — the "wave front" broadcast to
-    /// other ranks in the LULESH case study.
-    fn front_location(&self) -> Option<usize> {
-        let history = self.analyses.first()?.collector.history();
-        history
-            .locations()
-            .into_iter()
-            .filter_map(|loc| history.latest_of(loc).map(|v| (loc, v)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(loc, _)| loc)
+    /// The underlying engine, for migrating incrementally to the handle
+    /// -based API.
+    pub fn engine(&self) -> &Engine<D> {
+        &self.engine
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::extract::FeatureKind;
     use crate::model::{ConvergenceCriteria, OptimizerKind, TrainerConfig};
     use crate::params::IterParam;
+    use crate::region::{ExitAction, FeatureValue};
 
     /// A toy domain: an outward-travelling decaying pulse.
     struct Pulse {
@@ -405,8 +244,8 @@ mod tests {
         use std::sync::Arc;
         let count = Arc::new(AtomicUsize::new(0));
         let counter = Arc::clone(&count);
-        let mut region: Region<Pulse> = Region::new("bcast")
-            .with_broadcaster(move |_s: &RegionStatus| {
+        let mut region: Region<Pulse> =
+            Region::new("bcast").with_broadcaster(move |_s: &RegionStatus| {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         region.add_analysis(breakpoint_spec(ExitAction::Continue));
@@ -425,7 +264,7 @@ mod tests {
     fn front_location_tracks_the_pulse() {
         let (region, _) = run_region(ExitAction::Continue, 120);
         let front = region.status().front_location.unwrap();
-        assert!(front >= 1 && front <= 12);
+        assert!((1..=12).contains(&front));
     }
 
     #[test]
@@ -441,5 +280,29 @@ mod tests {
         assert_eq!(status.samples_collected, 0);
         assert!(!status.converged);
         assert!(!status.should_terminate);
+    }
+
+    #[test]
+    fn duplicate_analysis_names_are_accepted_like_the_original_api() {
+        // The engine rejects duplicate names, but the legacy shim keeps the
+        // historical contract: same-named analyses coexist and both collect.
+        let mut region: Region<Pulse> = Region::new("dup");
+        let first = region.add_analysis(breakpoint_spec(ExitAction::Continue));
+        let second = region.add_analysis(breakpoint_spec(ExitAction::Continue));
+        assert_eq!((first, second), (0, 1));
+        let mut domain = Pulse {
+            values: vec![0.0; 40],
+        };
+        for it in 0..10u64 {
+            region.begin(it);
+            domain.advance(it);
+            region.end(it, &domain);
+        }
+        assert_eq!(region.analysis_count(), 2);
+        assert!(!region.history(0).unwrap().is_empty());
+        assert_eq!(
+            region.history(0).unwrap().len(),
+            region.history(1).unwrap().len()
+        );
     }
 }

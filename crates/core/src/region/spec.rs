@@ -310,6 +310,85 @@ mod tests {
     }
 
     #[test]
+    fn builder_reports_each_missing_mandatory_field() {
+        // The three mandatory fields are reported in a fixed priority order:
+        // provider, then spatial, then temporal.
+        let missing_temporal = AnalysisSpecBuilder::<Vec<f64>>::new()
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .spatial(IterParam::single(0))
+            .build();
+        assert!(matches!(
+            missing_temporal,
+            Err(Error::IncompleteSpec {
+                missing: "temporal characteristic"
+            })
+        ));
+
+        let missing_spatial = AnalysisSpecBuilder::<Vec<f64>>::new()
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .temporal(IterParam::single(0))
+            .build();
+        assert!(matches!(
+            missing_spatial,
+            Err(Error::IncompleteSpec {
+                missing: "spatial characteristic"
+            })
+        ));
+
+        let nothing = AnalysisSpecBuilder::<Vec<f64>>::new().build();
+        assert!(matches!(
+            nothing,
+            Err(Error::IncompleteSpec {
+                missing: "provider"
+            })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_zero_epochs_per_batch() {
+        let bad = AnalysisSpec::<Vec<f64>>::builder()
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .spatial(IterParam::single(1))
+            .temporal(IterParam::single(1))
+            .trainer(TrainerConfig {
+                epochs_per_batch: 0,
+                ..TrainerConfig::default()
+            })
+            .build();
+        assert!(matches!(
+            bad,
+            Err(Error::InvalidHyperParameter {
+                name: "epochs_per_batch",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn builder_error_messages_name_the_offending_parameter() {
+        let zero_batch = AnalysisSpec::<Vec<f64>>::builder()
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .spatial(IterParam::single(1))
+            .temporal(IterParam::single(1))
+            .batch_capacity(0)
+            .build()
+            .unwrap_err();
+        assert!(zero_batch.to_string().contains("batch_capacity"));
+
+        let zero_order = AnalysisSpec::<Vec<f64>>::builder()
+            .provider(|d: &Vec<f64>, loc: usize| d[loc])
+            .spatial(IterParam::single(1))
+            .temporal(IterParam::single(1))
+            .trainer(TrainerConfig {
+                order: 0,
+                ..TrainerConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(zero_order.to_string().contains("order"));
+    }
+
+    #[test]
     fn invalid_hyper_parameters_are_rejected() {
         let zero_batch = AnalysisSpec::<Vec<f64>>::builder()
             .provider(|d: &Vec<f64>, loc: usize| d[loc])

@@ -83,13 +83,11 @@ pub fn find_inflections(values: &[f64]) -> Vec<InflectionPoint> {
 /// The single most pronounced inflection point (largest gradient drop), if
 /// any. Convenience for the delay-time extractor.
 pub fn strongest_inflection(values: &[f64]) -> Option<InflectionPoint> {
-    find_inflections(values)
-        .into_iter()
-        .max_by(|a, b| {
-            a.gradient_drop()
-                .partial_cmp(&b.gradient_drop())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+    find_inflections(values).into_iter().max_by(|a, b| {
+        a.gradient_drop()
+            .partial_cmp(&b.gradient_drop())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 /// Keeps only inflections of a given gradient-extremum direction: `true`
@@ -103,9 +101,7 @@ pub fn inflections_of_kind(values: &[f64], rising: bool) -> Vec<InflectionPoint>
     }
     find_local_extrema(&grads)
         .into_iter()
-        .filter(|p| {
-            (p.kind == TrackedPointKind::LocalMaximum) == rising
-        })
+        .filter(|p| (p.kind == TrackedPointKind::LocalMaximum) == rising)
         .filter_map(|p| {
             let idx = p.index;
             let after = *grads.get(idx + 1)?;

@@ -14,7 +14,9 @@ mod smoothing;
 mod threshold;
 
 pub use gradient::{gradients, second_differences};
-pub use inflection::{find_inflections, inflections_of_kind, strongest_inflection, InflectionPoint};
+pub use inflection::{
+    find_inflections, inflections_of_kind, strongest_inflection, InflectionPoint,
+};
 pub use peaks::{find_local_extrema, PeakDetector, TrackedPoint, TrackedPointKind};
 pub use smoothing::{exponential_smooth, moving_average};
 pub use threshold::{first_crossing, last_below, radius_search, CrossingDirection};

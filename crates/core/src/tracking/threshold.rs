@@ -19,7 +19,11 @@ pub enum CrossingDirection {
 
 /// Index of the first sample at which the series crosses the threshold in
 /// the given direction, if it ever does.
-pub fn first_crossing(values: &[f64], threshold: f64, direction: CrossingDirection) -> Option<usize> {
+pub fn first_crossing(
+    values: &[f64],
+    threshold: f64,
+    direction: CrossingDirection,
+) -> Option<usize> {
     for i in 1..values.len() {
         let (prev, cur) = (values[i - 1], values[i]);
         match direction {
@@ -84,11 +88,20 @@ mod tests {
     #[test]
     fn first_crossing_in_both_directions() {
         let rise = [0.0, 0.2, 0.4, 0.6, 0.8];
-        assert_eq!(first_crossing(&rise, 0.5, CrossingDirection::Upward), Some(3));
-        assert_eq!(first_crossing(&rise, 0.5, CrossingDirection::Downward), None);
+        assert_eq!(
+            first_crossing(&rise, 0.5, CrossingDirection::Upward),
+            Some(3)
+        );
+        assert_eq!(
+            first_crossing(&rise, 0.5, CrossingDirection::Downward),
+            None
+        );
 
         let fall = [1.0, 0.7, 0.4, 0.1];
-        assert_eq!(first_crossing(&fall, 0.5, CrossingDirection::Downward), Some(2));
+        assert_eq!(
+            first_crossing(&fall, 0.5, CrossingDirection::Downward),
+            Some(2)
+        );
         assert_eq!(first_crossing(&fall, 2.0, CrossingDirection::Upward), None);
     }
 

@@ -1,0 +1,53 @@
+//! In-situ engine integration for the LULESH proxy: velocity curve fitting
+//! with background training and break-point extraction, the engine-native
+//! version of the paper's Fig. 2 integration.
+//!
+//! Run with `cargo run --release -p lulesh --example lulesh_insitu_engine`.
+
+use insitu::engine::{Engine, EngineConfig};
+use insitu::extract::FeatureKind;
+use insitu::region::{AnalysisSpec, ExitAction};
+use insitu::IterParam;
+use lulesh::{LuleshConfig, LuleshSim};
+use parsim::{ParallelConfig, ThreadPool};
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let size = 30;
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+
+    // Training runs on a worker thread; the solver thread only samples.
+    let pool = ThreadPool::new(ParallelConfig::new(1, 2)?);
+    let mut engine: Engine<LuleshSim> = Engine::with_config(EngineConfig::background(pool));
+    let region = engine.add_region("sedov_blast")?;
+    engine.add_analysis(
+        region,
+        AnalysisSpec::builder()
+            .name("velocity")
+            .provider(|s: &LuleshSim, loc: usize| s.velocity_at(loc))
+            .spatial(IterParam::new(1, 10, 1)?)
+            .temporal(IterParam::new(1, 1500, 1)?)
+            .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+            .lag(5)
+            .exit(ExitAction::TerminateSimulation)
+            .build()?,
+    )?;
+
+    let summary =
+        sim.run_with(|s, iteration| !engine.step(iteration).complete(s).should_terminate());
+    engine.drain();
+    engine.extract_now(region)?;
+
+    let status = engine.status(region).expect("region is live");
+    println!(
+        "ran {} iterations (terminated early: {}), {} samples, {} batches trained",
+        summary.iterations,
+        summary.terminated_early,
+        status.samples_collected,
+        status.batches_trained
+    );
+    match status.feature("velocity") {
+        Some(feature) => println!("extracted break-point radius = {:.0}", feature.scalar()),
+        None => println!("no break-point extracted within the budget"),
+    }
+    Ok(())
+}

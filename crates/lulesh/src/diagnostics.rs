@@ -189,6 +189,9 @@ mod tests {
         let series = diag.series_at(2).unwrap();
         let peak = diag.peak_at(2);
         let last = series.last().unwrap().abs();
-        assert!(last < peak * 0.8, "velocity should decay after the shock passes");
+        assert!(
+            last < peak * 0.8,
+            "velocity should decay after the shock passes"
+        );
     }
 }

@@ -94,7 +94,7 @@ impl ElementFields {
             // The radial mesh deforms, so find the zone by scan from the
             // nearest undeformed index (meshes stay nearly uniform).
             let mut j = (r.floor() as usize).min(zones - 1);
-            while j + 1 <= zones - 1 && node_r[j + 1] < r {
+            while j < zones - 1 && node_r[j + 1] < r {
                 j += 1;
             }
             while j > 0 && node_r[j] > r {
@@ -102,7 +102,11 @@ impl ElementFields {
             }
             let r0 = node_r[j];
             let r1 = node_r[j + 1];
-            let t = if r1 > r0 { ((r - r0) / (r1 - r0)).clamp(0.0, 1.0) } else { 0.0 };
+            let t = if r1 > r0 {
+                ((r - r0) / (r1 - r0)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             let u = node_u[j] * (1.0 - t) + node_u[j + 1] * t;
             (u, zone_e[j], zone_p[j])
         };
@@ -196,8 +200,7 @@ mod tests {
         parallel.update_from(&state, &pool);
         for i in 0..serial.len() {
             assert!(
-                (serial.velocity.get(i).unwrap() - parallel.velocity.get(i).unwrap()).abs()
-                    < 1e-12
+                (serial.velocity.get(i).unwrap() - parallel.velocity.get(i).unwrap()).abs() < 1e-12
             );
         }
     }
@@ -208,7 +211,10 @@ mod tests {
         let mut fields = ElementFields::new(24);
         fields.update_from(&state, &ThreadPool::serial());
         let front = state.shock_front_radius();
-        assert!(front < 18.0, "front {front} should still be inside the mesh");
+        assert!(
+            front < 18.0,
+            "front {front} should still be inside the mesh"
+        );
         // Ahead of the shock the material is still (nearly) at rest.
         let quiet_shell = (front + 5.0).round() as usize;
         assert!(

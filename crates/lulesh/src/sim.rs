@@ -152,7 +152,8 @@ impl LuleshSim {
 
         // Face halo exchange between neighbouring ranks (modelled cost).
         let face_elems = self.config.edge_elems * self.config.edge_elems;
-        self.world.halo_exchange(6, face_elems * std::mem::size_of::<f64>());
+        self.world
+            .halo_exchange(6, face_elems * std::mem::size_of::<f64>());
 
         self.iteration += 1;
         self.time = report.time;
@@ -211,7 +212,10 @@ mod tests {
         assert!(summary.iterations > 50);
         assert!(!summary.terminated_early);
         assert!(sim.done());
-        assert!(summary.final_time >= sim.config().end_time || summary.iterations == sim.config().max_iterations);
+        assert!(
+            summary.final_time >= sim.config().end_time
+                || summary.iterations == sim.config().max_iterations
+        );
     }
 
     #[test]

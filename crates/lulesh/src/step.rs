@@ -53,8 +53,7 @@ pub fn advance(state: &mut RadialState, config: &LuleshConfig, dt: f64) {
             let cs = state.sound_speed(j, gamma);
             let rho = state.zone_rho[j];
             state.zone_q[j] = rho
-                * (config.viscosity_quadratic * du * du
-                    + config.viscosity_linear * cs * du.abs());
+                * (config.viscosity_quadratic * du * du + config.viscosity_linear * cs * du.abs());
         } else {
             state.zone_q[j] = 0.0;
         }
@@ -63,10 +62,10 @@ pub fn advance(state: &mut RadialState, config: &LuleshConfig, dt: f64) {
     // Node accelerations from the total-stress difference across each node.
     let stress = |j: usize| state.zone_p[j] + state.zone_q[j];
     let mut accel = vec![0.0; zones + 1];
-    for i in 1..zones {
+    for (i, a) in accel.iter_mut().enumerate().take(zones).skip(1) {
         let area = 4.0 * std::f64::consts::PI * state.node_r[i] * state.node_r[i];
         let node_mass = 0.5 * (state.zone_mass[i - 1] + state.zone_mass[i]);
-        accel[i] = area * (stress(i - 1) - stress(i)) / node_mass.max(1e-12);
+        *a = area * (stress(i - 1) - stress(i)) / node_mass.max(1e-12);
     }
     // The central node stays at the origin; the outer boundary is a rigid
     // wall (LULESH's symmetry planes keep the Sedov blast inside the box —
@@ -77,8 +76,8 @@ pub fn advance(state: &mut RadialState, config: &LuleshConfig, dt: f64) {
 
     // Velocity and position updates.
     let old_r = state.node_r.clone();
-    for i in 0..=zones {
-        state.node_u[i] += accel[i] * dt;
+    for (u, a) in state.node_u.iter_mut().zip(&accel) {
+        *u += a * dt;
     }
     state.node_u[0] = 0.0;
     state.node_u[zones] = 0.0;
@@ -118,7 +117,11 @@ pub fn step(
         dt = (config.end_time - time).max(1e-12);
     }
     advance(state, config, dt);
-    let max_velocity = state.node_u.iter().copied().fold(0.0_f64, |a, b| a.max(b.abs()));
+    let max_velocity = state
+        .node_u
+        .iter()
+        .copied()
+        .fold(0.0_f64, |a, b| a.max(b.abs()));
     StepReport {
         dt,
         time: time + dt,
@@ -163,7 +166,10 @@ mod tests {
         let (_, _, reports) = run(24, 400);
         let early = reports[10].shock_radius;
         let late = reports[399].shock_radius;
-        assert!(late > early, "shock should move outward ({early} -> {late})");
+        assert!(
+            late > early,
+            "shock should move outward ({early} -> {late})"
+        );
         assert!(reports.iter().all(|r| r.dt > 0.0));
     }
 

@@ -121,9 +121,7 @@ mod tests {
     #[test]
     fn allreduce_is_twice_broadcast() {
         let m = CostModel::default();
-        assert!(
-            (m.allreduce_seconds(16, 64) - 2.0 * m.broadcast_seconds(16, 64)).abs() < 1e-15
-        );
+        assert!((m.allreduce_seconds(16, 64) - 2.0 * m.broadcast_seconds(16, 64)).abs() < 1e-15);
     }
 
     #[test]

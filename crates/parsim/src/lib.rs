@@ -43,5 +43,5 @@ pub mod world;
 pub use config::ParallelConfig;
 pub use cost::CostModel;
 pub use error::{Error, Result};
-pub use threadpool::ThreadPool;
+pub use threadpool::{JobHandle, ThreadPool};
 pub use world::World;

@@ -8,8 +8,8 @@
 //! rank, termination flag), which is exactly the traffic whose overhead the
 //! paper's Table III measures.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use crate::config::ParallelConfig;
 use crate::cost::CostModel;
@@ -101,28 +101,36 @@ impl World {
 
     /// Total modelled communication time accumulated so far, in seconds.
     pub fn communication_seconds(&self) -> f64 {
-        self.ledger.lock().seconds
+        self.ledger.lock().expect("ledger mutex poisoned").seconds
     }
 
     /// Number of collective operations executed so far.
     pub fn collective_count(&self) -> usize {
-        self.ledger.lock().records.len()
+        self.ledger
+            .lock()
+            .expect("ledger mutex poisoned")
+            .records
+            .len()
     }
 
     /// A copy of the per-collective ledger for detailed attribution.
     pub fn collective_records(&self) -> Vec<CollectiveRecord> {
-        self.ledger.lock().records.clone()
+        self.ledger
+            .lock()
+            .expect("ledger mutex poisoned")
+            .records
+            .clone()
     }
 
     /// Clears the accumulated communication time and ledger.
     pub fn reset_communication(&self) {
-        let mut ledger = self.ledger.lock();
+        let mut ledger = self.ledger.lock().expect("ledger mutex poisoned");
         ledger.seconds = 0.0;
         ledger.records.clear();
     }
 
     fn charge(&self, kind: CollectiveKind, bytes: usize, seconds: f64) {
-        let mut ledger = self.ledger.lock();
+        let mut ledger = self.ledger.lock().expect("ledger mutex poisoned");
         ledger.seconds += seconds;
         ledger.records.push(CollectiveRecord {
             kind,

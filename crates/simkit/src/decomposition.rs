@@ -62,16 +62,15 @@ impl BlockDecomposition {
         }
         if ranks > extents.len() {
             return Err(Error::Decomposition {
-                what: format!(
-                    "rank count {ranks} exceeds element count {}",
-                    extents.len()
-                ),
+                what: format!("rank count {ranks} exceeds element count {}", extents.len()),
             });
         }
         let cbrt = (ranks as f64).cbrt().round() as usize;
         let is_cube = cbrt * cbrt * cbrt == ranks;
-        let divides = is_cube && extents.nx() % cbrt == 0 && extents.ny() % cbrt == 0
-            && extents.nz() % cbrt == 0;
+        let divides = is_cube
+            && extents.nx().is_multiple_of(cbrt)
+            && extents.ny().is_multiple_of(cbrt)
+            && extents.nz().is_multiple_of(cbrt);
         let (kind, ranks_per_axis) = if divides {
             (SplitKind::Cubic, cbrt)
         } else {
@@ -253,7 +252,7 @@ mod tests {
     #[test]
     fn every_element_has_exactly_one_owner() {
         let dec = BlockDecomposition::new(Extents::cubic(6), 8).unwrap();
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for e in 0..dec.extents().len() {
             counts[dec.owner_of(e).unwrap()] += 1;
         }

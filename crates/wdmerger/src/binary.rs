@@ -162,7 +162,8 @@ impl BinaryState {
         }
 
         // Cooling toward the floor temperature.
-        self.temperature -= config.cooling_rate * (self.temperature - config.floor_temperature) * dt;
+        self.temperature -=
+            config.cooling_rate * (self.temperature - config.floor_temperature) * dt;
         self.temperature = self.temperature.max(config.floor_temperature);
 
         // Ignition criterion: central carbon ignition by temperature, or by

@@ -183,7 +183,10 @@ mod tests {
         let line = grid.line_through_origin(&grid.density);
         let peak = line.iter().copied().fold(0.0_f64, f64::max);
         let edge = line[0].max(line[31]);
-        assert!(peak > edge, "density along the line should peak near the stars");
+        assert!(
+            peak > edge,
+            "density along the line should peak near the stars"
+        );
     }
 
     #[test]

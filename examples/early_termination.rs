@@ -13,9 +13,7 @@ fn run_until_answered(size: usize, full_iterations: u64, threshold: f64) -> (u64
         .name("velocity")
         .provider(|sim: &LuleshSim, loc: usize| sim.velocity_at(loc))
         .spatial(IterParam::new(1, 10, 1).expect("valid range"))
-        .temporal(
-            IterParam::new(1, (full_iterations as f64 * 0.4) as u64, 1).expect("valid range"),
-        )
+        .temporal(IterParam::new(1, (full_iterations as f64 * 0.4) as u64, 1).expect("valid range"))
         .feature(FeatureKind::Breakpoint { threshold })
         .lag(5)
         .exit(ExitAction::TerminateSimulation)
@@ -56,15 +54,14 @@ fn main() {
     println!();
     println!("threshold(%)  iterations  % of full  extracted radius");
     for threshold_percent in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
-        let (iterations, radius) = run_until_answered(
-            size,
-            full_summary.iterations,
-            threshold_percent / 100.0,
-        );
+        let (iterations, radius) =
+            run_until_answered(size, full_summary.iterations, threshold_percent / 100.0);
         println!(
             "{threshold_percent:>11.1}  {iterations:>10}  {:>8.1}%  {:>16}",
             iterations as f64 / full_summary.iterations as f64 * 100.0,
-            radius.map(|r| format!("{r:.0}")).unwrap_or_else(|| "-".into())
+            radius
+                .map(|r| format!("{r:.0}"))
+                .unwrap_or_else(|| "-".into())
         );
     }
 }

@@ -23,28 +23,32 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         truth_radius
     );
 
-    // In-situ run: attach the analysis and let it terminate the simulation
-    // once the model has converged and the threshold query is answered.
+    // In-situ run: register the analysis with an engine and let it
+    // terminate the simulation once the model has converged and the
+    // threshold query is answered.
     let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
-    let mut region: Region<LuleshSim> = Region::new("lulesh");
+    let mut engine: Engine<LuleshSim> = Engine::new();
+    let region = engine.add_region("lulesh")?;
     let spec = AnalysisSpec::builder()
         .name("velocity")
         .provider(|sim: &LuleshSim, loc: usize| sim.velocity_at(loc))
         .spatial(IterParam::new(1, 10, 1)?)
-        .temporal(IterParam::new(1, (full_summary.iterations as f64 * 0.4) as u64, 1)?)
+        .temporal(IterParam::new(
+            1,
+            (full_summary.iterations as f64 * 0.4) as u64,
+            1,
+        )?)
         .method(AnalysisMethod::CurveFitting)
         .feature(FeatureKind::Breakpoint { threshold })
         .lag(5)
         .exit(ExitAction::TerminateSimulation)
         .build()?;
-    region.add_analysis(spec);
+    engine.add_analysis(region, spec)?;
 
     let summary = sim.run_with(|sim_ref, iteration| {
-        region.begin(iteration);
-        let status = region.end(iteration, sim_ref);
-        !status.should_terminate
+        !engine.step(iteration).complete(sim_ref).should_terminate()
     });
-    region.extract_now();
+    engine.extract_now(region)?;
 
     println!(
         "in-situ run: {} iterations ({:.1}% of the full run), terminated early: {}",
@@ -52,14 +56,14 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         summary.iterations as f64 / full_summary.iterations as f64 * 100.0,
         summary.terminated_early
     );
-    if let Some(feature) = region.status().feature("velocity") {
+    let status = engine.status(region).expect("region is live");
+    if let Some(feature) = status.feature("velocity") {
         println!("extracted break-point radius = {:.0}", feature.scalar());
         println!("ground-truth radius          = {truth_radius}");
     }
     println!(
         "samples collected: {}, mini-batches trained: {}",
-        region.status().samples_collected,
-        region.status().batches_trained
+        status.samples_collected, status.batches_trained
     );
     Ok(())
 }

@@ -2,6 +2,11 @@
 //! iterative simulation in ~30 lines, using the paper's `td_*` API names.
 //!
 //! Run with `cargo run --release --example quickstart`.
+//!
+//! This example deliberately exercises the deprecated `td_*` compatibility
+//! shims to show how a ported C integration reads; see
+//! `examples/engine_pipeline.rs` for the engine-native equivalent.
+#![allow(deprecated)]
 
 use insitu_repro::prelude::*;
 

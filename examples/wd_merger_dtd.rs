@@ -50,7 +50,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         if let Some(feature) = region.status().feature(variable.name()) {
             let delay = feature.scalar();
             let error = (delay - ground_truth) / ground_truth * 100.0;
-            println!("  {:<12} {delay:>7.2}  (error {error:+.2}%)", variable.name());
+            println!(
+                "  {:<12} {delay:>7.2}  (error {error:+.2}%)",
+                variable.name()
+            );
         }
     }
 

@@ -1,5 +1,9 @@
 //! Integration tests spanning the `insitu` library and the LULESH proxy:
 //! the full material-deformation pipeline of the paper's first case study.
+//!
+//! The `td_*` calls below intentionally cover the deprecated compatibility
+//! shims.
+#![allow(deprecated)]
 
 use insitu_repro::prelude::*;
 

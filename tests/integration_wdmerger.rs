@@ -48,7 +48,10 @@ fn delay_time_features_cluster_around_the_ignition_time() {
             extracted += 1;
         }
     }
-    assert!(extracted >= 3, "expected most variables to yield a delay time");
+    assert!(
+        extracted >= 3,
+        "expected most variables to yield a delay time"
+    );
 }
 
 #[test]

@@ -1,84 +1,158 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the analysis library and its substrates.
+//! Randomized property tests on the core data structures and invariants of
+//! the analysis library and its substrates.
+//!
+//! The seed code expressed these with `proptest`; the workspace builds with
+//! no network access, so the same properties are exercised here with a small
+//! deterministic xorshift PRNG (fixed seeds, 64 cases per property — every
+//! run checks the identical case set).
 
 use insitu::collect::{BatchRow, MiniBatch, Sample, SampleHistory};
 use insitu::model::{metrics, IncrementalTrainer, OnlineScaler, TrainerConfig};
 use insitu::tracking::{find_local_extrema, moving_average, PeakDetector};
 use insitu::IterParam;
-use proptest::prelude::*;
 use simkit::decomposition::BlockDecomposition;
 use simkit::index::Extents;
 use simkit::stats;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    // ---- IterParam -------------------------------------------------------
+/// xorshift64* — deterministic, dependency-free case generator.
+struct Rng(u64);
 
-    #[test]
-    fn iter_param_len_matches_enumeration(begin in 0u64..500, span in 0u64..500, step in 1u64..50) {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    fn vec_f64(&mut self, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+        let len = self.range_usize(min_len, max_len);
+        (0..len).map(|_| self.range_f64(lo, hi)).collect()
+    }
+}
+
+// ---- IterParam -------------------------------------------------------------
+
+#[test]
+fn iter_param_len_matches_enumeration() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1001 + case);
+        let begin = rng.range_u64(0, 500);
+        let span = rng.range_u64(0, 500);
+        let step = rng.range_u64(1, 50);
         let param = IterParam::new(begin, begin + span, step).unwrap();
         let enumerated: Vec<u64> = param.iter().collect();
-        prop_assert_eq!(enumerated.len(), param.len());
+        assert_eq!(enumerated.len(), param.len());
         for value in &enumerated {
-            prop_assert!(param.contains(*value));
+            assert!(param.contains(*value));
         }
         // index_of and nth are inverse on every enumerated value.
         for (idx, value) in enumerated.iter().enumerate() {
-            prop_assert_eq!(param.index_of(*value), Some(idx));
-            prop_assert_eq!(param.nth(idx), Some(*value));
+            assert_eq!(param.index_of(*value), Some(idx));
+            assert_eq!(param.nth(idx), Some(*value));
         }
     }
+}
 
-    #[test]
-    fn iter_param_truncation_never_grows(begin in 0u64..100, span in 0u64..400, step in 1u64..20, frac in 0.0f64..1.5) {
+#[test]
+fn iter_param_truncation_never_grows() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2002 + case);
+        let begin = rng.range_u64(0, 100);
+        let span = rng.range_u64(0, 400);
+        let step = rng.range_u64(1, 20);
+        let frac = rng.range_f64(0.0, 1.5);
         let param = IterParam::new(begin, begin + span, step).unwrap();
         let truncated = param.truncate_fraction(frac);
-        prop_assert!(truncated.len() <= param.len());
-        prop_assert!(truncated.len() >= 1);
-        prop_assert_eq!(truncated.begin(), param.begin());
+        assert!(truncated.len() <= param.len());
+        assert!(!truncated.is_empty());
+        assert_eq!(truncated.begin(), param.begin());
     }
+}
 
-    // ---- online scaler ----------------------------------------------------
+// ---- online scaler ---------------------------------------------------------
 
-    #[test]
-    fn scaler_round_trips_and_matches_batch_moments(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+#[test]
+fn scaler_round_trips_and_matches_batch_moments() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3003 + case);
+        let values = rng.vec_f64(-1e6, 1e6, 2, 200);
         let mut scaler = OnlineScaler::new();
         scaler.update_all(&values);
         // Round trip.
         for v in &values {
             let z = scaler.transform(*v);
-            prop_assert!((scaler.inverse(z) - v).abs() < 1e-6 * (1.0 + v.abs()));
+            assert!((scaler.inverse(z) - v).abs() < 1e-6 * (1.0 + v.abs()));
         }
         // Matches batch statistics.
-        prop_assert!((scaler.mean() - stats::mean(&values)).abs() < 1e-6 * (1.0 + scaler.mean().abs()));
+        assert!((scaler.mean() - stats::mean(&values)).abs() < 1e-6 * (1.0 + scaler.mean().abs()));
     }
+}
 
-    // ---- sample history ----------------------------------------------------
+// ---- sample history --------------------------------------------------------
 
-    #[test]
-    fn history_preserves_every_recorded_sample(
-        samples in prop::collection::vec((0u64..200, 0usize..16, -1e3f64..1e3), 1..200)
-    ) {
+#[test]
+fn history_preserves_every_recorded_sample() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4004 + case);
+        let count = rng.range_usize(1, 200);
+        let samples: Vec<(u64, usize, f64)> = (0..count)
+            .map(|_| {
+                (
+                    rng.range_u64(0, 200),
+                    rng.range_usize(0, 16),
+                    rng.range_f64(-1e3, 1e3),
+                )
+            })
+            .collect();
         let mut history = SampleHistory::new();
         let mut expected: std::collections::BTreeMap<(usize, u64), f64> = Default::default();
         // Record in iteration order per location, as a simulation would.
-        let mut ordered = samples.clone();
+        let mut ordered = samples;
         ordered.sort_by_key(|(it, loc, _)| (*loc, *it));
         for (iteration, location, value) in ordered {
             history.record(Sample::new(iteration, location, value));
             expected.insert((location, iteration), value);
         }
         for ((location, iteration), value) in &expected {
-            prop_assert_eq!(history.value_at(*location, *iteration), Some(*value));
+            assert_eq!(history.value_at(*location, *iteration), Some(*value));
         }
-        prop_assert_eq!(history.len(), expected.len());
+        assert_eq!(history.len(), expected.len());
     }
+}
 
-    // ---- mini batch ---------------------------------------------------------
+// ---- mini batch ------------------------------------------------------------
 
-    #[test]
-    fn minibatch_fills_and_drains_exactly(capacity in 1usize..32, extra in 0usize..32) {
+#[test]
+fn minibatch_fills_and_drains_exactly() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5005 + case);
+        let capacity = rng.range_usize(1, 32);
+        let extra = rng.range_usize(0, 32);
         let mut batch = MiniBatch::with_capacity(capacity);
         let total = capacity + extra;
         let mut drained = 0;
@@ -86,44 +160,57 @@ proptest! {
             batch.push(BatchRow::new(vec![i as f64], i as f64)).unwrap();
             if batch.is_full() {
                 drained += batch.drain().len();
-                prop_assert!(batch.is_empty());
+                assert!(batch.is_empty());
             }
         }
-        prop_assert_eq!(drained + batch.len(), total);
-        prop_assert!(batch.len() < capacity);
+        assert_eq!(drained + batch.len(), total);
+        assert!(batch.len() < capacity);
     }
+}
 
-    // ---- metrics -------------------------------------------------------------
+// ---- metrics ---------------------------------------------------------------
 
-    #[test]
-    fn error_rate_is_zero_iff_perfect_and_scale_invariant(
-        values in prop::collection::vec(0.1f64..1e3, 4..100),
-        scale in 0.001f64..1e3
-    ) {
-        prop_assert!(metrics::error_rate_percent(&values, &values) < 1e-9);
+#[test]
+fn error_rate_is_zero_iff_perfect_and_scale_invariant() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6006 + case);
+        let values = rng.vec_f64(0.1, 1e3, 4, 100);
+        let scale = rng.range_f64(0.001, 1e3);
+        assert!(metrics::error_rate_percent(&values, &values) < 1e-9);
         let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
         let shifted: Vec<f64> = values.iter().map(|v| v * 1.07).collect();
         let shifted_scaled: Vec<f64> = scaled.iter().map(|v| v * 1.07).collect();
         let a = metrics::error_rate_percent(&shifted, &values);
         let b = metrics::error_rate_percent(&shifted_scaled, &scaled);
-        prop_assert!((a - b).abs() < 1e-6, "scale invariance violated: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-6,
+            "scale invariance violated: {a} vs {b}"
+        );
         // A uniform +7% deviation reports at most 7% error (values that fall
         // below the near-zero floor contribute less, never more).
-        prop_assert!(a > 0.0 && a <= 7.0 + 1e-6);
+        assert!(a > 0.0 && a <= 7.0 + 1e-6);
     }
+}
 
-    #[test]
-    fn accuracy_is_bounded(predicted in prop::collection::vec(-1e3f64..1e3, 1..50),
-                           actual in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+#[test]
+fn accuracy_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x7007 + case);
+        let predicted = rng.vec_f64(-1e3, 1e3, 1, 50);
+        let actual = rng.vec_f64(-1e3, 1e3, 1, 50);
         let n = predicted.len().min(actual.len());
         let acc = metrics::accuracy_percent(&predicted[..n], &actual[..n]);
-        prop_assert!((0.0..=100.0).contains(&acc));
+        assert!((0.0..=100.0).contains(&acc));
     }
+}
 
-    // ---- tracking -------------------------------------------------------------
+// ---- tracking --------------------------------------------------------------
 
-    #[test]
-    fn streaming_and_batch_peak_detection_agree(values in prop::collection::vec(-100f64..100.0, 4..200)) {
+#[test]
+fn streaming_and_batch_peak_detection_agree() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x8008 + case);
+        let values = rng.vec_f64(-100.0, 100.0, 4, 200);
         let batch = find_local_extrema(&values);
         let mut detector = PeakDetector::new();
         let mut streamed = Vec::new();
@@ -132,30 +219,37 @@ proptest! {
                 streamed.push(p);
             }
         }
-        prop_assert_eq!(batch.len(), streamed.len());
+        assert_eq!(batch.len(), streamed.len());
         for (a, b) in batch.iter().zip(&streamed) {
-            prop_assert_eq!(a.kind, b.kind);
-            prop_assert!((a.value - b.value).abs() < 1e-12);
+            assert_eq!(a.kind, b.kind);
+            assert!((a.value - b.value).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn moving_average_preserves_length_and_bounds(values in prop::collection::vec(-1e3f64..1e3, 1..200), half in 0usize..10) {
+#[test]
+fn moving_average_preserves_length_and_bounds() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x9009 + case);
+        let values = rng.vec_f64(-1e3, 1e3, 1, 200);
+        let half = rng.range_usize(0, 10);
         let smooth = moving_average(&values, half);
-        prop_assert_eq!(smooth.len(), values.len());
+        assert_eq!(smooth.len(), values.len());
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for v in smooth {
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }
     }
+}
 
-    // ---- trainer ----------------------------------------------------------------
+// ---- trainer ---------------------------------------------------------------
 
-    #[test]
-    fn trainer_loss_is_finite_on_arbitrary_bounded_batches(
-        targets in prop::collection::vec(-1e4f64..1e4, 8..64)
-    ) {
+#[test]
+fn trainer_loss_is_finite_on_arbitrary_bounded_batches() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xa00a + case);
+        let targets = rng.vec_f64(-1e4, 1e4, 8, 64);
         let mut trainer = IncrementalTrainer::new(TrainerConfig::default()).unwrap();
         let rows: Vec<BatchRow> = targets
             .windows(4)
@@ -163,38 +257,49 @@ proptest! {
             .collect();
         for chunk in rows.chunks(16) {
             let loss = trainer.train_batch(chunk).unwrap();
-            prop_assert!(loss.is_finite());
-            prop_assert!(loss >= 0.0);
+            assert!(loss.is_finite());
+            assert!(loss >= 0.0);
         }
         // Coefficients stay finite thanks to gradient clipping.
         for c in trainer.model().coefficients() {
-            prop_assert!(c.is_finite());
+            assert!(c.is_finite());
         }
     }
+}
 
-    // ---- decomposition ------------------------------------------------------------
+// ---- decomposition ---------------------------------------------------------
 
-    #[test]
-    fn decomposition_partitions_all_elements(edge in 2usize..12, ranks in 1usize..9) {
+#[test]
+fn decomposition_partitions_all_elements() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xb00b + case);
+        let edge = rng.range_usize(2, 12);
+        let ranks = rng.range_usize(1, 9);
         let extents = Extents::cubic(edge);
-        prop_assume!(ranks <= extents.len());
+        if ranks > extents.len() {
+            continue;
+        }
         let dec = BlockDecomposition::new(extents, ranks).unwrap();
         let mut counts = vec![0usize; ranks];
         for e in 0..extents.len() {
             counts[dec.owner_of(e).unwrap()] += 1;
         }
-        prop_assert_eq!(counts.iter().sum::<usize>(), extents.len());
-        prop_assert!(counts.iter().all(|&c| c > 0));
+        assert_eq!(counts.iter().sum::<usize>(), extents.len());
+        assert!(counts.iter().all(|&c| c > 0));
     }
+}
 
-    // ---- simkit stats ----------------------------------------------------------------
+// ---- simkit stats ----------------------------------------------------------
 
-    #[test]
-    fn normalization_outputs_stay_in_unit_interval(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+#[test]
+fn normalization_outputs_stay_in_unit_interval() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xc00c + case);
+        let values = rng.vec_f64(-1e6, 1e6, 1, 100);
         for v in stats::min_max_normalize(&values) {
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v));
         }
         let z = stats::z_score_normalize(&values);
-        prop_assert_eq!(z.len(), values.len());
+        assert_eq!(z.len(), values.len());
     }
 }

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset of the Criterion API the workspace's benches use,
+//! backed by a plain wall-clock timer: each `bench_function` body is run for
+//! a warm-up pass and then `sample_size` timed samples, and the median
+//! per-iteration time is printed. No statistics, plots or comparison against
+//! saved baselines — just enough to run `cargo bench` offline and to keep
+//! the bench sources identical to what the real Criterion would accept.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub use std::hint::black_box;
+
+/// How `iter_batched` recreates its per-sample input (accepted for API
+/// compatibility; the stand-in always recreates the input on every run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many runs per batch in the real crate.
+    SmallInput,
+    /// Large inputs: one run per batch in the real crate.
+    LargeInput,
+    /// One run per batch.
+    PerIteration,
+}
+
+/// Timer driving one `bench_function` body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters_per_sample` times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` over inputs recreated by `setup`; only the routine is
+    /// included in the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.samples.push(elapsed);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 10 in the stand-in).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        // Warm-up pass, also used to scale iterations so a sample is not
+        // dominated by timer resolution for very fast bodies.
+        f(&mut bencher);
+        let warm = bencher.samples.last().copied().unwrap_or(Duration::ZERO);
+        let target = Duration::from_millis(2);
+        let iters = if warm.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / warm.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+        bencher.samples.clear();
+        bencher.iters_per_sample = iters;
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{}/{}: median {:>12.3} µs/iter ({} samples × {} iters)",
+            self.name,
+            id,
+            median * 1e6,
+            per_iter.len(),
+            iters
+        );
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id), median));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! they *can* grow serialization support, but nothing actually serializes
+//! today and the build has no network access to fetch the real crate. This
+//! stand-in keeps the source compatible: the two traits exist as markers
+//! with blanket implementations, and the derive macros (re-exported from the
+//! local `serde_derive`) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the real trait's `'de` lifetime is dropped — nothing deserializes).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! The real derives generate trait implementations; the stand-in `serde`
+//! crate blanket-implements both marker traits for every type, so the
+//! derives here only need to exist and expand to nothing. `#[serde(...)]`
+//! helper attributes are accepted (and ignored) for source compatibility.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
