@@ -3,16 +3,21 @@
 //! simulation.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use insitu::collect::BatchRow;
+use insitu::collect::MiniBatch;
 use insitu::model::{IncrementalTrainer, TrainerConfig};
 
-fn batch(rows: usize, order: usize) -> Vec<BatchRow> {
-    (0..rows)
-        .map(|i| {
-            let base = (i as f64 * 0.1).sin() + 2.0;
-            BatchRow::new((0..order).map(|k| base - k as f64 * 0.01).collect(), base)
-        })
-        .collect()
+fn batch(rows: usize, order: usize) -> MiniBatch {
+    let mut batch = MiniBatch::new(order, rows);
+    for i in 0..rows {
+        let base = (i as f64 * 0.1).sin() + 2.0;
+        batch.push_with(base, |out| {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = base - k as f64 * 0.01;
+            }
+            Some(())
+        });
+    }
+    batch
 }
 
 fn bench_ar_update(c: &mut Criterion) {

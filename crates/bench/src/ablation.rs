@@ -2,7 +2,7 @@
 //! mini-batch size, AR order/lag, optimizer family, and the spatial
 //! sampling window.
 
-use insitu::collect::BatchRow;
+use insitu::collect::MiniBatch;
 use insitu::model::{
     metrics, ConvergenceCriteria, IncrementalTrainer, OptimizerKind, TrainerConfig,
 };
@@ -121,21 +121,28 @@ pub fn optimizer_sweep(size: usize, location: usize) -> Vec<AblationRow> {
             })
             .expect("valid trainer configuration");
             let train_end = (values.len() as f64 * 0.6) as usize;
-            let mut batch = Vec::new();
+            let mut batch = MiniBatch::new(order, 16);
             let mut batches = 0;
             for i in order..train_end {
-                let inputs: Vec<f64> = (1..=order).map(|k| values[i - k]).collect();
-                batch.push(BatchRow::new(inputs, values[i]));
-                if batch.len() >= 16 {
+                batch.push_with(values[i], |out| {
+                    for (k, slot) in out.iter_mut().enumerate() {
+                        *slot = values[i - (k + 1)];
+                    }
+                    Some(())
+                });
+                if batch.is_full() {
                     trainer.train_batch(&batch).expect("uniform row order");
                     batch.clear();
                     batches += 1;
                 }
             }
+            let mut inputs = vec![0.0; order];
             let mut predicted = Vec::new();
             let mut actual = Vec::new();
             for i in order..values.len() {
-                let inputs: Vec<f64> = (1..=order).map(|k| values[i - k]).collect();
+                for (k, slot) in inputs.iter_mut().enumerate() {
+                    *slot = values[i - (k + 1)];
+                }
                 if let Ok(p) = trainer.predict(&inputs) {
                     predicted.push(p);
                     actual.push(values[i]);

@@ -1,0 +1,108 @@
+//! Regenerates `BENCH_columnar.json`: wall-clock comparison of the
+//! row-oriented (pre-refactor) and columnar (struct-of-arrays, recycled
+//! buffers) assemble+train pipelines over the same workload.
+//!
+//! The two paths are arithmetically identical (`bench::rowref`'s tests
+//! prove bit-identical losses), so the speedup is purely the memory
+//! layout: contiguous predictors, zero per-row allocations, reusable
+//! trainer scratch. Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_columnar
+//! ```
+
+use std::time::Instant;
+
+use bench::rowref;
+
+struct Measurement {
+    locations: u64,
+    row_ns_per_run: f64,
+    columnar_ns_per_run: f64,
+    batches: usize,
+}
+
+/// Median wall-clock nanoseconds of `runs` executions of `f`.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    // One warm-up execution, then timed samples.
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let runs = if std::env::var("BENCH_QUICK").is_ok() {
+        5
+    } else {
+        15
+    };
+    let iterations = 200;
+    let mut measurements = Vec::new();
+    for &locations in &[10u64, 40, 150] {
+        let workload = rowref::workload(locations, iterations);
+        let (batches, row_loss) = rowref::run_row_pipeline(&workload);
+        let (col_batches, col_loss) = rowref::run_columnar_pipeline(&workload);
+        assert_eq!(batches, col_batches, "paths must consume equal batches");
+        assert_eq!(
+            row_loss.to_bits(),
+            col_loss.to_bits(),
+            "paths must be arithmetically identical"
+        );
+        let row_ns_per_run = median_ns(runs, || {
+            rowref::run_row_pipeline(&workload);
+        });
+        let columnar_ns_per_run = median_ns(runs, || {
+            rowref::run_columnar_pipeline(&workload);
+        });
+        measurements.push(Measurement {
+            locations,
+            row_ns_per_run,
+            columnar_ns_per_run,
+            batches,
+        });
+    }
+
+    // Hand-rolled JSON (the offline serde stand-in has no serializer).
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"assemble+train, row-oriented vs columnar mini-batches\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"iterations\": {iterations}, \"order\": {}, \"batch_capacity\": {}, \"epochs_per_batch\": {}}},\n",
+        rowref::WORKLOAD_ORDER,
+        rowref::WORKLOAD_BATCH,
+        rowref::WORKLOAD_EPOCHS
+    ));
+    json.push_str(&format!("  \"timed_runs_per_case\": {runs},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let speedup = m.row_ns_per_run / m.columnar_ns_per_run;
+        json.push_str(&format!(
+            "    {{\"locations\": {}, \"batches\": {}, \"row_ns\": {:.0}, \"columnar_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            m.locations,
+            m.batches,
+            m.row_ns_per_run,
+            m.columnar_ns_per_run,
+            speedup,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_columnar.json", &json).expect("write BENCH_columnar.json");
+    println!("{json}");
+    for m in &measurements {
+        println!(
+            "locations {:>4}: row {:>10.0} ns, columnar {:>10.0} ns, speedup {:.2}x",
+            m.locations,
+            m.row_ns_per_run,
+            m.columnar_ns_per_run,
+            m.row_ns_per_run / m.columnar_ns_per_run
+        );
+    }
+}

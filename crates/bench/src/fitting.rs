@@ -7,7 +7,7 @@
 //! series with one-step-ahead predictions and report the paper's error-rate
 //! metric against the ground truth.
 
-use insitu::collect::BatchRow;
+use insitu::collect::MiniBatch;
 use insitu::model::{
     metrics, ConvergenceCriteria, IncrementalTrainer, OptimizerKind, TrainerConfig,
 };
@@ -65,17 +65,23 @@ impl FitOutcome {
     }
 }
 
-/// Builds the temporal-AR training row whose target is `values[i]`.
-fn row_at(values: &[f64], i: usize, config: &FitConfig) -> Option<BatchRow> {
-    let mut inputs = Vec::with_capacity(config.order);
-    for k in 1..=config.order {
-        let offset = k * config.lag_steps;
+/// Writes the temporal-AR predictors for target `values[i]` into `out`
+/// (nearest lag first); `None` when the series does not reach back far
+/// enough.
+fn write_predictors_at(
+    values: &[f64],
+    i: usize,
+    config: &FitConfig,
+    out: &mut [f64],
+) -> Option<()> {
+    for (k, slot) in out.iter_mut().enumerate() {
+        let offset = (k + 1) * config.lag_steps;
         if offset > i {
             return None;
         }
-        inputs.push(values[i - offset]);
+        *slot = values[i - offset];
     }
-    Some(BatchRow::new(inputs, values[i]))
+    Some(())
 }
 
 /// Fits a single series: incremental training on the first
@@ -110,17 +116,19 @@ pub fn fit_series(values: &[f64], train_fraction: f64, config: FitConfig) -> Fit
     .expect("fit configuration is valid");
 
     // Incremental mini-batch training over the training prefix, in arrival
-    // order — the same loop the in-situ collector drives during the run.
-    let mut batch: Vec<BatchRow> = Vec::with_capacity(config.batch);
+    // order — the same columnar loop the in-situ collector drives during
+    // the run: predictors are written straight into the batch's contiguous
+    // storage and the buffer is cleared (allocation kept) between batches.
+    let mut batch = MiniBatch::new(config.order, config.batch);
     let mut batches = 0;
     for i in warmup..train_end {
-        if let Some(row) = row_at(values, i, &config) {
-            batch.push(row);
-            if batch.len() >= config.batch {
-                trainer.train_batch(&batch).expect("rows share the order");
-                batch.clear();
-                batches += 1;
-            }
+        batch.push_with(values[i], |out| {
+            write_predictors_at(values, i, &config, out)
+        });
+        if batch.is_full() {
+            trainer.train_batch(&batch).expect("rows share the order");
+            batch.clear();
+            batches += 1;
         }
     }
     if !batch.is_empty() {
@@ -129,15 +137,16 @@ pub fn fit_series(values: &[f64], train_fraction: f64, config: FitConfig) -> Fit
     }
 
     // One-step-ahead reconstruction over the full series.
+    let mut predictors = vec![0.0; config.order];
     let mut indices = Vec::new();
     let mut predicted = Vec::new();
     let mut actual = Vec::new();
     for i in warmup..values.len() {
-        if let Some(row) = row_at(values, i, &config) {
-            if let Ok(p) = trainer.predict(&row.inputs) {
+        if write_predictors_at(values, i, &config, &mut predictors).is_some() {
+            if let Ok(p) = trainer.predict(&predictors) {
                 indices.push(i);
                 predicted.push(p);
-                actual.push(row.target);
+                actual.push(values[i]);
             }
         }
     }

@@ -27,6 +27,7 @@
 pub mod ablation;
 pub mod fitting;
 pub mod lulesh_exp;
+pub mod rowref;
 pub mod summary;
 pub mod table;
 pub mod wd_exp;

@@ -9,13 +9,16 @@
 //!
 //! i.e. the predictors are values at *preceding locations* observed `lag`
 //! iterations earlier. [`BatchAssembler`] builds such rows from the
-//! [`SampleHistory`]; two simpler layouts (purely temporal, purely spatial)
-//! are provided for the ablation studies.
+//! [`SampleHistory`] and writes them **directly into a columnar
+//! [`MiniBatch`]** (see the stride convention in
+//! [`minibatch`](crate::collect::MiniBatch)) — no per-row allocation. Two
+//! simpler layouts (purely temporal, purely spatial) are provided for the
+//! ablation studies.
 
 use serde::{Deserialize, Serialize};
 
 use super::history::SampleHistory;
-use super::minibatch::BatchRow;
+use super::minibatch::MiniBatch;
 use crate::params::IterParam;
 
 /// Which past values serve as predictors for `V(l, t)`.
@@ -33,11 +36,11 @@ pub enum PredictorLayout {
     Spatial,
 }
 
-/// Builds [`BatchRow`]s for a target `(location, iteration)` pair from the
-/// collected history.
+/// Builds columnar training rows for target `(location, iteration)` pairs
+/// from the collected history.
 ///
 /// ```
-/// use insitu::collect::{BatchAssembler, PredictorLayout, Sample, SampleHistory};
+/// use insitu::collect::{BatchAssembler, MiniBatch, PredictorLayout, Sample, SampleHistory};
 /// use insitu::IterParam;
 ///
 /// let spatial = IterParam::new(1, 5, 1).unwrap();
@@ -50,9 +53,11 @@ pub enum PredictorLayout {
 ///         h.record(Sample::new(it, loc, (loc as f64) + it as f64 / 100.0));
 ///     }
 /// }
-/// let row = asm.row_for(&h, 3, 20).unwrap();
-/// assert_eq!(row.inputs.len(), 2);
-/// assert_eq!(row.target, 3.2);
+/// let mut batch = MiniBatch::new(2, 16);
+/// asm.append_rows_for_iteration(&h, 20, &mut batch);
+/// // Locations 3, 4, 5 have two predecessors each at iteration 20.
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch.targets()[0], 3.2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchAssembler {
@@ -121,69 +126,103 @@ impl BatchAssembler {
         Some(begin + ((lagged - begin) / step) * step)
     }
 
-    /// Builds the training row whose target is `V(location, iteration)`.
-    /// Returns `None` when the history does not yet contain every value the
-    /// row needs (early in the run, or at the low edge of the spatial range).
-    pub fn row_for(
+    /// Writes the predictor values that would be used to *predict*
+    /// `V(location, iteration)` into `out` (which must hold exactly `order`
+    /// elements). Returns `None` — leaving `out` in an unspecified state —
+    /// when the history does not yet contain every value the row needs
+    /// (early in the run, or at the low edge of the spatial range).
+    ///
+    /// This is the allocation-free kernel behind both batch assembly
+    /// ([`BatchAssembler::append_rows_for_iteration`]) and forecasting
+    /// ([`BatchAssembler::predictors_for`]).
+    pub fn write_predictors_for(
         &self,
         history: &SampleHistory,
         location: usize,
         iteration: u64,
-    ) -> Option<BatchRow> {
-        let target = history.value_at(location, iteration)?;
-        let inputs = self.predictors_for(history, location, iteration)?;
-        Some(BatchRow::new(inputs, target))
+        out: &mut [f64],
+    ) -> Option<()> {
+        debug_assert_eq!(out.len(), self.order, "predictor buffer must match order");
+        match self.layout {
+            PredictorLayout::SpatioTemporal => {
+                let lagged = self.lagged_iteration(iteration)?;
+                let loc_index = self.spatial.index_of(location as u64)?;
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let prev_index = loc_index.checked_sub(i + 1)?;
+                    let prev_loc = self.spatial.nth(prev_index)? as usize;
+                    *slot = history.value_at(prev_loc, lagged)?;
+                }
+            }
+            PredictorLayout::Temporal => {
+                let it_index = self.temporal.index_of(iteration)?;
+                let lag_steps = (self.lag / self.temporal.step()).max(1) as usize;
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let prev_index = it_index.checked_sub((i + 1) * lag_steps)?;
+                    let prev_it = self.temporal.nth(prev_index)?;
+                    *slot = history.value_at(location, prev_it)?;
+                }
+            }
+            PredictorLayout::Spatial => {
+                let loc_index = self.spatial.index_of(location as u64)?;
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let prev_index = loc_index.checked_sub(i + 1)?;
+                    let prev_loc = self.spatial.nth(prev_index)? as usize;
+                    *slot = history.value_at(prev_loc, iteration)?;
+                }
+            }
+        }
+        Some(())
     }
 
     /// The predictor vector that would be used to *predict*
-    /// `V(location, iteration)`; unlike [`BatchAssembler::row_for`] the
-    /// target itself does not need to have been observed.
+    /// `V(location, iteration)`; the target itself does not need to have
+    /// been observed. Allocating convenience wrapper around
+    /// [`BatchAssembler::write_predictors_for`] for cold paths.
     pub fn predictors_for(
         &self,
         history: &SampleHistory,
         location: usize,
         iteration: u64,
     ) -> Option<Vec<f64>> {
-        let mut inputs = Vec::with_capacity(self.order);
-        match self.layout {
-            PredictorLayout::SpatioTemporal => {
-                let lagged = self.lagged_iteration(iteration)?;
-                let loc_index = self.spatial.index_of(location as u64)?;
-                for i in 1..=self.order {
-                    let prev_index = loc_index.checked_sub(i)?;
-                    let prev_loc = self.spatial.nth(prev_index)? as usize;
-                    inputs.push(history.value_at(prev_loc, lagged)?);
-                }
-            }
-            PredictorLayout::Temporal => {
-                let it_index = self.temporal.index_of(iteration)?;
-                let lag_steps = (self.lag / self.temporal.step()).max(1) as usize;
-                for i in 1..=self.order {
-                    let prev_index = it_index.checked_sub(i * lag_steps)?;
-                    let prev_it = self.temporal.nth(prev_index)?;
-                    inputs.push(history.value_at(location, prev_it)?);
-                }
-            }
-            PredictorLayout::Spatial => {
-                let loc_index = self.spatial.index_of(location as u64)?;
-                for i in 1..=self.order {
-                    let prev_index = loc_index.checked_sub(i)?;
-                    let prev_loc = self.spatial.nth(prev_index)? as usize;
-                    inputs.push(history.value_at(prev_loc, iteration)?);
-                }
-            }
-        }
+        let mut inputs = vec![0.0; self.order];
+        self.write_predictors_for(history, location, iteration, &mut inputs)?;
         Some(inputs)
     }
 
-    /// Builds every row that can be formed for a given iteration across the
-    /// spatial characteristic. This is what the collector calls after
-    /// recording an iteration's samples.
-    pub fn rows_for_iteration(&self, history: &SampleHistory, iteration: u64) -> Vec<BatchRow> {
-        self.spatial
-            .iter()
-            .filter_map(|loc| self.row_for(history, loc as usize, iteration))
-            .collect()
+    /// Appends every row that can be formed for a given iteration across
+    /// the spatial characteristic directly into `batch` (predictors are
+    /// written in place — zero per-row allocations). This is what the
+    /// collector calls after recording an iteration's samples. Returns the
+    /// number of rows appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `batch.order()` differs from the
+    /// assembler's order.
+    pub fn append_rows_for_iteration(
+        &self,
+        history: &SampleHistory,
+        iteration: u64,
+        batch: &mut MiniBatch,
+    ) -> usize {
+        debug_assert_eq!(
+            batch.order(),
+            self.order,
+            "batch stride must match the assembler order"
+        );
+        let mut appended = 0;
+        for loc in self.spatial.iter() {
+            let location = loc as usize;
+            let Some(target) = history.value_at(location, iteration) else {
+                continue;
+            };
+            if batch.push_with(target, |out| {
+                self.write_predictors_for(history, location, iteration, out)
+            }) {
+                appended += 1;
+            }
+        }
+        appended
     }
 }
 
@@ -213,33 +252,46 @@ mod tests {
         )
     }
 
+    /// The row whose target is `V(location, iteration)`, assembled through
+    /// the slice kernel.
+    fn row_for(
+        asm: &BatchAssembler,
+        h: &SampleHistory,
+        location: usize,
+        iteration: u64,
+    ) -> Option<(Vec<f64>, f64)> {
+        let target = h.value_at(location, iteration)?;
+        let inputs = asm.predictors_for(h, location, iteration)?;
+        Some((inputs, target))
+    }
+
     #[test]
     fn spatiotemporal_rows_use_previous_locations_at_lagged_time() {
         let h = history();
         let asm = assembler(PredictorLayout::SpatioTemporal);
-        let row = asm.row_for(&h, 5, 50).unwrap();
-        assert_eq!(row.target, 5.5);
+        let (inputs, target) = row_for(&asm, &h, 5, 50).unwrap();
+        assert_eq!(target, 5.5);
         // lag 20 => lagged iteration 30; predictors are locations 4, 3, 2.
-        assert_eq!(row.inputs, vec![4.3, 3.3, 2.3]);
+        assert_eq!(inputs, vec![4.3, 3.3, 2.3]);
     }
 
     #[test]
     fn temporal_rows_use_previous_iterations_at_same_location() {
         let h = history();
         let asm = assembler(PredictorLayout::Temporal);
-        let row = asm.row_for(&h, 5, 100).unwrap();
-        assert_eq!(row.target, 6.0);
+        let (inputs, target) = row_for(&asm, &h, 5, 100).unwrap();
+        assert_eq!(target, 6.0);
         // lag 20 = 2 sampled steps; predictors at iterations 80, 60, 40.
-        assert_eq!(row.inputs, vec![5.8, 5.6, 5.4]);
+        assert_eq!(inputs, vec![5.8, 5.6, 5.4]);
     }
 
     #[test]
     fn spatial_rows_use_previous_locations_at_same_iteration() {
         let h = history();
         let asm = assembler(PredictorLayout::Spatial);
-        let row = asm.row_for(&h, 4, 50).unwrap();
-        assert_eq!(row.target, 4.5);
-        assert_eq!(row.inputs, vec![3.5, 2.5, 1.5]);
+        let (inputs, target) = row_for(&asm, &h, 4, 50).unwrap();
+        assert_eq!(target, 4.5);
+        assert_eq!(inputs, vec![3.5, 2.5, 1.5]);
     }
 
     #[test]
@@ -247,19 +299,30 @@ mod tests {
         let h = history();
         let asm = assembler(PredictorLayout::SpatioTemporal);
         // Location 2 needs locations 1, 0, -1: impossible for order 3.
-        assert!(asm.row_for(&h, 2, 50).is_none());
+        assert!(row_for(&asm, &h, 2, 50).is_none());
         // Iteration 10 lags to -10: impossible.
-        assert!(asm.row_for(&h, 5, 10).is_none());
+        assert!(row_for(&asm, &h, 5, 10).is_none());
     }
 
     #[test]
-    fn rows_for_iteration_builds_all_valid_targets() {
+    fn append_rows_builds_all_valid_targets_columnar() {
         let h = history();
         let asm = assembler(PredictorLayout::SpatioTemporal);
-        let rows = asm.rows_for_iteration(&h, 100);
+        let mut batch = MiniBatch::new(3, 16);
+        let appended = asm.append_rows_for_iteration(&h, 100, &mut batch);
         // Locations 4..=8 have 3 predecessors; 1..=3 do not.
-        assert_eq!(rows.len(), 5);
-        assert!(rows.iter().all(|r| r.inputs.len() == 3));
+        assert_eq!(appended, 5);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.inputs().len(), 15, "stride 3 x 5 rows, contiguous");
+        // Rolled-back rows must not leave partial predictors behind.
+        for (inputs, target) in batch.rows() {
+            assert_eq!(inputs.len(), 3);
+            assert!(target > 0.0);
+        }
+        // Row for location 4 at iteration 100: predecessors 3, 2, 1 at
+        // the lagged iteration 80.
+        assert_eq!(batch.row(0), Some(&[3.8, 2.8, 1.8][..]));
+        assert_eq!(batch.targets()[0], 5.0);
     }
 
     #[test]
@@ -275,7 +338,7 @@ mod tests {
             spatial,
             IterParam::new(0, 200, 10).unwrap(),
         );
-        assert!(asm.row_for(&h, 9, 50).is_none());
+        assert!(row_for(&asm, &h, 9, 50).is_none());
         let predictors = asm2.predictors_for(&h, 9, 50).unwrap();
         assert_eq!(predictors, vec![8.5, 7.5, 6.5]);
     }

@@ -5,14 +5,17 @@
 //! paper. On every iteration the region calls [`Collector::observe`]; when
 //! the iteration matches the temporal characteristic the provider is queried
 //! at every sampled location, the history is updated, training rows are
-//! assembled, and — if the mini-batch filled up — the rows are returned to
-//! the caller for a gradient-descent update.
+//! assembled **directly into a columnar [`MiniBatch`]**, and — if the batch
+//! filled up — it is swapped for a recycled buffer and returned to the
+//! caller for a gradient-descent update. Callers hand spent batches back
+//! through [`Collector::recycle`], so the steady state cycles a fixed set
+//! of buffers with zero per-row heap allocations.
 
 use serde::{Deserialize, Serialize};
 
 use super::assembler::{BatchAssembler, PredictorLayout};
 use super::history::SampleHistory;
-use super::minibatch::{BatchRow, MiniBatch};
+use super::minibatch::{BatchPool, MiniBatch};
 use super::sample::Sample;
 use crate::params::IterParam;
 use crate::provider::VarProvider;
@@ -27,25 +30,30 @@ pub enum CollectionEvent {
         /// Number of samples recorded this iteration.
         samples: usize,
     },
-    /// Samples were recorded and the mini-batch filled up; the drained rows
-    /// are ready for a training step.
+    /// Samples were recorded and the mini-batch filled up; the columnar
+    /// batch is ready for a training step (return it to
+    /// [`Collector::recycle`] afterwards to keep the buffer cycle
+    /// allocation-free).
     BatchReady {
         /// Number of samples recorded this iteration.
         samples: usize,
-        /// The drained training rows.
-        rows: Vec<BatchRow>,
+        /// The filled columnar batch.
+        batch: MiniBatch,
     },
 }
 
 /// Collects the diagnostic variable according to the configured temporal and
-/// spatial characteristics and assembles mini-batches.
+/// spatial characteristics and assembles columnar mini-batches.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Collector {
     spatial: IterParam,
     temporal: IterParam,
     assembler: BatchAssembler,
     history: SampleHistory,
+    /// The batch currently filling.
     batch: MiniBatch,
+    /// Recycled spare buffers; filled batches are swapped against these.
+    pool: BatchPool,
     iterations_collected: u64,
     /// The spatial characteristic enumerated once, so the *sample* stage can
     /// hand the provider the whole location set in one batch call.
@@ -75,12 +83,30 @@ impl Collector {
         batch_capacity: usize,
     ) -> Self {
         let locations: Vec<usize> = spatial.iter().map(|loc| loc as usize).collect();
+        // Pre-size the history so steady-state sampling appends without
+        // reallocating: each sampled location will receive one value per
+        // sampled iteration. The reservation is capped — a temporal
+        // characteristic spanning the whole simulation (millions of
+        // iterations) must not commit worst-case memory up front inside the
+        // host application, especially when early termination means most of
+        // it would never be used. Runs outliving the cap fall back to
+        // amortized `Vec` growth (a per-series allocation every doubling,
+        // still nothing per row).
+        const MAX_EAGER_SAMPLES_PER_LOCATION: usize = 4096;
+        let mut history = SampleHistory::new();
+        history.reserve(
+            &locations,
+            temporal.len().min(MAX_EAGER_SAMPLES_PER_LOCATION),
+        );
+        let mut pool = BatchPool::new(order, batch_capacity);
+        let batch = pool.acquire();
         Self {
             spatial,
             temporal,
             assembler: BatchAssembler::new(order, lag, layout, spatial, temporal),
-            history: SampleHistory::new(),
-            batch: MiniBatch::with_capacity(batch_capacity),
+            history,
+            batch,
+            pool,
             iterations_collected: 0,
             scratch: vec![0.0; locations.len()],
             locations,
@@ -125,6 +151,12 @@ impl Collector {
         &self.locations
     }
 
+    /// The buffer pool backing this collector's batches, for inspecting the
+    /// recycling behaviour (buffers created, recycle hits).
+    pub fn batch_pool(&self) -> &BatchPool {
+        &self.pool
+    }
+
     /// The **sample** stage: if `iteration` matches the temporal
     /// characteristic, queries the provider for the whole spatial
     /// characteristic in one batch [`VarProvider::fill`] call and records
@@ -147,22 +179,26 @@ impl Collector {
         self.locations.len()
     }
 
-    /// The **assemble** stage: turns the iteration's fresh samples into
-    /// training rows and returns the drained rows once the mini-batch fills
-    /// up. Must be called after [`Collector::sample`] for the same
-    /// iteration.
-    pub fn assemble(&mut self, iteration: u64) -> Option<Vec<BatchRow>> {
-        for row in self.assembler.rows_for_iteration(&self.history, iteration) {
-            // Rows from one iteration share the model order, so this cannot
-            // fail; ignore the impossible error rather than panicking inside
-            // the simulation loop.
-            let _ = self.batch.push(row);
-        }
+    /// The **assemble** stage: writes the iteration's fresh samples into the
+    /// filling columnar batch and, once it fills up, swaps it against a
+    /// recycled buffer and returns it. Must be called after
+    /// [`Collector::sample`] for the same iteration.
+    pub fn assemble(&mut self, iteration: u64) -> Option<MiniBatch> {
+        self.assembler
+            .append_rows_for_iteration(&self.history, iteration, &mut self.batch);
         if self.batch.is_full() {
-            Some(self.batch.drain())
+            let fresh = self.pool.acquire();
+            Some(std::mem::replace(&mut self.batch, fresh))
         } else {
             None
         }
+    }
+
+    /// Returns a spent batch to the collector's buffer pool so its
+    /// allocation is reused by a later [`Collector::assemble`]. Dropping the
+    /// batch instead is harmless — the pool then allocates a replacement.
+    pub fn recycle(&mut self, batch: MiniBatch) {
+        self.pool.release(batch);
     }
 
     /// Observes one simulation iteration: samples the provider if the
@@ -182,7 +218,7 @@ impl Collector {
         }
         let samples = self.sample(iteration, domain, provider);
         match self.assemble(iteration) {
-            Some(rows) => CollectionEvent::BatchReady { samples, rows },
+            Some(batch) => CollectionEvent::BatchReady { samples, batch },
             None => CollectionEvent::Collected { samples },
         }
     }
@@ -192,6 +228,18 @@ impl Collector {
     pub fn predictors_for(&self, location: usize, iteration: u64) -> Option<Vec<f64>> {
         self.assembler
             .predictors_for(&self.history, location, iteration)
+    }
+
+    /// Allocation-free variant of [`Collector::predictors_for`]: writes the
+    /// predictors into `out` (which must hold exactly `order` values).
+    pub fn write_predictors_for(
+        &self,
+        location: usize,
+        iteration: u64,
+        out: &mut [f64],
+    ) -> Option<()> {
+        self.assembler
+            .write_predictors_for(&self.history, location, iteration, out)
     }
 }
 
@@ -237,14 +285,24 @@ mod tests {
         let provider = |_d: &(), loc: usize| loc as f64;
         let mut batches = 0;
         for it in (0..=100u64).step_by(10) {
-            if let CollectionEvent::BatchReady { rows, .. } = c.observe(it, &(), &provider) {
+            if let CollectionEvent::BatchReady { batch, .. } = c.observe(it, &(), &provider) {
                 batches += 1;
-                assert!(rows.iter().all(|r| r.inputs.len() == 2));
+                assert_eq!(batch.order(), 2);
+                assert!(batch.is_full());
+                assert_eq!(batch.inputs().len(), batch.len() * 2);
+                c.recycle(batch);
             }
         }
         // 10 collected iterations after the first produce 4 rows each
         // (locations 3..=6); with capacity 8 that is several full batches.
         assert!(batches >= 3, "expected at least 3 batches, got {batches}");
+        // Recycling keeps the buffer set fixed: one filling + one spare.
+        assert!(
+            c.batch_pool().buffers_created() <= 2,
+            "steady-state collection must not keep allocating buffers ({} created)",
+            c.batch_pool().buffers_created()
+        );
+        assert!(c.batch_pool().recycle_hits() >= batches - 2);
     }
 
     #[test]
@@ -261,22 +319,22 @@ mod tests {
         let mut fused = collector();
         for it in (0..=100u64).step_by(10) {
             let samples = staged.sample(it, &(), &provider);
-            let rows = staged.assemble(it);
+            let batch = staged.assemble(it);
             match fused.observe(it, &(), &provider) {
                 CollectionEvent::Skipped => {
                     assert_eq!(samples, 0);
-                    assert!(rows.is_none());
+                    assert!(batch.is_none());
                 }
                 CollectionEvent::Collected { samples: s } => {
                     assert_eq!(samples, s);
-                    assert!(rows.is_none());
+                    assert!(batch.is_none());
                 }
                 CollectionEvent::BatchReady {
                     samples: s,
-                    rows: r,
+                    batch: b,
                 } => {
                     assert_eq!(samples, s);
-                    assert_eq!(rows.unwrap(), r);
+                    assert_eq!(batch.unwrap(), b);
                 }
             }
         }
@@ -311,5 +369,8 @@ mod tests {
         }
         let p = c.predictors_for(6, 100).unwrap();
         assert_eq!(p, vec![5.0, 4.0]);
+        let mut buf = [0.0; 2];
+        c.write_predictors_for(6, 100, &mut buf).unwrap();
+        assert_eq!(buf, [5.0, 4.0]);
     }
 }

@@ -33,6 +33,18 @@ impl SampleHistory {
         Self::default()
     }
 
+    /// Pre-creates the series for `locations` with room for
+    /// `samples_per_location` entries each, so steady-state recording
+    /// appends without reallocating. Existing series keep their data and
+    /// are grown to the requested capacity if needed.
+    pub fn reserve(&mut self, locations: &[usize], samples_per_location: usize) {
+        for &location in locations {
+            let series = self.per_location.entry(location).or_default();
+            let len = series.len();
+            series.reserve(samples_per_location.saturating_sub(len));
+        }
+    }
+
     /// Records one sample. Samples are expected to arrive in non-decreasing
     /// iteration order per location (the natural order of a running
     /// simulation); ties overwrite the previous value for that iteration.
@@ -60,12 +72,25 @@ impl SampleHistory {
 
     /// Locations that have at least one sample, in increasing order.
     pub fn locations(&self) -> Vec<usize> {
-        self.per_location.keys().copied().collect()
+        self.iter_locations().collect()
+    }
+
+    /// Iterates the locations that have at least one sample, in increasing
+    /// order, without allocating. Reserved-but-empty series are skipped.
+    pub fn iter_locations(&self) -> impl Iterator<Item = usize> + '_ {
+        self.per_location
+            .iter()
+            .filter(|(_, series)| !series.is_empty())
+            .map(|(loc, _)| *loc)
     }
 
     /// The `(iteration, value)` series for one location, in arrival order.
+    /// Locations that were reserved but never sampled report `None`.
     pub fn series_of(&self, location: usize) -> Option<&[(u64, f64)]> {
-        self.per_location.get(&location).map(Vec::as_slice)
+        self.per_location
+            .get(&location)
+            .filter(|series| !series.is_empty())
+            .map(Vec::as_slice)
     }
 
     /// The value observed at `(location, iteration)`, if it was sampled.
@@ -115,6 +140,7 @@ impl SampleHistory {
     pub fn peak_per_location(&self) -> Vec<(usize, f64)> {
         self.per_location
             .iter()
+            .filter(|(_, series)| !series.is_empty())
             .map(|(loc, series)| {
                 let peak = series
                     .iter()
@@ -185,6 +211,19 @@ mod tests {
         let h = filled();
         let peaks = h.peak_per_location();
         assert_eq!(peaks, vec![(1, 14.0), (2, 24.0), (3, 34.0)]);
+    }
+
+    #[test]
+    fn reserve_presizes_without_fabricating_samples() {
+        let mut h = SampleHistory::new();
+        h.reserve(&[1, 2, 3], 100);
+        assert!(h.is_empty());
+        assert!(h.locations().is_empty(), "reserved locations stay hidden");
+        assert!(h.series_of(1).is_none());
+        assert!(h.peak_per_location().is_empty());
+        h.record(Sample::new(0, 2, 7.0));
+        assert_eq!(h.locations(), vec![2]);
+        assert_eq!(h.peak_per_location(), vec![(2, 7.0)]);
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! characteristic; if the iteration is sampled it queries the
 //! [`VarProvider`](crate::provider::VarProvider) at every sampled location
 //! (the spatial characteristic), records the values in a [`SampleHistory`],
-//! and assembles training rows into [`MiniBatch`]es. When a batch fills up
-//! it is handed to the incremental trainer and reset — the behaviour
-//! described in Section III-B.1/2 of the paper.
+//! and assembles training rows into columnar [`MiniBatch`]es (one
+//! contiguous predictor array with stride = AR order plus a parallel target
+//! array — see the stride convention in [`MiniBatch`]). When a batch fills
+//! up it is swapped for a recycled buffer from the [`BatchPool`] and handed
+//! to the incremental trainer — the behaviour described in Section
+//! III-B.1/2 of the paper, minus the per-row allocations.
 
 mod assembler;
 mod collector;
@@ -17,5 +20,5 @@ mod sample;
 pub use assembler::{BatchAssembler, PredictorLayout};
 pub use collector::{CollectionEvent, Collector};
 pub use history::SampleHistory;
-pub use minibatch::{BatchRow, MiniBatch};
+pub use minibatch::{BatchPool, MiniBatch};
 pub use sample::Sample;

@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use parsim::ThreadPool;
 
-use crate::collect::{BatchRow, Collector, SampleHistory};
+use crate::collect::{Collector, MiniBatch, SampleHistory};
 use crate::extract::{BreakpointExtractor, DelayTimeExtractor, FeatureKind, OutlierExtractor};
 use crate::model::IncrementalTrainer;
 use crate::region::{AnalysisMethod, AnalysisSpec, FeatureValue};
@@ -14,6 +14,10 @@ use super::background::TrainerSlot;
 /// One armed analysis: its specification plus the live collector/trainer
 /// state, driven through the explicit **sample → assemble → train →
 /// extract** stages by the engine.
+///
+/// Columnar [`MiniBatch`] buffers flow through the analysis by value —
+/// collector → (pending queue →) trainer → back into the collector's pool —
+/// so the steady state reuses a fixed set of allocations.
 pub(crate) struct Analysis<D: ?Sized> {
     pub(crate) spec: AnalysisSpec<D>,
     collector: Collector,
@@ -21,13 +25,16 @@ pub(crate) struct Analysis<D: ?Sized> {
     /// Batches waiting for the background trainer, oldest first. Training
     /// order is preserved, which is what makes background results
     /// bit-identical to inline ones once drained.
-    pending: VecDeque<Vec<BatchRow>>,
+    pending: VecDeque<MiniBatch>,
     feature: Option<FeatureValue>,
     /// Cached representative location (the one with the longest series),
     /// recomputed only when the history grows instead of on every status
     /// poll / prediction.
     representative: Option<usize>,
     representative_len: usize,
+    /// Reusable predictor buffer (`order` slots) for the per-step
+    /// prediction at the representative location.
+    predictor_scratch: Vec<f64>,
     /// Batches trained so far (kept here because the trainer itself may be
     /// in flight on a worker thread).
     pub(crate) batches_trained: usize,
@@ -45,14 +52,16 @@ impl<D: ?Sized> Analysis<D> {
         );
         let trainer = IncrementalTrainer::new(spec.trainer)
             .expect("spec builder validated the trainer configuration");
+        let order = spec.trainer.order;
         Self {
             spec,
             collector,
-            slot: TrainerSlot::Idle(trainer),
+            slot: TrainerSlot::Idle(Box::new(trainer)),
             pending: VecDeque::new(),
             feature: None,
             representative: None,
             representative_len: 0,
+            predictor_scratch: vec![0.0; order],
             batches_trained: 0,
         }
     }
@@ -83,42 +92,67 @@ impl<D: ?Sized> Analysis<D> {
         samples
     }
 
-    /// Stage 2 — **assemble**: turn fresh samples into training rows;
-    /// returns a full mini-batch when one is ready.
-    pub(crate) fn assemble(&mut self, iteration: u64) -> Option<Vec<BatchRow>> {
-        let rows = self.collector.assemble(iteration)?;
-        (self.spec.method == AnalysisMethod::CurveFitting).then_some(rows)
+    /// Stage 2 — **assemble**: write fresh samples into the columnar batch;
+    /// returns the filled batch when one is ready. Threshold-only analyses
+    /// recycle their batches immediately (they never train).
+    pub(crate) fn assemble(&mut self, iteration: u64) -> Option<MiniBatch> {
+        let batch = self.collector.assemble(iteration)?;
+        if self.spec.method == AnalysisMethod::CurveFitting {
+            Some(batch)
+        } else {
+            self.collector.recycle(batch);
+            None
+        }
     }
 
-    /// Stage 3 (inline) — **train** the batch on the calling thread.
-    /// Returns the batch's loss when the trainer accepted it.
-    pub(crate) fn train_inline(&mut self, rows: &[BatchRow]) -> Option<f64> {
+    /// Stage 3 (inline, sequential) — **train** the batch on the calling
+    /// thread and recycle its buffer. Returns the batch's loss when the
+    /// trainer accepted it.
+    pub(crate) fn train_inline(&mut self, batch: MiniBatch) -> Option<f64> {
         let TrainerSlot::Idle(trainer) = &mut self.slot else {
             unreachable!("inline training never leaves the trainer in flight");
         };
-        let loss = trainer.train_batch(rows).ok();
+        let loss = trainer.train_batch(&batch).ok();
+        self.collector.recycle(batch);
+        self.record_batch_outcome(loss)
+    }
+
+    /// Stage 3 (inline, fan-out) — move the trainer and batch onto a worker.
+    /// The caller must pair this with [`Analysis::finish_train`] before the
+    /// step completes; the engine uses the pair to train several analyses'
+    /// batches concurrently within one step.
+    pub(crate) fn begin_train(&mut self, batch: MiniBatch, pool: &ThreadPool) {
+        self.slot.launch(batch, pool);
+    }
+
+    /// Joins the job started by [`Analysis::begin_train`], recycles the
+    /// spent batch and returns the loss.
+    pub(crate) fn finish_train(&mut self) -> Option<f64> {
+        let (batch, loss) = self.slot.join_if_busy()?;
+        self.collector.recycle(batch);
         self.record_batch_outcome(loss)
     }
 
     /// Stage 3 (background) — queue the batch and keep the worker fed.
     /// Returns the loss of a batch reclaimed from the worker, if any
     /// finished in the meantime.
-    pub(crate) fn queue_batch(&mut self, rows: Vec<BatchRow>, pool: &ThreadPool) -> Option<f64> {
-        self.pending.push_back(rows);
+    pub(crate) fn queue_batch(&mut self, batch: MiniBatch, pool: &ThreadPool) -> Option<f64> {
+        self.pending.push_back(batch);
         self.pump(pool)
     }
 
-    /// Non-blocking progress: reclaims a finished training job and launches
-    /// the next queued batch, preserving batch order. Returns the reclaimed
-    /// batch's loss, if a job finished since the last call.
+    /// Non-blocking progress: reclaims a finished training job (recycling
+    /// its batch) and launches the next queued batch, preserving batch
+    /// order. Returns the reclaimed batch's loss, if a job finished since
+    /// the last call.
     pub(crate) fn pump(&mut self, pool: &ThreadPool) -> Option<f64> {
-        let loss = self
-            .slot
-            .reclaim_if_finished()
-            .and_then(|loss| self.record_batch_outcome(loss));
+        let loss = self.slot.reclaim_if_finished().and_then(|(batch, loss)| {
+            self.collector.recycle(batch);
+            self.record_batch_outcome(loss)
+        });
         if self.slot.is_idle() {
-            if let Some(rows) = self.pending.pop_front() {
-                self.slot.launch(rows, pool);
+            if let Some(batch) = self.pending.pop_front() {
+                self.slot.launch(batch, pool);
             }
         }
         loss
@@ -130,13 +164,14 @@ impl<D: ?Sized> Analysis<D> {
     pub(crate) fn drain(&mut self, pool: &ThreadPool) -> Option<f64> {
         let mut last = None;
         loop {
-            if let Some(loss) = self.slot.join_if_busy() {
+            if let Some((batch, loss)) = self.slot.join_if_busy() {
+                self.collector.recycle(batch);
                 if let Some(loss) = self.record_batch_outcome(loss) {
                     last = Some(loss);
                 }
             }
             match self.pending.pop_front() {
-                Some(rows) => self.slot.launch(rows, pool),
+                Some(batch) => self.slot.launch(batch, pool),
                 None => break,
             }
         }
@@ -214,29 +249,28 @@ impl<D: ?Sized> Analysis<D> {
         }
         self.representative_len = history.len();
         self.representative = history
-            .locations()
-            .into_iter()
+            .iter_locations()
             .max_by_key(|loc| history.series_of(*loc).map_or(0, <[(u64, f64)]>::len));
     }
 
-    /// The cached representative location (see
-    /// [`Analysis::refresh_representative`]).
-    pub(crate) fn representative_location(&self) -> usize {
-        self.representative.unwrap_or(0)
-    }
-
     /// Latest one-step prediction at the representative location, if the
-    /// model is resident, trained, and enough history exists.
-    pub(crate) fn latest_prediction(&self) -> Option<f64> {
+    /// model is resident, trained, and enough history exists. Uses the
+    /// reusable predictor scratch — no allocation on the per-step status
+    /// path.
+    pub(crate) fn latest_prediction(&mut self) -> Option<f64> {
         let trainer = self.slot.trainer()?;
         if !trainer.model().is_trained() {
             return None;
         }
         let history = self.collector.history();
-        let location = self.representative_location();
+        let location = self.representative.unwrap_or(0);
         let latest_iteration = history.series_of(location)?.last()?.0;
-        let predictors = self.collector.predictors_for(location, latest_iteration)?;
-        trainer.predict(&predictors).ok()
+        self.collector.write_predictors_for(
+            location,
+            latest_iteration,
+            &mut self.predictor_scratch,
+        )?;
+        trainer.predict(&self.predictor_scratch).ok()
     }
 
     /// Whether this analysis considers its work done (model converged, or

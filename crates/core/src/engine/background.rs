@@ -7,25 +7,31 @@
 //! any moment it is either resident in the [`TrainerSlot`] or owned by
 //! exactly one in-flight job, which keeps the design lock-free and the
 //! training sequence identical to inline mode (same batches, same order —
-//! bit-identical results once drained).
+//! bit-identical results once drained). The columnar batch travels with the
+//! job and comes back with the trainer, so its buffer can be recycled into
+//! the collector's pool instead of reallocated.
 
 use parsim::{JobHandle, ThreadPool};
 
-use crate::collect::BatchRow;
+use crate::collect::MiniBatch;
 use crate::model::IncrementalTrainer;
 
 /// Result of one background training job: the trainer comes back together
-/// with the batch's loss (`None` if the batch was rejected).
+/// with the spent batch (ready for recycling) and the batch's loss (`None`
+/// if the batch was rejected).
 pub(crate) struct TrainJob {
-    trainer: IncrementalTrainer,
-    loss: Option<f64>,
+    pub(crate) trainer: Box<IncrementalTrainer>,
+    pub(crate) batch: MiniBatch,
+    pub(crate) loss: Option<f64>,
 }
 
-/// Where an analysis' trainer currently lives.
+/// Where an analysis' trainer currently lives. The trainer is boxed so
+/// moving it between the slot and a worker (and between enum variants) is
+/// a pointer move, not a copy of its scratch buffers.
 pub(crate) enum TrainerSlot {
-    /// Resident and ready for the next batch (always the case in inline
-    /// mode).
-    Idle(IncrementalTrainer),
+    /// Resident and ready for the next batch (always the case between
+    /// steps in inline mode).
+    Idle(Box<IncrementalTrainer>),
     /// Off training a mini-batch on a worker thread.
     Busy(JobHandle<TrainJob>),
     /// Transient state while ownership moves between the two variants; never
@@ -46,24 +52,31 @@ impl TrainerSlot {
         matches!(self, TrainerSlot::Idle(_))
     }
 
-    /// Moves the trainer onto a worker to train `rows`.
+    /// Moves the trainer onto a worker to train `batch`. Used both by
+    /// background mode and by the inline train stage's multi-analysis
+    /// fan-out.
     ///
     /// # Panics
     ///
     /// Panics if the trainer is already in flight — callers reclaim first.
-    pub(crate) fn launch(&mut self, rows: Vec<BatchRow>, pool: &ThreadPool) {
+    pub(crate) fn launch(&mut self, batch: MiniBatch, pool: &ThreadPool) {
         let TrainerSlot::Idle(mut trainer) = std::mem::replace(self, TrainerSlot::Moving) else {
             panic!("launch requires a resident trainer");
         };
         *self = TrainerSlot::Busy(pool.spawn_job(move || {
-            let loss = trainer.train_batch(&rows).ok();
-            TrainJob { trainer, loss }
+            let loss = trainer.train_batch(&batch).ok();
+            TrainJob {
+                trainer,
+                batch,
+                loss,
+            }
         }));
     }
 
-    /// If the in-flight job has finished, reclaims the trainer and returns
-    /// `Some(loss)`; returns `None` (without blocking) otherwise.
-    pub(crate) fn reclaim_if_finished(&mut self) -> Option<Option<f64>> {
+    /// If the in-flight job has finished, restores the trainer to the slot
+    /// and returns the spent batch (ready for recycling) together with its
+    /// loss; returns `None` (without blocking) otherwise.
+    pub(crate) fn reclaim_if_finished(&mut self) -> Option<(MiniBatch, Option<f64>)> {
         if matches!(self, TrainerSlot::Busy(handle) if handle.is_finished()) {
             Some(self.join_if_busy().expect("slot was busy"))
         } else {
@@ -71,14 +84,19 @@ impl TrainerSlot {
         }
     }
 
-    /// Blocks until the in-flight job (if any) finishes and reclaims the
-    /// trainer; returns the job's loss, or `None` if the slot was idle.
-    pub(crate) fn join_if_busy(&mut self) -> Option<Option<f64>> {
+    /// Blocks until the in-flight job (if any) finishes, restores the
+    /// trainer to the slot, and returns the spent batch plus its loss;
+    /// returns `None` if the slot was idle.
+    pub(crate) fn join_if_busy(&mut self) -> Option<(MiniBatch, Option<f64>)> {
         match std::mem::replace(self, TrainerSlot::Moving) {
             TrainerSlot::Busy(handle) => {
-                let TrainJob { trainer, loss } = handle.join();
+                let TrainJob {
+                    trainer,
+                    batch,
+                    loss,
+                } = handle.join();
                 *self = TrainerSlot::Idle(trainer);
-                Some(loss)
+                Some((batch, loss))
             }
             other => {
                 *self = other;

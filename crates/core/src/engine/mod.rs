@@ -10,10 +10,14 @@
 //!
 //! 1. **sample** — batch-query each analysis' provider over its spatial
 //!    characteristic ([`VarProvider::fill`](crate::provider::VarProvider::fill)),
-//! 2. **assemble** — turn fresh samples into mini-batch training rows,
+//! 2. **assemble** — write fresh samples into a columnar
+//!    [`MiniBatch`](crate::collect::MiniBatch) (contiguous predictors,
+//!    stride = AR order; buffers recycled through a pool so the steady
+//!    state allocates nothing per row),
 //! 3. **train** — run gradient descent on full batches, either
-//!    [`TrainingMode::Inline`] on the simulation thread or
-//!    [`TrainingMode::Background`] on a `parsim` worker,
+//!    [`TrainingMode::Inline`] on the simulation thread (fanning
+//!    independent analyses out across the pool when several batches fill
+//!    in one step) or [`TrainingMode::Background`] on a `parsim` worker,
 //! 4. **extract** — derive the requested features once an analysis is done.
 //!
 //! The paired `begin`/`end` calls of the paper's API are replaced by the
@@ -71,7 +75,7 @@ pub use step::{StepReport, StepScope};
 
 use parsim::ThreadPool;
 
-use crate::collect::SampleHistory;
+use crate::collect::{MiniBatch, SampleHistory};
 use crate::error::{Error, Result};
 use crate::model::IncrementalTrainer;
 use crate::region::{AnalysisSpec, ExitAction, NullBroadcaster, RegionStatus, StatusBroadcaster};
@@ -81,9 +85,13 @@ use analysis::Analysis;
 /// Where the gradient-descent training of full mini-batches runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TrainingMode {
-    /// Train on the simulation thread inside
-    /// [`StepScope::complete`] — the paper's original behaviour, lowest
-    /// latency to convergence signals.
+    /// Train inside [`StepScope::complete`] — the paper's original
+    /// behaviour, lowest latency to convergence signals. When **several**
+    /// analyses fill their batches in the same step and the configured pool
+    /// has more than one worker, their (independent) trainers fan out
+    /// across the pool and the step joins them before returning; results
+    /// are bit-identical to sequential training because each trainer only
+    /// ever consumes its own batches, in order.
     #[default]
     Inline,
     /// Move the trainer onto a `parsim` worker whenever a batch fills, so
@@ -99,14 +107,25 @@ pub enum TrainingMode {
 pub struct EngineConfig {
     /// Inline or background training (default inline).
     pub training_mode: TrainingMode,
-    /// Thread pool used for background training jobs.
+    /// Thread pool used for background training jobs and for the inline
+    /// train stage's multi-analysis fan-out.
     pub pool: ThreadPool,
 }
 
 impl EngineConfig {
-    /// Inline training (the default).
+    /// Inline training on the simulation thread (the default; the pool is
+    /// serial, so multi-analysis steps train sequentially).
     pub fn inline() -> Self {
         Self::default()
+    }
+
+    /// Inline training with the step's train stage fanning independent
+    /// analyses' batches out across the given pool.
+    pub fn inline_parallel(pool: ThreadPool) -> Self {
+        Self {
+            training_mode: TrainingMode::Inline,
+            pool,
+        }
     }
 
     /// Background training on the given pool.
@@ -173,6 +192,14 @@ struct EngineRegion<D: ?Sized> {
     status: RegionStatus,
 }
 
+/// A full mini-batch waiting for the inline train stage, remembering which
+/// analysis produced it.
+struct ReadyBatch {
+    region: usize,
+    analysis: usize,
+    batch: MiniBatch,
+}
+
 /// A multi-region in-situ session: the owner of every analysis' collector,
 /// trainer and extracted features, addressed through copyable handles.
 ///
@@ -181,6 +208,14 @@ struct EngineRegion<D: ?Sized> {
 pub struct Engine<D: ?Sized> {
     config: EngineConfig,
     regions: Vec<EngineRegion<D>>,
+    /// Scratch for the inline train stage: batches that filled during this
+    /// step. Reused across steps so the hot path does not allocate.
+    inline_ready: Vec<ReadyBatch>,
+    /// Scratch for the fan-out join pass (indices of launched analyses).
+    join_scratch: Vec<(usize, usize)>,
+    /// Number of steps whose train stage fanned out across the pool
+    /// (diagnostic; asserted by the parallelism tests).
+    parallel_train_fanouts: u64,
 }
 
 impl<D: ?Sized> std::fmt::Debug for Engine<D> {
@@ -209,12 +244,22 @@ impl<D: ?Sized> Engine<D> {
         Self {
             config,
             regions: Vec::new(),
+            inline_ready: Vec::new(),
+            join_scratch: Vec::new(),
+            parallel_train_fanouts: 0,
         }
     }
 
     /// The configured training mode.
     pub fn training_mode(&self) -> TrainingMode {
         self.config.training_mode
+    }
+
+    /// Number of completed steps whose inline train stage fanned multiple
+    /// analyses' batches out across the pool (always 0 in background mode
+    /// and with a serial pool).
+    pub fn parallel_train_fanouts(&self) -> u64 {
+        self.parallel_train_fanouts
     }
 
     /// Registers a new, empty region.
@@ -461,44 +506,94 @@ impl<D: ?Sized> Engine<D> {
         }
     }
 
-    /// The full pipeline for one completed step: **sample → assemble →
-    /// train → extract** for every analysis of every region, then status
-    /// refresh and broadcast.
+    /// The full pipeline for one completed step, run as explicit stages
+    /// over every analysis of every region:
+    ///
+    /// 1. **sample** + **assemble** for all analyses, collecting the
+    ///    columnar batches that filled this step;
+    /// 2. **train** the full batches — queued to workers in background
+    ///    mode, on the simulation thread inline, or fanned out across the
+    ///    pool when several independent analyses' batches are ready at
+    ///    once;
+    /// 3. **extract**, refresh and broadcast each region's status.
+    ///
+    /// Spent batches return to their collectors' buffer pools, so the
+    /// steady-state step performs zero per-row heap allocations.
     pub(crate) fn run_pipeline(&mut self, iteration: u64, domain: &D) -> StepReport {
         let background = self.config.training_mode == TrainingMode::Background;
+
+        // Stages 1 + 2: sample and assemble. Inline-mode batches are parked
+        // in the reusable `inline_ready` scratch for the train stage.
+        let mut ready = std::mem::take(&mut self.inline_ready);
+        debug_assert!(ready.is_empty());
+        for (r, region) in self.regions.iter_mut().enumerate() {
+            let mut samples_this_iteration = 0;
+            for (a, analysis) in region.analyses.iter_mut().enumerate() {
+                samples_this_iteration += analysis.sample(iteration, domain);
+                match analysis.assemble(iteration) {
+                    Some(batch) if background => {
+                        if let Some(loss) = analysis.queue_batch(batch, &self.config.pool) {
+                            region.status.last_loss = Some(loss);
+                        }
+                    }
+                    Some(batch) => ready.push(ReadyBatch {
+                        region: r,
+                        analysis: a,
+                        batch,
+                    }),
+                    None if background => {
+                        // Keep reclaiming finished jobs even on iterations
+                        // that produced no batch.
+                        if let Some(loss) = analysis.pump(&self.config.pool) {
+                            region.status.last_loss = Some(loss);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            region.status.samples_collected += samples_this_iteration;
+        }
+
+        // Stage 3 (inline): train the filled batches. Independent analyses
+        // fan out across the pool when the configuration asked for
+        // parallelism; otherwise train directly on the simulation thread.
+        // (The *configured* worker budget gates the fan-out rather than the
+        // machine-clamped one: on a smaller machine the jobs simply queue
+        // FIFO, which is still correct.) Either way the per-analysis batch
+        // order is preserved, so results are bit-identical.
+        if ready.len() >= 2 && self.config.pool.config().total_workers() >= 2 {
+            self.parallel_train_fanouts += 1;
+            let mut joins = std::mem::take(&mut self.join_scratch);
+            for item in ready.drain(..) {
+                self.regions[item.region].analyses[item.analysis]
+                    .begin_train(item.batch, &self.config.pool);
+                joins.push((item.region, item.analysis));
+            }
+            for (r, a) in joins.drain(..) {
+                if let Some(loss) = self.regions[r].analyses[a].finish_train() {
+                    self.regions[r].status.last_loss = Some(loss);
+                }
+            }
+            self.join_scratch = joins;
+        } else {
+            for item in ready.drain(..) {
+                if let Some(loss) =
+                    self.regions[item.region].analyses[item.analysis].train_inline(item.batch)
+                {
+                    self.regions[item.region].status.last_loss = Some(loss);
+                }
+            }
+        }
+        self.inline_ready = ready;
+
+        // Stage 4: extract, refresh and broadcast.
         let mut statuses = Vec::with_capacity(self.regions.len());
         for region in &mut self.regions {
-            let mut samples_this_iteration = 0;
-            let mut last_loss = region.status.last_loss;
             for analysis in &mut region.analyses {
-                // Stage 1: sample (batch provider fill).
-                samples_this_iteration += analysis.sample(iteration, domain);
-                // Stage 2: assemble mini-batch rows.
-                let batch = analysis.assemble(iteration);
-                // Stage 3: train.
-                let trained = if let Some(rows) = batch {
-                    if background {
-                        analysis.queue_batch(rows, &self.config.pool)
-                    } else {
-                        analysis.train_inline(&rows)
-                    }
-                } else if background {
-                    // Keep reclaiming finished jobs even on iterations that
-                    // produced no batch.
-                    analysis.pump(&self.config.pool)
-                } else {
-                    None
-                };
-                if let Some(loss) = trained {
-                    last_loss = Some(loss);
-                }
-                // Stage 4: extract once the analysis is done.
                 if analysis.is_done(iteration) || analysis.collector().finished(iteration) {
                     analysis.try_extract();
                 }
             }
-            region.status.samples_collected += samples_this_iteration;
-            region.status.last_loss = last_loss;
             Self::refresh_status(region, iteration);
             region.broadcaster.broadcast(&region.status);
             statuses.push(region.status.clone());
@@ -508,6 +603,11 @@ impl<D: ?Sized> Engine<D> {
 
     /// Recomputes the derived fields of a region's status from its analyses.
     fn refresh_status(region: &mut EngineRegion<D>, iteration: u64) {
+        region.status.predicted_value = region
+            .analyses
+            .first_mut()
+            .and_then(Analysis::latest_prediction);
+
         let analyses = &region.analyses;
         let all_done = !analyses.is_empty() && analyses.iter().all(|a| a.is_done(iteration));
         let wants_termination = analyses
@@ -517,7 +617,6 @@ impl<D: ?Sized> Engine<D> {
         region.status.iteration = iteration;
         region.status.batches_trained = analyses.iter().map(|a| a.batches_trained).sum();
         region.status.converged = all_done;
-        region.status.predicted_value = analyses.first().and_then(Analysis::latest_prediction);
         region.status.front_location = Self::front_location(analyses);
         region.status.features = analyses
             .iter()
@@ -532,8 +631,7 @@ impl<D: ?Sized> Engine<D> {
     fn front_location(analyses: &[Analysis<D>]) -> Option<usize> {
         let history = analyses.first()?.history();
         history
-            .locations()
-            .into_iter()
+            .iter_locations()
             .filter_map(|loc| history.latest_of(loc).map(|v| (loc, v)))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(loc, _)| loc)
@@ -662,6 +760,57 @@ mod tests {
         );
         engine.drain();
         assert_eq!(&polled, engine.status(region).unwrap());
+    }
+
+    /// Two analyses with identical cadence so both fill their batches in
+    /// the same steps — the shape that triggers the inline fan-out.
+    fn run_two_analyses(config: EngineConfig, iterations: u64) -> (Engine<Pulse>, RegionId) {
+        let mut engine = Engine::with_config(config);
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        engine.add_analysis(region, pulse_spec("pressure")).unwrap();
+        let mut domain = Pulse::new();
+        for it in 0..iterations {
+            let step = engine.step(it);
+            domain.advance(it);
+            step.complete(&domain);
+        }
+        engine.drain();
+        (engine, region)
+    }
+
+    #[test]
+    fn parallel_inline_training_is_bit_identical_to_sequential() {
+        let (serial, serial_region) = run_two_analyses(EngineConfig::inline(), 301);
+        assert_eq!(serial.parallel_train_fanouts(), 0);
+
+        let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        let (parallel, parallel_region) =
+            run_two_analyses(EngineConfig::inline_parallel(pool), 301);
+        assert!(
+            parallel.parallel_train_fanouts() > 0,
+            "two same-cadence analyses with a 2-worker pool must fan out"
+        );
+
+        let a = serial.status(serial_region).unwrap();
+        let b = parallel.status(parallel_region).unwrap();
+        assert_eq!(a.samples_collected, b.samples_collected);
+        assert_eq!(a.batches_trained, b.batches_trained);
+        assert!(a.batches_trained > 0);
+        assert_eq!(a.features, b.features);
+        for index in 0..2 {
+            let ia = serial.analysis_id(serial_region, index).unwrap();
+            let ib = parallel.analysis_id(parallel_region, index).unwrap();
+            assert_eq!(
+                serial.trainer(ia).unwrap().loss_history(),
+                parallel.trainer(ib).unwrap().loss_history(),
+                "analysis {index}: fan-out must not change the loss sequence"
+            );
+            assert_eq!(
+                serial.trainer(ia).unwrap().model().coefficients(),
+                parallel.trainer(ib).unwrap().model().coefficients()
+            );
+        }
     }
 
     #[test]

@@ -100,12 +100,12 @@ impl ArModel {
         self.intercept = 0.0;
     }
 
-    /// Flat view of all parameters (`[b0, b1, ..., bn]`) for the optimizer.
-    pub(crate) fn parameters_mut(&mut self) -> Vec<f64> {
-        let mut p = Vec::with_capacity(self.order() + 1);
-        p.push(self.intercept);
-        p.extend_from_slice(&self.coefficients);
-        p
+    /// Writes the flat parameter view (`[b0, b1, ..., bn]`) into `out` for
+    /// the optimizer, reusing the buffer's allocation across epochs.
+    pub(crate) fn write_parameters(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.push(self.intercept);
+        out.extend_from_slice(&self.coefficients);
     }
 
     /// Writes back parameters produced by the optimizer and marks the model
@@ -139,13 +139,28 @@ impl ArModel {
                 what: format!("expected {} predictors, got {}", self.order(), inputs.len()),
             });
         }
-        Ok(self.intercept
+        Ok(self.predict_unchecked(inputs))
+    }
+
+    /// The affine prediction kernel over one stride of a columnar batch:
+    /// `b0 + Σ bi·xi`, no arity or trained checks. This is the inner loop
+    /// of the trainer's gradient kernel, called once per row per epoch over
+    /// `inputs.chunks_exact(order)` of a contiguous
+    /// [`MiniBatch`](crate::collect::MiniBatch) predictor array.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `inputs.len()` differs from the order.
+    #[inline]
+    pub(crate) fn predict_unchecked(&self, inputs: &[f64]) -> f64 {
+        debug_assert_eq!(inputs.len(), self.order(), "stride must match order");
+        self.intercept
             + self
                 .coefficients
                 .iter()
                 .zip(inputs)
                 .map(|(c, x)| c * x)
-                .sum::<f64>())
+                .sum::<f64>()
     }
 
     /// Rolls the model forward `steps` times starting from `seed` (the most

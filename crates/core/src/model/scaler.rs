@@ -82,6 +82,17 @@ impl OnlineScaler {
         (value - self.mean) / self.std_dev()
     }
 
+    /// Maps every value in the slice into z-score space in place — the
+    /// allocation-free bulk transform the trainer's columnar kernel uses on
+    /// a whole mini-batch of predictors at once.
+    pub fn transform_in_place(&self, values: &mut [f64]) {
+        let mean = self.mean;
+        let std_dev = self.std_dev();
+        for v in values {
+            *v = (*v - mean) / std_dev;
+        }
+    }
+
     /// Maps a z-score back into raw space.
     pub fn inverse(&self, z: f64) -> f64 {
         z * self.std_dev() + self.mean
@@ -108,6 +119,18 @@ mod tests {
         s.update_all(&[10.0, 20.0, 30.0, 40.0]);
         for v in [-5.0, 0.0, 12.5, 100.0] {
             assert!((s.inverse(s.transform(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bulk_transform_matches_scalar_transform_bitwise() {
+        let mut s = OnlineScaler::new();
+        s.update_all(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let raw = [-3.0, 0.0, 4.9, 5.0, 123.456];
+        let mut bulk = raw;
+        s.transform_in_place(&mut bulk);
+        for (r, b) in raw.iter().zip(&bulk) {
+            assert_eq!(s.transform(*r).to_bits(), b.to_bits());
         }
     }
 

@@ -7,13 +7,22 @@
 //! what keeps the in-situ overhead at the fraction-of-a-percent level the
 //! paper reports — and tracks the running loss for convergence detection
 //! (the trigger for early termination of the simulation).
+//!
+//! The gradient kernel is **columnar**: it walks the
+//! [`MiniBatch`](crate::collect::MiniBatch)'s contiguous predictor array
+//! with `chunks_exact(order)` (the stride convention documented on
+//! `MiniBatch`), standardizes it in bulk, and accumulates gradients over
+//! plain `f64` slices. All intermediate buffers (scaled predictors/targets,
+//! gradient, flat parameters) are owned by the trainer and reused across
+//! batches, so a steady-state training step performs zero per-row heap
+//! allocations.
 
 use serde::{Deserialize, Serialize};
 
 use super::ar::ArModel;
 use super::optimizer::{Optimizer, OptimizerKind};
 use super::scaler::OnlineScaler;
-use crate::collect::BatchRow;
+use crate::collect::MiniBatch;
 use crate::error::{Error, Result};
 
 /// Convergence rule: the model is considered "well trained" once the running
@@ -112,6 +121,15 @@ pub struct IncrementalTrainer {
     loss_history: Vec<f64>,
     below_threshold_streak: usize,
     rows_seen: usize,
+    /// Reusable kernel scratch: the batch's predictors in z-score space
+    /// (stride = order, mirroring the batch layout).
+    scaled_inputs: Vec<f64>,
+    /// Reusable kernel scratch: the batch's targets in z-score space.
+    scaled_targets: Vec<f64>,
+    /// Reusable kernel scratch: the loss gradient (`order + 1` entries).
+    grads: Vec<f64>,
+    /// Reusable kernel scratch: the flat parameter vector for the optimizer.
+    params: Vec<f64>,
 }
 
 impl IncrementalTrainer {
@@ -133,6 +151,10 @@ impl IncrementalTrainer {
             loss_history: Vec::new(),
             below_threshold_streak: 0,
             rows_seen: 0,
+            scaled_inputs: Vec::new(),
+            scaled_targets: Vec::new(),
+            grads: vec![0.0; config.order + 1],
+            params: Vec::with_capacity(config.order + 1),
         })
     }
 
@@ -170,50 +192,53 @@ impl IncrementalTrainer {
         self.below_threshold_streak >= c.patience
     }
 
-    /// Performs gradient-descent epochs over one mini-batch of rows and
+    /// Performs gradient-descent epochs over one columnar mini-batch and
     /// returns the post-update loss (z-score-space MSE over the batch).
+    ///
+    /// The kernel iterates the batch's contiguous predictor array with
+    /// `chunks_exact(order)` — no per-row indirection — and reuses the
+    /// trainer-owned scratch buffers, so steady-state training allocates
+    /// nothing.
     ///
     /// # Errors
     ///
     /// Returns [`Error::NotEnoughData`] for an empty batch and
-    /// [`Error::InvalidHyperParameter`] if a row's order does not match the
-    /// model.
-    pub fn train_batch(&mut self, rows: &[BatchRow]) -> Result<f64> {
-        if rows.is_empty() {
+    /// [`Error::InvalidHyperParameter`] if the batch's order does not match
+    /// the model.
+    pub fn train_batch(&mut self, batch: &MiniBatch) -> Result<f64> {
+        if batch.is_empty() {
             return Err(Error::NotEnoughData {
                 available: 0,
                 required: 1,
             });
         }
-        for row in rows {
-            if row.order() != self.config.order {
-                return Err(Error::InvalidHyperParameter {
-                    name: "order",
-                    what: format!(
-                        "row order {} does not match model order {}",
-                        row.order(),
-                        self.config.order
-                    ),
-                });
-            }
-            self.input_scaler.update_all(&row.inputs);
-            self.target_scaler.update(row.target);
+        if batch.order() != self.config.order {
+            return Err(Error::InvalidHyperParameter {
+                name: "order",
+                what: format!(
+                    "batch order {} does not match model order {}",
+                    batch.order(),
+                    self.config.order
+                ),
+            });
         }
+        let order = self.config.order;
+        let rows = batch.len();
+        self.input_scaler.update_all(batch.inputs());
+        self.target_scaler.update_all(batch.targets());
 
-        let scaled: Vec<(Vec<f64>, f64)> = rows
-            .iter()
-            .map(|row| {
-                (
-                    row.inputs
-                        .iter()
-                        .map(|&x| self.input_scaler.transform(x))
-                        .collect(),
-                    self.target_scaler.transform(row.target),
-                )
-            })
-            .collect();
+        // Standardize the whole batch in bulk into the reusable scratch
+        // columns (same layout as the batch: predictors with stride =
+        // order, targets parallel).
+        self.scaled_inputs.clear();
+        self.scaled_inputs.extend_from_slice(batch.inputs());
+        self.input_scaler
+            .transform_in_place(&mut self.scaled_inputs);
+        self.scaled_targets.clear();
+        self.scaled_targets.extend_from_slice(batch.targets());
+        self.target_scaler
+            .transform_in_place(&mut self.scaled_targets);
 
-        let dim = self.config.order + 1;
         // Two stabilizers keep the online fit well behaved when the variable
         // changes regime faster than the running scaler can adapt (the
         // arrival of a shock, a detonation transient): the gradient is
@@ -222,49 +247,50 @@ impl IncrementalTrainer {
         // momentarily become), and its norm is clipped.
         const MAX_GRADIENT_NORM: f64 = 2.0;
         let input_energy = 1.0
-            + scaled
-                .iter()
-                .map(|(inputs, _)| inputs.iter().map(|x| x * x).sum::<f64>())
+            + self
+                .scaled_inputs
+                .chunks_exact(order)
+                .map(|inputs| inputs.iter().map(|x| x * x).sum::<f64>())
                 .sum::<f64>()
-                / scaled.len() as f64;
+                / rows as f64;
         for _ in 0..self.config.epochs_per_batch {
-            let mut grads = vec![0.0; dim];
-            let mut params = self.model.parameters_mut();
-            for (inputs, target) in &scaled {
-                let prediction = self
-                    .model
-                    .predict_untrained(inputs)
-                    .expect("row order checked above");
+            self.grads.fill(0.0);
+            self.model.write_parameters(&mut self.params);
+            for (inputs, target) in self
+                .scaled_inputs
+                .chunks_exact(order)
+                .zip(&self.scaled_targets)
+            {
+                let prediction = self.model.predict_unchecked(inputs);
                 let residual = prediction - target;
-                grads[0] += 2.0 * residual;
-                for (g, x) in grads[1..].iter_mut().zip(inputs) {
+                self.grads[0] += 2.0 * residual;
+                for (g, x) in self.grads[1..].iter_mut().zip(inputs) {
                     *g += 2.0 * residual * x;
                 }
             }
-            let scale = 1.0 / (scaled.len() as f64 * input_energy);
-            grads.iter_mut().for_each(|g| *g *= scale);
-            let norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+            let scale = 1.0 / (rows as f64 * input_energy);
+            self.grads.iter_mut().for_each(|g| *g *= scale);
+            let norm = self.grads.iter().map(|g| g * g).sum::<f64>().sqrt();
             if norm > MAX_GRADIENT_NORM {
                 let shrink = MAX_GRADIENT_NORM / norm;
-                grads.iter_mut().for_each(|g| *g *= shrink);
+                self.grads.iter_mut().for_each(|g| *g *= shrink);
             }
-            self.optimizer.step(&mut params, &grads);
-            self.model.apply_parameters(&params);
+            self.optimizer.step(&mut self.params, &self.grads);
+            self.model.apply_parameters(&self.params);
         }
 
-        let loss = scaled
-            .iter()
+        let loss = self
+            .scaled_inputs
+            .chunks_exact(order)
+            .zip(&self.scaled_targets)
             .map(|(inputs, target)| {
-                let p = self
-                    .model
-                    .predict_untrained(inputs)
-                    .expect("row order checked above");
+                let p = self.model.predict_unchecked(inputs);
                 (p - target) * (p - target)
             })
             .sum::<f64>()
-            / scaled.len() as f64;
+            / rows as f64;
 
-        self.rows_seen += rows.len();
+        self.rows_seen += rows;
         self.loss_history.push(loss);
         if loss <= self.config.convergence.loss_threshold {
             self.below_threshold_streak += 1;
@@ -275,18 +301,32 @@ impl IncrementalTrainer {
     }
 
     /// Predicts the target (in raw physical units) for a raw predictor
-    /// vector.
+    /// vector. Allocation-free: the predictors are standardized on the fly
+    /// inside the affine accumulation.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ModelNotTrained`] before the first batch and
     /// [`Error::InvalidHyperParameter`] for a wrong predictor count.
     pub fn predict(&self, inputs: &[f64]) -> Result<f64> {
-        let scaled: Vec<f64> = inputs
-            .iter()
-            .map(|&x| self.input_scaler.transform(x))
-            .collect();
-        let z = self.model.predict(&scaled)?;
+        if !self.model.is_trained() {
+            return Err(Error::ModelNotTrained);
+        }
+        if inputs.len() != self.config.order {
+            return Err(Error::InvalidHyperParameter {
+                name: "inputs",
+                what: format!(
+                    "expected {} predictors, got {}",
+                    self.config.order,
+                    inputs.len()
+                ),
+            });
+        }
+        let mut acc = 0.0;
+        for (c, &x) in self.model.coefficients().iter().zip(inputs) {
+            acc += c * self.input_scaler.transform(x);
+        }
+        let z = self.model.intercept() + acc;
         Ok(self.target_scaler.inverse(z))
     }
 
@@ -323,15 +363,30 @@ impl IncrementalTrainer {
 mod tests {
     use super::*;
 
-    fn rows_from_series(series: &[f64], order: usize) -> Vec<BatchRow> {
-        // Temporal layout: predict series[i] from the `order` previous values
-        // (newest first).
-        (order..series.len())
-            .map(|i| {
-                let inputs: Vec<f64> = (1..=order).map(|k| series[i - k]).collect();
-                BatchRow::new(inputs, series[i])
-            })
-            .collect()
+    /// Temporal layout: predict `series[i]` from the `order` previous
+    /// values (newest first), chunked into columnar batches of
+    /// `batch_size` rows (the final batch may be short).
+    fn batches_from_series(series: &[f64], order: usize, batch_size: usize) -> Vec<MiniBatch> {
+        let mut batches = Vec::new();
+        let mut batch = MiniBatch::new(order, batch_size);
+        for i in order..series.len() {
+            batch.push_with(series[i], |out| {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = series[i - (k + 1)];
+                }
+                Some(())
+            });
+            if batch.is_full() {
+                batches.push(std::mem::replace(
+                    &mut batch,
+                    MiniBatch::new(order, batch_size),
+                ));
+            }
+        }
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
+        batches
     }
 
     fn decaying_series(n: usize) -> Vec<f64> {
@@ -354,7 +409,7 @@ mod tests {
     #[test]
     fn loss_decreases_over_batches_on_stationary_process() {
         let series = decaying_series(400);
-        let rows = rows_from_series(&series, 3);
+        let batches = batches_from_series(&series, 3, 16);
         let mut trainer = IncrementalTrainer::new(TrainerConfig {
             order: 3,
             optimizer: OptimizerKind::Sgd { learning_rate: 0.1 },
@@ -363,8 +418,8 @@ mod tests {
         })
         .unwrap();
         let mut losses = Vec::new();
-        for chunk in rows.chunks(16) {
-            losses.push(trainer.train_batch(chunk).unwrap());
+        for batch in &batches {
+            losses.push(trainer.train_batch(batch).unwrap());
         }
         assert!(losses.len() > 5);
         let early: f64 = losses[..3].iter().sum::<f64>() / 3.0;
@@ -379,7 +434,7 @@ mod tests {
     #[test]
     fn trained_model_predicts_decay_accurately() {
         let series = decaying_series(600);
-        let rows = rows_from_series(&series, 2);
+        let batches = batches_from_series(&series, 2, 32);
         let mut trainer = IncrementalTrainer::new(TrainerConfig {
             order: 2,
             optimizer: OptimizerKind::Sgd { learning_rate: 0.2 },
@@ -387,8 +442,8 @@ mod tests {
             convergence: ConvergenceCriteria::default(),
         })
         .unwrap();
-        for chunk in rows.chunks(32) {
-            trainer.train_batch(chunk).unwrap();
+        for batch in &batches {
+            trainer.train_batch(batch).unwrap();
         }
         // Predict an early-series value (still well above the numerical
         // floor of the decay) from its true predecessors.
@@ -401,7 +456,7 @@ mod tests {
     #[test]
     fn convergence_streak_triggers() {
         let series = vec![1.0; 200];
-        let rows = rows_from_series(&series, 2);
+        let batches = batches_from_series(&series, 2, 16);
         let mut trainer = IncrementalTrainer::new(TrainerConfig {
             order: 2,
             optimizer: OptimizerKind::Sgd { learning_rate: 0.3 },
@@ -413,8 +468,8 @@ mod tests {
             },
         })
         .unwrap();
-        for chunk in rows.chunks(16) {
-            trainer.train_batch(chunk).unwrap();
+        for batch in &batches {
+            trainer.train_batch(batch).unwrap();
             if trainer.is_converged() {
                 break;
             }
@@ -435,10 +490,12 @@ mod tests {
             ..TrainerConfig::default()
         })
         .unwrap();
-        let rows = vec![BatchRow::new(vec![1.0], 2.0), BatchRow::new(vec![2.0], 4.0)];
-        trainer.train_batch(&rows).unwrap();
+        let mut batch = MiniBatch::new(1, 2);
+        batch.push(&[1.0], 2.0).unwrap();
+        batch.push(&[2.0], 4.0).unwrap();
+        trainer.train_batch(&batch).unwrap();
         assert!(!trainer.is_converged());
-        trainer.train_batch(&rows).unwrap();
+        trainer.train_batch(&batch).unwrap();
         assert!(trainer.is_converged());
     }
 
@@ -446,10 +503,11 @@ mod tests {
     fn empty_batches_and_wrong_orders_are_rejected() {
         let mut trainer = IncrementalTrainer::new(TrainerConfig::default()).unwrap();
         assert!(matches!(
-            trainer.train_batch(&[]),
+            trainer.train_batch(&MiniBatch::new(3, 4)),
             Err(Error::NotEnoughData { .. })
         ));
-        let bad = vec![BatchRow::new(vec![1.0], 2.0)]; // order 1 vs model order 3
+        let mut bad = MiniBatch::new(1, 4); // order 1 vs model order 3
+        bad.push(&[1.0], 2.0).unwrap();
         assert!(trainer.train_batch(&bad).is_err());
     }
 
@@ -465,7 +523,7 @@ mod tests {
     #[test]
     fn forecast_tracks_decay_shape() {
         let series = decaying_series(600);
-        let rows = rows_from_series(&series, 2);
+        let batches = batches_from_series(&series, 2, 32);
         let mut trainer = IncrementalTrainer::new(TrainerConfig {
             order: 2,
             optimizer: OptimizerKind::Sgd { learning_rate: 0.2 },
@@ -473,8 +531,8 @@ mod tests {
             ..TrainerConfig::default()
         })
         .unwrap();
-        for chunk in rows.chunks(32) {
-            trainer.train_batch(chunk).unwrap();
+        for batch in &batches {
+            trainer.train_batch(batch).unwrap();
         }
         let start = 100;
         let forecast = trainer

@@ -1,0 +1,102 @@
+//! Regenerates the golden values embedded in `tests/golden_columnar.rs`.
+//!
+//! Runs the LULESH and wdmerger proxies through the in-situ engine with the
+//! exact scenarios of the golden regression test and prints every per-batch
+//! loss, the fitted model parameters, and the extracted features as
+//! `f64::to_bits` hex literals, ready to paste into the test. The reference
+//! values currently in the test were captured from the row-oriented
+//! (pre-columnar) pipeline; the columnar pipeline must reproduce them bit
+//! for bit.
+
+use insitu::collect::PredictorLayout;
+use insitu_repro::prelude::*;
+
+fn dump(label: &str, region: &Region<impl ?Sized>, analyses: usize) {
+    println!("// --- {label} ---");
+    let status = region.status();
+    println!("samples_collected: {}", status.samples_collected);
+    println!("batches_trained: {}", status.batches_trained);
+    for index in 0..analyses {
+        let trainer = region.trainer(index).expect("trainer resident");
+        let losses: Vec<String> = trainer
+            .loss_history()
+            .iter()
+            .map(|l| format!("0x{:016x}", l.to_bits()))
+            .collect();
+        println!("analysis {index} losses: [{}]", losses.join(", "));
+        let model = trainer.model();
+        println!(
+            "analysis {index} intercept: 0x{:016x}",
+            model.intercept().to_bits()
+        );
+        let coeffs: Vec<String> = model
+            .coefficients()
+            .iter()
+            .map(|c| format!("0x{:016x}", c.to_bits()))
+            .collect();
+        println!("analysis {index} coefficients: [{}]", coeffs.join(", "));
+    }
+    for (name, feature) in &status.features {
+        println!(
+            "feature {name}: scalar bits 0x{:016x}",
+            feature.scalar().to_bits()
+        );
+    }
+}
+
+fn lulesh_scenario() {
+    let size = 14;
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region: Region<LuleshSim> = Region::new("golden-lulesh");
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|s: &LuleshSim, loc: usize| s.velocity_at(loc))
+        .spatial(IterParam::new(1, 8, 1).unwrap())
+        .temporal(IterParam::new(1, 200, 1).unwrap())
+        .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+        .lag(5)
+        .batch_capacity(16)
+        .build()
+        .unwrap();
+    region.add_analysis(spec);
+    sim.run_with(|s, it| {
+        region.begin(it);
+        region.end(it, s);
+        it < 250
+    });
+    region.extract_now();
+    dump("lulesh", &region, 1);
+}
+
+fn wdmerger_scenario() {
+    let config = WdMergerConfig::with_resolution(12);
+    let mut sim = WdMergerSim::new(config);
+    let mut region: Region<WdMergerSim> = Region::new("golden-wd");
+    for variable in DiagnosticVariable::all() {
+        let spec = AnalysisSpec::builder()
+            .name(variable.name())
+            .provider(move |sim: &WdMergerSim, loc: usize| sim.diagnostic_at(loc))
+            .spatial(IterParam::single(variable.location() as u64))
+            .temporal(IterParam::new(1, config.steps, 1).unwrap())
+            .layout(PredictorLayout::Temporal)
+            .feature(FeatureKind::DelayTime)
+            .lag(1)
+            .batch_capacity(8)
+            .build()
+            .unwrap();
+        region.add_analysis(spec);
+    }
+    let analyses = region.analysis_count();
+    sim.run_with(|s, step| {
+        region.begin(step);
+        region.end(step, s);
+        true
+    });
+    region.extract_now();
+    dump("wdmerger", &region, analyses);
+}
+
+fn main() {
+    lulesh_scenario();
+    wdmerger_scenario();
+}

@@ -1,0 +1,287 @@
+//! Golden bit-identity regression for the columnar mini-batch pipeline.
+//!
+//! The constants below were captured from the **row-oriented** pipeline
+//! (one `Vec<f64>` allocation per training row) immediately before the
+//! columnar struct-of-arrays refactor, by running
+//! `cargo run --release --example golden_capture`. The columnar pipeline
+//! must reproduce every per-batch loss, the fitted model parameters, and
+//! the extracted features **bit for bit** on both proxy case studies —
+//! proving the refactor changed the memory layout and nothing else.
+//!
+//! If a future change intentionally alters the training arithmetic,
+//! regenerate the constants with the same example and say so in the PR.
+
+use insitu::collect::PredictorLayout;
+use insitu_repro::prelude::*;
+
+// --- LULESH (spatio-temporal layout, breakpoint feature) -------------------
+
+const LULESH_SAMPLES: usize = 1600;
+const LULESH_BATCHES: usize = 48;
+const LULESH_LOSS_BITS: [u64; 48] = [
+    0x3fe822bd091fb233,
+    0x3fedf1a6329c1228,
+    0x3fe9e2bc7241ce13,
+    0x3fe705c912765a4e,
+    0x3fe52a38d7db4376,
+    0x3fe3ba4a10c15dde,
+    0x3fe284d222e3adb1,
+    0x3fe18014048f5b2e,
+    0x3fe0b18714f1bcb0,
+    0x3fe02e160435eb5a,
+    0x3fdfa6245dd8987d,
+    0x3fded34c3bfe62d2,
+    0x3fddafb5e158eab2,
+    0x3fdc4a8e4fecea78,
+    0x3fda70b16fc991a3,
+    0x3fd9285f4637a1aa,
+    0x3fd95817f91bf018,
+    0x3fda1fa27633f37a,
+    0x3fdaebdb64a7505d,
+    0x3fda69b6477f62ed,
+    0x3fd8de10bbb15a55,
+    0x3fd5d6be2e39921b,
+    0x3fd20836c2667ec4,
+    0x3fce097b8821eb88,
+    0x3fc9f11902741700,
+    0x3fc797a44b74913a,
+    0x3fc4f66ed9036182,
+    0x3fc186069536a37e,
+    0x3fbd6d4c25de83b5,
+    0x3fb9a16d56c41bf5,
+    0x3fb69c9344a3444c,
+    0x3fb2ac481bb71a6d,
+    0x3faab131b8f4e43d,
+    0x3fa1baad2e52ab39,
+    0x3f9a8949b7fa4738,
+    0x3f972c5daf431973,
+    0x3f927a8657de4b06,
+    0x3f8509a8f8b5803c,
+    0x3f702b194ede6432,
+    0x3f6b59779987288d,
+    0x3f7c71b3bd1d4ed6,
+    0x3f81fdb51dd4bbae,
+    0x3f7b621d2621af56,
+    0x3f70322afefb6608,
+    0x3f70414f5fa2a6a0,
+    0x3f7a602c50a1b896,
+    0x3f80593049007a17,
+    0x3f7b6c1a29de7b9b,
+];
+const LULESH_INTERCEPT_BITS: u64 = 0x3fed2ba3f504bd2e;
+const LULESH_COEFF_BITS: [u64; 3] = [0x3ff89e00f1cf1eda, 0x3fcee47eb6c579f5, 0x3fc53098ab20d9cb];
+/// Breakpoint radius 8.0.
+const LULESH_FEATURE_BITS: u64 = 0x4020000000000000;
+
+// --- wdmerger (temporal layout, delay-time features, four analyses) --------
+
+const WD_SAMPLES: usize = 440;
+const WD_BATCHES: usize = 52;
+const WD_LOSS_BITS: [[u64; 13]; 4] = [
+    [
+        0x0000000000000000,
+        0x0000000000000000,
+        0x3fe8d25ab5c1e18a,
+        0x3fc2701b33b95091,
+        0x3f809e35e695e3e8,
+        0x3f701ef828f178b2,
+        0x3f5db5b0c782c180,
+        0x3f45eb411a2a1f72,
+        0x3f29c02ced01a4dc,
+        0x3f02edf8a6220b8d,
+        0x3ed46f4458e9a74e,
+        0x3ef714ff70de7c1c,
+        0x3f0c4f28b0a59f52,
+    ],
+    [
+        0x3fc0bfc06350b0dc,
+        0x3f9440095db5f224,
+        0x3f72c538f405cc68,
+        0x3f754c78efbeaacc,
+        0x3f2dbc162e5ba454,
+        0x3f5267b996a5ffcc,
+        0x3f541482ab7fc3ad,
+        0x3f5017b8bae4700c,
+        0x3f46f8f5f81847ad,
+        0x3f3f2443ae1e8108,
+        0x3f34a802543aa9ae,
+        0x3f2b4793dd9af48a,
+        0x3f22215b26269ca4,
+    ],
+    [
+        0x0000000000000000,
+        0x0000000000000000,
+        0x0000000000000000,
+        0x3fe0404459bc54fa,
+        0x3f777cd87b3e92ac,
+        0x3f60f08494e807f5,
+        0x3f5ad51e1d1658ff,
+        0x3f4ef8711e6f947f,
+        0x3f40c9ef9f53e791,
+        0x3f323214de968dd1,
+        0x3f2441eff200b234,
+        0x3f1791d1c47749ab,
+        0x3f0d0569876da440,
+    ],
+    [
+        0x0000000000000000,
+        0x0000000000000000,
+        0x3fe8d252c4cec279,
+        0x3fd25594c12ba9b4,
+        0x3f992a5c906d2d89,
+        0x3f82ff6fb66c4f5f,
+        0x3f724056e52ea8df,
+        0x3f6029e64094a534,
+        0x3f4c19c07b5704df,
+        0x3f383cd0d92e3e4a,
+        0x3f24bb3307b28e49,
+        0x3f117c9b40496187,
+        0x3efccc52733a6971,
+    ],
+];
+const WD_INTERCEPT_BITS: [u64; 4] = [
+    0x3f2d8e9d8195fed4,
+    0x3fa77a635b111a11,
+    0xbf8931ee008fc837,
+    0x3f8f4396e5b57acc,
+];
+const WD_COEFF_BITS: [[u64; 3]; 4] = [
+    [0x3fec0a488abba474, 0x3f8842dfe78803c8, 0x3f8d24d788047c2a],
+    [0x3fef6751ea9f47e3, 0x3f638b783819ebed, 0x3f97599a3687525c],
+    [0x3feeb1e82f37a808, 0xbf964be7ca4f1093, 0x3f64463d1a5c6d82],
+    [0x3febfb7966b8d516, 0x3f9335c643b5c5b5, 0x3fa061c219ffa0fa],
+];
+/// Delay times per variable: temperature 29, a.momentum 32, mass 30,
+/// energy 30 (in simulation time units).
+const WD_FEATURE_BITS: [(&str, u64); 4] = [
+    ("temperature", 0x403d000000000000),
+    ("a.momentum", 0x4040000000000000),
+    ("mass", 0x403e000000000000),
+    ("energy", 0x403e000000000000),
+];
+
+fn assert_loss_bits(trainer: &insitu::model::IncrementalTrainer, expected: &[u64], label: &str) {
+    let actual = trainer.loss_history();
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "{label}: batch count drifted from the row-oriented pipeline"
+    );
+    for (i, (loss, bits)) in actual.iter().zip(expected).enumerate() {
+        assert_eq!(
+            loss.to_bits(),
+            *bits,
+            "{label}: loss of batch {i} is not bit-identical \
+             (got {loss:e}, expected {:e})",
+            f64::from_bits(*bits)
+        );
+    }
+}
+
+fn assert_model_bits(
+    trainer: &insitu::model::IncrementalTrainer,
+    intercept: u64,
+    coefficients: &[u64],
+    label: &str,
+) {
+    let model = trainer.model();
+    assert_eq!(
+        model.intercept().to_bits(),
+        intercept,
+        "{label}: intercept drifted"
+    );
+    assert_eq!(model.coefficients().len(), coefficients.len());
+    for (i, (c, bits)) in model.coefficients().iter().zip(coefficients).enumerate() {
+        assert_eq!(c.to_bits(), *bits, "{label}: coefficient {i} drifted");
+    }
+}
+
+#[test]
+fn lulesh_pipeline_is_bit_identical_to_the_row_oriented_path() {
+    let size = 14;
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
+    let mut region: Region<LuleshSim> = Region::new("golden-lulesh");
+    let spec = AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|s: &LuleshSim, loc: usize| s.velocity_at(loc))
+        .spatial(IterParam::new(1, 8, 1).unwrap())
+        .temporal(IterParam::new(1, 200, 1).unwrap())
+        .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+        .lag(5)
+        .batch_capacity(16)
+        .build()
+        .unwrap();
+    region.add_analysis(spec);
+    sim.run_with(|s, it| {
+        region.begin(it);
+        region.end(it, s);
+        it < 250
+    });
+    region.extract_now();
+
+    let status = region.status();
+    assert_eq!(status.samples_collected, LULESH_SAMPLES);
+    assert_eq!(status.batches_trained, LULESH_BATCHES);
+    let trainer = region.trainer(0).unwrap();
+    assert_loss_bits(trainer, &LULESH_LOSS_BITS, "lulesh velocity");
+    assert_model_bits(
+        trainer,
+        LULESH_INTERCEPT_BITS,
+        &LULESH_COEFF_BITS,
+        "lulesh velocity",
+    );
+    let feature = status.feature("velocity").expect("breakpoint extracted");
+    assert_eq!(
+        feature.scalar().to_bits(),
+        LULESH_FEATURE_BITS,
+        "breakpoint radius drifted"
+    );
+}
+
+#[test]
+fn wdmerger_pipeline_is_bit_identical_to_the_row_oriented_path() {
+    let config = WdMergerConfig::with_resolution(12);
+    let mut sim = WdMergerSim::new(config);
+    let mut region: Region<WdMergerSim> = Region::new("golden-wd");
+    for variable in DiagnosticVariable::all() {
+        let spec = AnalysisSpec::builder()
+            .name(variable.name())
+            .provider(move |sim: &WdMergerSim, loc: usize| sim.diagnostic_at(loc))
+            .spatial(IterParam::single(variable.location() as u64))
+            .temporal(IterParam::new(1, config.steps, 1).unwrap())
+            .layout(PredictorLayout::Temporal)
+            .feature(FeatureKind::DelayTime)
+            .lag(1)
+            .batch_capacity(8)
+            .build()
+            .unwrap();
+        region.add_analysis(spec);
+    }
+    sim.run_with(|s, step| {
+        region.begin(step);
+        region.end(step, s);
+        true
+    });
+    region.extract_now();
+
+    let status = region.status();
+    assert_eq!(status.samples_collected, WD_SAMPLES);
+    assert_eq!(status.batches_trained, WD_BATCHES);
+    for (index, ((losses, intercept), coefficients)) in WD_LOSS_BITS
+        .iter()
+        .zip(&WD_INTERCEPT_BITS)
+        .zip(&WD_COEFF_BITS)
+        .enumerate()
+    {
+        let label = format!("wdmerger analysis {index}");
+        let trainer = region.trainer(index).unwrap();
+        assert_loss_bits(trainer, losses, &label);
+        assert_model_bits(trainer, *intercept, coefficients, &label);
+    }
+    for (name, bits) in WD_FEATURE_BITS {
+        let feature = status
+            .feature(name)
+            .unwrap_or_else(|| panic!("{name}: delay time extracted"));
+        assert_eq!(feature.scalar().to_bits(), bits, "{name}: delay drifted");
+    }
+}

@@ -6,7 +6,7 @@
 //! deterministic xorshift PRNG (fixed seeds, 64 cases per property — every
 //! run checks the identical case set).
 
-use insitu::collect::{BatchRow, MiniBatch, Sample, SampleHistory};
+use insitu::collect::{BatchPool, MiniBatch, Sample, SampleHistory};
 use insitu::model::{metrics, IncrementalTrainer, OnlineScaler, TrainerConfig};
 use insitu::tracking::{find_local_extrema, moving_average, PeakDetector};
 use insitu::IterParam;
@@ -148,23 +148,47 @@ fn history_preserves_every_recorded_sample() {
 // ---- mini batch ------------------------------------------------------------
 
 #[test]
-fn minibatch_fills_and_drains_exactly() {
+fn minibatch_fills_and_clears_exactly() {
     for case in 0..CASES {
         let mut rng = Rng::new(0x5005 + case);
         let capacity = rng.range_usize(1, 32);
         let extra = rng.range_usize(0, 32);
-        let mut batch = MiniBatch::with_capacity(capacity);
+        let mut batch = MiniBatch::new(1, capacity);
         let total = capacity + extra;
-        let mut drained = 0;
+        let mut cleared = 0;
         for i in 0..total {
-            batch.push(BatchRow::new(vec![i as f64], i as f64)).unwrap();
+            batch.push(&[i as f64], i as f64).unwrap();
+            assert_eq!(batch.inputs().len(), batch.len() * batch.order());
             if batch.is_full() {
-                drained += batch.drain().len();
+                cleared += batch.len();
+                batch.clear();
                 assert!(batch.is_empty());
             }
         }
-        assert_eq!(drained + batch.len(), total);
+        assert_eq!(cleared + batch.len(), total);
         assert!(batch.len() < capacity);
+    }
+}
+
+#[test]
+fn minibatch_pool_never_grows_past_its_working_set() {
+    // However many acquire/release cycles run, a pool serving one
+    // filling batch plus one in-flight batch allocates at most two
+    // buffers and recycles forever after.
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5105 + case);
+        let capacity = rng.range_usize(1, 32);
+        let mut pool = BatchPool::new(2, capacity);
+        let mut filling = pool.acquire();
+        for _ in 0..50 {
+            for i in 0..capacity {
+                filling.push(&[i as f64, 1.0], 0.5).unwrap();
+            }
+            let full = std::mem::replace(&mut filling, pool.acquire());
+            pool.release(full);
+        }
+        assert!(pool.buffers_created() <= 2, "pool must recycle buffers");
+        assert!(pool.recycle_hits() >= 49);
     }
 }
 
@@ -251,12 +275,18 @@ fn trainer_loss_is_finite_on_arbitrary_bounded_batches() {
         let mut rng = Rng::new(0xa00a + case);
         let targets = rng.vec_f64(-1e4, 1e4, 8, 64);
         let mut trainer = IncrementalTrainer::new(TrainerConfig::default()).unwrap();
-        let rows: Vec<BatchRow> = targets
-            .windows(4)
-            .map(|w| BatchRow::new(vec![w[2], w[1], w[0]], w[3]))
-            .collect();
-        for chunk in rows.chunks(16) {
-            let loss = trainer.train_batch(chunk).unwrap();
+        let mut batch = MiniBatch::new(3, 16);
+        for w in targets.windows(4) {
+            batch.push(&[w[2], w[1], w[0]], w[3]).unwrap();
+            if batch.is_full() {
+                let loss = trainer.train_batch(&batch).unwrap();
+                assert!(loss.is_finite());
+                assert!(loss >= 0.0);
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            let loss = trainer.train_batch(&batch).unwrap();
             assert!(loss.is_finite());
             assert!(loss >= 0.0);
         }
