@@ -1,0 +1,107 @@
+//! Regenerates `BENCH_history.json`: wall-clock comparison of the
+//! map-based (pre-refactor `BTreeMap` of interleaved row tuples) and
+//! slot-indexed (struct-of-arrays columns, incremental statistics) sample
+//! stores over the same record+extract workload.
+//!
+//! The two stores are arithmetically identical (`bench::histref`'s tests
+//! prove bitwise-equal extracted features and training losses), so the
+//! speedup is purely the storage layout: O(1) slot-addressed records
+//! instead of tree walks, contiguous value columns instead of interleaved
+//! pairs, and incrementally maintained peak/latest profiles instead of
+//! per-extraction rescans. Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_history
+//! ```
+
+use std::time::Instant;
+
+use bench::histref;
+
+struct Measurement {
+    locations: u64,
+    map_ns_per_run: f64,
+    slot_ns_per_run: f64,
+    samples: usize,
+}
+
+/// Median wall-clock nanoseconds of `runs` executions of `f`.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    // One warm-up execution, then timed samples.
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let runs = if std::env::var("BENCH_QUICK").is_ok() {
+        5
+    } else {
+        15
+    };
+    let iterations = 200;
+    let mut measurements = Vec::new();
+    for &locations in &[10u64, 40, 150] {
+        let workload = histref::workload(locations, iterations);
+        // Refuse to time stores that do not agree bit for bit.
+        let digest = histref::assert_pipelines_agree(&workload);
+        let map_ns_per_run = median_ns(runs, || {
+            histref::run_map_pipeline(&workload);
+        });
+        let slot_ns_per_run = median_ns(runs, || {
+            histref::run_slot_pipeline(&workload);
+        });
+        measurements.push(Measurement {
+            locations,
+            map_ns_per_run,
+            slot_ns_per_run,
+            samples: digest.samples,
+        });
+    }
+
+    // Hand-rolled JSON (the offline serde stand-in has no serializer).
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"sample+record+extract, map-based vs slot-indexed history\",\n",
+    );
+    json.push_str(&format!(
+        "  \"workload\": {{\"iterations\": {iterations}, \"order\": {}, \"lag\": {}, \"breakpoint_threshold\": {}}},\n",
+        histref::WORKLOAD_ORDER,
+        histref::WORKLOAD_LAG,
+        histref::WORKLOAD_THRESHOLD
+    ));
+    json.push_str(&format!("  \"timed_runs_per_case\": {runs},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let speedup = m.map_ns_per_run / m.slot_ns_per_run;
+        json.push_str(&format!(
+            "    {{\"locations\": {}, \"samples\": {}, \"map_ns\": {:.0}, \"slot_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            m.locations,
+            m.samples,
+            m.map_ns_per_run,
+            m.slot_ns_per_run,
+            speedup,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_history.json", &json).expect("write BENCH_history.json");
+    println!("{json}");
+    for m in &measurements {
+        println!(
+            "locations {:>4}: map {:>10.0} ns, slot {:>10.0} ns, speedup {:.2}x",
+            m.locations,
+            m.map_ns_per_run,
+            m.slot_ns_per_run,
+            m.map_ns_per_run / m.slot_ns_per_run
+        );
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod ablation;
 pub mod fitting;
+pub mod histref;
 pub mod lulesh_exp;
 pub mod rowref;
 pub mod summary;

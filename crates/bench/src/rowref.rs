@@ -259,6 +259,10 @@ pub fn run_row_pipeline(w: &LayoutWorkload) -> (usize, f64) {
             let Some(target) = w.history.value_at(loc, iteration) else {
                 continue;
             };
+            // The allocating predictors_for is deprecated in the library but
+            // is exactly the per-row-allocation behaviour this reference
+            // pipeline exists to recreate.
+            #[allow(deprecated)]
             if let Some(inputs) = w.assembler.predictors_for(&w.history, loc, iteration) {
                 batch.push(BatchRow { inputs, target });
             }

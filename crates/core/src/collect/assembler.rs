@@ -178,6 +178,11 @@ impl BatchAssembler {
     /// `V(location, iteration)`; the target itself does not need to have
     /// been observed. Allocating convenience wrapper around
     /// [`BatchAssembler::write_predictors_for`] for cold paths.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use the slice-writing \
+                `write_predictors_for`"
+    )]
     pub fn predictors_for(
         &self,
         history: &SampleHistory,
@@ -261,7 +266,8 @@ mod tests {
         iteration: u64,
     ) -> Option<(Vec<f64>, f64)> {
         let target = h.value_at(location, iteration)?;
-        let inputs = asm.predictors_for(h, location, iteration)?;
+        let mut inputs = vec![0.0; asm.order()];
+        asm.write_predictors_for(h, location, iteration, &mut inputs)?;
         Some((inputs, target))
     }
 
@@ -326,6 +332,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn predictors_can_be_formed_without_observed_target() {
         let h = history();
         let asm = assembler(PredictorLayout::Spatial);

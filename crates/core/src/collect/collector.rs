@@ -14,9 +14,8 @@
 use serde::{Deserialize, Serialize};
 
 use super::assembler::{BatchAssembler, PredictorLayout};
-use super::history::SampleHistory;
+use super::history::{Retention, SampleHistory, SlotId};
 use super::minibatch::{BatchPool, MiniBatch};
-use super::sample::Sample;
 use crate::params::IterParam;
 use crate::provider::VarProvider;
 
@@ -58,6 +57,9 @@ pub struct Collector {
     /// The spatial characteristic enumerated once, so the *sample* stage can
     /// hand the provider the whole location set in one batch call.
     locations: Vec<usize>,
+    /// The history slot of each sampled location, resolved once at
+    /// construction so the record loop is pure slot-addressed appends.
+    slot_ids: Vec<SlotId>,
     /// Scratch buffer the provider's batch fill writes into (reused across
     /// iterations — no per-iteration allocation on the hot path).
     scratch: Vec<f64>,
@@ -82,7 +84,48 @@ impl Collector {
         layout: PredictorLayout,
         batch_capacity: usize,
     ) -> Self {
+        Self::with_retention(
+            spatial,
+            temporal,
+            order,
+            lag,
+            layout,
+            batch_capacity,
+            Retention::Full,
+        )
+    }
+
+    /// Creates a collector with an explicit history [`Retention`] policy.
+    ///
+    /// A requested [`Retention::Window`] is widened to at least the
+    /// assembler's reach — `order` lagged reads plus the target iteration —
+    /// so bounding memory can never starve batch assembly or forecasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` or `batch_capacity` is zero.
+    pub fn with_retention(
+        spatial: IterParam,
+        temporal: IterParam,
+        order: usize,
+        lag: u64,
+        layout: PredictorLayout,
+        batch_capacity: usize,
+        retention: Retention,
+    ) -> Self {
         let locations: Vec<usize> = spatial.iter().map(|loc| loc as usize).collect();
+        let retention = match retention {
+            Retention::Full => Retention::Full,
+            Retention::Window(n) => {
+                // The deepest lagged read any layout performs is
+                // `order` strides of `ceil(lag / step)` sampled iterations
+                // (the purely temporal layout); the window must cover it
+                // plus the target iteration itself.
+                let step = temporal.step().max(1);
+                let lag_steps = (lag.div_ceil(step)).max(1) as usize;
+                Retention::Window(n.max(order * lag_steps + 1))
+            }
+        };
         // Pre-size the history so steady-state sampling appends without
         // reallocating: each sampled location will receive one value per
         // sampled iteration. The reservation is capped — a temporal
@@ -91,13 +134,15 @@ impl Collector {
         // host application, especially when early termination means most of
         // it would never be used. Runs outliving the cap fall back to
         // amortized `Vec` growth (a per-series allocation every doubling,
-        // still nothing per row).
+        // still nothing per row). Windowed retention additionally caps the
+        // reservation at the window's bounded backing storage.
         const MAX_EAGER_SAMPLES_PER_LOCATION: usize = 4096;
-        let mut history = SampleHistory::new();
+        let mut history = SampleHistory::with_retention(retention);
         history.reserve(
             &locations,
             temporal.len().min(MAX_EAGER_SAMPLES_PER_LOCATION),
         );
+        let slot_ids: Vec<SlotId> = locations.iter().map(|&loc| history.slot_of(loc)).collect();
         let mut pool = BatchPool::new(order, batch_capacity);
         let batch = pool.acquire();
         Self {
@@ -110,6 +155,7 @@ impl Collector {
             iterations_collected: 0,
             scratch: vec![0.0; locations.len()],
             locations,
+            slot_ids,
         }
     }
 
@@ -172,8 +218,8 @@ impl Collector {
             return 0;
         }
         provider.fill(domain, &self.locations, &mut self.scratch);
-        for (&location, &value) in self.locations.iter().zip(&self.scratch) {
-            self.history.record(Sample::new(iteration, location, value));
+        for (&slot, &value) in self.slot_ids.iter().zip(&self.scratch) {
+            self.history.record_in_slot(slot, iteration, value);
         }
         self.iterations_collected += 1;
         self.locations.len()
@@ -225,9 +271,15 @@ impl Collector {
 
     /// Builds the predictor vector for forecasting `V(location, iteration)`
     /// from the collected history (without requiring the target itself).
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use the slice-writing \
+                `write_predictors_for`"
+    )]
     pub fn predictors_for(&self, location: usize, iteration: u64) -> Option<Vec<f64>> {
-        self.assembler
-            .predictors_for(&self.history, location, iteration)
+        let mut out = vec![0.0; self.assembler.order()];
+        self.write_predictors_for(location, iteration, &mut out)?;
+        Some(out)
     }
 
     /// Allocation-free variant of [`Collector::predictors_for`]: writes the
@@ -354,8 +406,12 @@ mod tests {
         assert_eq!(with_scalar.history().len(), with_batch.history().len());
         for &loc in with_scalar.locations() {
             assert_eq!(
-                with_scalar.history().series_of(loc),
-                with_batch.history().series_of(loc)
+                with_scalar.history().iterations_of(loc),
+                with_batch.history().iterations_of(loc)
+            );
+            assert_eq!(
+                with_scalar.history().values_of(loc),
+                with_batch.history().values_of(loc)
             );
         }
     }
@@ -367,10 +423,40 @@ mod tests {
         for it in (0..=100u64).step_by(10) {
             c.observe(it, &(), &provider);
         }
-        let p = c.predictors_for(6, 100).unwrap();
-        assert_eq!(p, vec![5.0, 4.0]);
+        #[allow(deprecated)]
+        {
+            let p = c.predictors_for(6, 100).unwrap();
+            assert_eq!(p, vec![5.0, 4.0]);
+        }
         let mut buf = [0.0; 2];
         c.write_predictors_for(6, 100, &mut buf).unwrap();
         assert_eq!(buf, [5.0, 4.0]);
+    }
+
+    #[test]
+    fn windowed_collector_matches_full_on_the_live_pipeline() {
+        let provider = |_d: &(), loc: usize| (loc as f64).sin();
+        let mut full = collector();
+        // A requested 1-sample window is widened to the assembler's reach
+        // (order 2, lag 10, step 10 ⇒ at least 3 samples per location).
+        let mut windowed = Collector::with_retention(
+            IterParam::new(1, 6, 1).unwrap(),
+            IterParam::new(0, 100, 10).unwrap(),
+            2,
+            10,
+            PredictorLayout::SpatioTemporal,
+            8,
+            super::Retention::Window(1),
+        );
+        for it in (0..=100u64).step_by(10) {
+            let a = full.observe(it, &(), &provider);
+            let b = windowed.observe(it, &(), &provider);
+            assert_eq!(a, b, "batch cadence and contents must agree at {it}");
+        }
+        assert_eq!(
+            full.history().peak_profile(),
+            windowed.history().peak_profile()
+        );
+        assert!(windowed.history().series_len(3) < full.history().series_len(3));
     }
 }

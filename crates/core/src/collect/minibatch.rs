@@ -37,7 +37,8 @@ use crate::error::{Error, Result};
 /// A bounded columnar buffer of training rows handed to the trainer when
 /// full.
 ///
-/// See the [module documentation](self) for the stride convention. The
+/// See the [`collect` module documentation](crate::collect) and the
+/// source module header for the stride convention. The
 /// `capacity` is the fill threshold, not a hard limit: the assembler appends
 /// every row an iteration produces before the fullness check, so a batch can
 /// momentarily exceed its capacity (the recycled buffer then keeps the

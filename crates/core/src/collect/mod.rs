@@ -10,6 +10,19 @@
 //! up it is swapped for a recycled buffer from the [`BatchPool`] and handed
 //! to the incremental trainer — the behaviour described in Section
 //! III-B.1/2 of the paper, minus the per-row allocations.
+//!
+//! Both stores in this module are **struct-of-arrays**:
+//!
+//! * [`MiniBatch`] holds one contiguous `inputs: Vec<f64>` whose stride
+//!   equals the AR order (row `r` is `inputs[r*order..(r+1)*order]`,
+//!   nearest lag first) plus a parallel `targets: Vec<f64>` — the stride
+//!   convention every trainer kernel iterates with `chunks_exact(order)`;
+//! * [`SampleHistory`] is slot-indexed: a dense `location → slot` map
+//!   built when the collector registers its locations, per-slot
+//!   `iterations`/`values` columns, incrementally-maintained peak/latest
+//!   statistics read by the extractors as borrowed slices, and a
+//!   configurable [`Retention`] policy ([`Retention::Window`] bounds
+//!   per-location memory for indefinitely-running analyses).
 
 mod assembler;
 mod collector;
@@ -19,6 +32,6 @@ mod sample;
 
 pub use assembler::{BatchAssembler, PredictorLayout};
 pub use collector::{CollectionEvent, Collector};
-pub use history::SampleHistory;
+pub use history::{Retention, SampleHistory, SlotId};
 pub use minibatch::{BatchPool, MiniBatch};
 pub use sample::Sample;

@@ -42,13 +42,14 @@ pub(crate) struct Analysis<D: ?Sized> {
 
 impl<D: ?Sized> Analysis<D> {
     pub(crate) fn new(spec: AnalysisSpec<D>) -> Self {
-        let collector = Collector::new(
+        let collector = Collector::with_retention(
             spec.spatial,
             spec.temporal,
             spec.trainer.order,
             spec.lag,
             spec.layout,
             spec.batch_capacity,
+            spec.retention,
         );
         let trainer = IncrementalTrainer::new(spec.trainer)
             .expect("spec builder validated the trainer configuration");
@@ -204,33 +205,38 @@ impl<D: ?Sized> Analysis<D> {
         }
         let extracted = match self.spec.feature {
             FeatureKind::Breakpoint { threshold } => {
-                let peaks = history.peak_per_location();
+                // The incremental peak profile is maintained at record time;
+                // extraction reads it as a borrowed slice — no rescan of the
+                // per-location series, no allocation.
+                let peaks = history.peak_profile();
                 let initial = peaks.iter().map(|(_, v)| v.abs()).fold(0.0_f64, f64::max);
                 if initial <= 0.0 {
                     None
                 } else {
                     BreakpointExtractor::new(threshold.clamp(1e-6, 1.0), initial)
                         .ok()
-                        .and_then(|ex| ex.extract_from_profile(&peaks).ok())
+                        .and_then(|ex| ex.extract_from_profile(peaks).ok())
                         .map(FeatureValue::Breakpoint)
                 }
             }
             FeatureKind::DelayTime => {
+                // The SoA history hands the extractor its iteration and
+                // value columns directly — no gather into scratch vectors.
                 let location = self.representative.unwrap_or(0);
-                history.series_of(location).and_then(|series| {
-                    let times: Vec<f64> = series.iter().map(|(it, _)| *it as f64).collect();
-                    let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+                let iterations = history.iterations_of(location);
+                let values = history.values_of(location);
+                iterations.zip(values).and_then(|(iterations, values)| {
                     DelayTimeExtractor::new()
-                        .extract(&times, &values)
+                        .extract_sampled(iterations, values)
                         .ok()
                         .map(FeatureValue::DelayTime)
                 })
             }
             FeatureKind::Outliers { threshold } => {
-                let profile = history.peak_per_location();
+                let profile = history.peak_profile();
                 OutlierExtractor::new(threshold)
                     .ok()
-                    .and_then(|ex| ex.extract(&profile).ok())
+                    .and_then(|ex| ex.extract(profile).ok())
                     .map(FeatureValue::Outliers)
             }
         };
@@ -250,7 +256,7 @@ impl<D: ?Sized> Analysis<D> {
         self.representative_len = history.len();
         self.representative = history
             .iter_locations()
-            .max_by_key(|loc| history.series_of(*loc).map_or(0, <[(u64, f64)]>::len));
+            .max_by_key(|loc| history.recorded_of(*loc));
     }
 
     /// Latest one-step prediction at the representative location, if the
@@ -264,7 +270,7 @@ impl<D: ?Sized> Analysis<D> {
         }
         let history = self.collector.history();
         let location = self.representative.unwrap_or(0);
-        let latest_iteration = history.series_of(location)?.last()?.0;
+        let latest_iteration = history.last_iteration_of(location)?;
         self.collector.write_predictors_for(
             location,
             latest_iteration,

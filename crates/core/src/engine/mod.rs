@@ -11,7 +11,7 @@
 //! 1. **sample** — batch-query each analysis' provider over its spatial
 //!    characteristic ([`VarProvider::fill`](crate::provider::VarProvider::fill)),
 //! 2. **assemble** — write fresh samples into a columnar
-//!    [`MiniBatch`](crate::collect::MiniBatch) (contiguous predictors,
+//!    [`MiniBatch`] (contiguous predictors,
 //!    stride = AR order; buffers recycled through a pool so the steady
 //!    state allocates nothing per row),
 //! 3. **train** — run gradient descent on full batches, either
@@ -631,8 +631,7 @@ impl<D: ?Sized> Engine<D> {
     fn front_location(analyses: &[Analysis<D>]) -> Option<usize> {
         let history = analyses.first()?.history();
         history
-            .iter_locations()
-            .filter_map(|loc| history.latest_of(loc).map(|v| (loc, v)))
+            .iter_latest()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(loc, _)| loc)
     }

@@ -105,9 +105,8 @@ impl BreakpointExtractor {
         let last_loc = peaks[peaks.len() - 1].0;
         let lookup = |loc: usize| -> f64 {
             peaks
-                .iter()
-                .find(|(l, _)| *l == loc)
-                .map(|(_, v)| *v)
+                .binary_search_by_key(&loc, |(l, _)| *l)
+                .map(|idx| peaks[idx].1)
                 // Locations not present in the profile are treated as already
                 // quiescent, which biases the search toward the observed data.
                 .unwrap_or(0.0)

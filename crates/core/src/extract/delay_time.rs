@@ -83,6 +83,37 @@ impl DelayTimeExtractor {
     /// Panics if the two slices differ in length.
     pub fn extract(&self, times: &[f64], values: &[f64]) -> Result<DelayTimeResult> {
         assert_eq!(times.len(), values.len(), "times and values must align");
+        self.extract_with_time_axis(values, |idx| times[idx])
+    }
+
+    /// Extracts the delay time directly from a sample history's columnar
+    /// views: the `iterations` column serves as the time axis (converted
+    /// per-index, so no scratch `Vec<f64>` of timestamps is gathered). The
+    /// result is bit-identical to [`DelayTimeExtractor::extract`] over
+    /// `iterations.map(|it| it as f64)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DelayTimeExtractor::extract`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two columns differ in length.
+    pub fn extract_sampled(&self, iterations: &[u64], values: &[f64]) -> Result<DelayTimeResult> {
+        assert_eq!(
+            iterations.len(),
+            values.len(),
+            "iterations and values must align"
+        );
+        self.extract_with_time_axis(values, |idx| iterations[idx] as f64)
+    }
+
+    /// Shared kernel: locates the strongest regime change in `values` and
+    /// reads the timestamp of the winning index off `time_of`.
+    fn extract_with_time_axis<F>(&self, values: &[f64], time_of: F) -> Result<DelayTimeResult>
+    where
+        F: Fn(usize) -> f64,
+    {
         if values.len() < 5 {
             return Err(Error::NotEnoughData {
                 available: values.len(),
@@ -121,7 +152,7 @@ impl DelayTimeExtractor {
 
         let (idx, drop) = best;
         Ok(DelayTimeResult {
-            delay_time: times[idx],
+            delay_time: time_of(idx),
             index: idx,
             value: values[idx],
             gradient_drop: drop,
@@ -197,6 +228,24 @@ mod tests {
             ex.extract(&[0.0, 1.0], &[1.0, 2.0]),
             Err(Error::NotEnoughData { .. })
         ));
+    }
+
+    #[test]
+    fn extract_sampled_is_bit_identical_to_extract_on_cast_iterations() {
+        let (times, values) = knee_series(30.0, 100);
+        let iterations: Vec<u64> = (0..100u64).collect();
+        let ex = DelayTimeExtractor::new();
+        let from_times = ex.extract(&times, &values).unwrap();
+        let from_columns = ex.extract_sampled(&iterations, &values).unwrap();
+        assert_eq!(from_times.index, from_columns.index);
+        assert_eq!(
+            from_times.delay_time.to_bits(),
+            from_columns.delay_time.to_bits()
+        );
+        assert_eq!(
+            from_times.gradient_drop.to_bits(),
+            from_columns.gradient_drop.to_bits()
+        );
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub use provider::VarProvider;
 
 /// The most commonly used items, re-exported for glob import.
 pub mod prelude {
-    pub use crate::collect::{Collector, MiniBatch, Sample, SampleHistory};
+    pub use crate::collect::{Collector, MiniBatch, Retention, Sample, SampleHistory};
     #[allow(deprecated)]
     pub use crate::compat::{
         td_iter_param_init, td_region_add_analysis, td_region_begin, td_region_end, td_region_init,

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::collect::PredictorLayout;
+use crate::collect::{PredictorLayout, Retention};
 use crate::error::{Error, Result};
 use crate::extract::FeatureKind;
 use crate::model::TrainerConfig;
@@ -49,6 +49,7 @@ pub struct AnalysisSpec<D: ?Sized> {
     pub(crate) batch_capacity: usize,
     pub(crate) trainer: TrainerConfig,
     pub(crate) exit: ExitAction,
+    pub(crate) retention: Retention,
 }
 
 impl<D: ?Sized> std::fmt::Debug for AnalysisSpec<D> {
@@ -64,6 +65,7 @@ impl<D: ?Sized> std::fmt::Debug for AnalysisSpec<D> {
             .field("batch_capacity", &self.batch_capacity)
             .field("trainer", &self.trainer)
             .field("exit", &self.exit)
+            .field("retention", &self.retention)
             .finish_non_exhaustive()
     }
 }
@@ -98,6 +100,11 @@ impl<D: ?Sized> AnalysisSpec<D> {
     pub fn exit(&self) -> ExitAction {
         self.exit
     }
+
+    /// The configured sample-history retention policy.
+    pub fn retention(&self) -> Retention {
+        self.retention
+    }
 }
 
 /// Builder for [`AnalysisSpec`].
@@ -118,6 +125,7 @@ pub struct AnalysisSpecBuilder<D: ?Sized> {
     batch_capacity: usize,
     trainer: TrainerConfig,
     exit: ExitAction,
+    retention: Retention,
 }
 
 impl<D: ?Sized> std::fmt::Debug for AnalysisSpecBuilder<D> {
@@ -152,6 +160,7 @@ impl<D: ?Sized> AnalysisSpecBuilder<D> {
             batch_capacity: 16,
             trainer: TrainerConfig::default(),
             exit: ExitAction::Continue,
+            retention: Retention::Full,
         }
     }
 
@@ -226,6 +235,23 @@ impl<D: ?Sized> AnalysisSpecBuilder<D> {
         self
     }
 
+    /// Sets the sample-history retention policy (default
+    /// [`Retention::Full`]). [`Retention::Window`] bounds per-location
+    /// memory for analyses that run for the whole simulation; the window is
+    /// widened to the AR model's lagged reach if the requested one is too
+    /// small to assemble batches.
+    ///
+    /// Choose the window with the feature in mind: break-point and outlier
+    /// extraction read the incremental peak profile, which covers evicted
+    /// samples, so windowing never changes their result. Delay-time
+    /// extraction ranks inflections over the **retained** series only — a
+    /// window turns it into a "regime change within the last `n` samples"
+    /// analysis, which misses a knee that has already been evicted.
+    pub fn retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
+    }
+
     /// Finalizes the specification.
     ///
     /// # Errors
@@ -262,6 +288,7 @@ impl<D: ?Sized> AnalysisSpecBuilder<D> {
             batch_capacity: self.batch_capacity,
             trainer: self.trainer,
             exit: self.exit,
+            retention: self.retention,
         })
     }
 }

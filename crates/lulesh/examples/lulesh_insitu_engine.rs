@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release -p lulesh --example lulesh_insitu_engine`.
 
+use insitu::collect::Retention;
 use insitu::engine::{Engine, EngineConfig};
 use insitu::extract::FeatureKind;
 use insitu::region::{AnalysisSpec, ExitAction};
@@ -28,6 +29,12 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             .temporal(IterParam::new(1, 1500, 1)?)
             .feature(FeatureKind::Breakpoint { threshold: 0.05 })
             .lag(5)
+            // The break-point comes from the incrementally-maintained peak
+            // profile, which survives eviction — so the analysis can run in
+            // bounded memory no matter how long the solve goes. Only the
+            // last 64 samples per location stay resident for the AR model's
+            // lagged reads.
+            .retention(Retention::Window(64))
             .exit(ExitAction::TerminateSimulation)
             .build()?,
     )?;

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p wdmerger --example wd_insitu_engine`.
 
-use insitu::collect::PredictorLayout;
+use insitu::collect::{PredictorLayout, Retention};
 use insitu::engine::Engine;
 use insitu::extract::FeatureKind;
 use insitu::region::AnalysisSpec;
@@ -29,6 +29,11 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
                 .feature(FeatureKind::DelayTime)
                 .lag(1)
                 .batch_capacity(8)
+                // Delay-time extraction ranks inflections over the whole
+                // diagnostic series, so this case study keeps every sample
+                // (the default, spelled out for contrast with the windowed
+                // LULESH example).
+                .retention(Retention::Full)
                 .build()?,
         )?;
     }

@@ -79,7 +79,7 @@ fn region_collects_exactly_the_configured_samples() {
         spatial.len() * temporal.len()
     );
     let history = region.history(0).unwrap();
-    assert_eq!(history.locations().len(), spatial.len());
+    assert_eq!(history.iter_locations().count(), spatial.len());
 }
 
 #[test]

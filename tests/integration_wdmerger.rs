@@ -95,15 +95,25 @@ fn four_analyses_collect_independent_series() {
     });
     for index in 0..4 {
         let history = region.history(index).unwrap();
-        assert_eq!(history.locations().len(), 1);
-        let series = history.series_of(history.locations()[0]).unwrap();
-        assert_eq!(series.len(), 40, "one sample per analysed step");
+        assert_eq!(history.iter_locations().count(), 1);
+        let location = history.iter_locations().next().unwrap();
+        assert_eq!(
+            history.series_len(location),
+            40,
+            "one sample per analysed step"
+        );
+        assert_eq!(history.values_of(location).unwrap().len(), 40);
+        assert_eq!(history.iterations_of(location).unwrap().len(), 40);
     }
     // Mass and temperature series must differ (they are different variables).
     let mass = region.history(2).unwrap();
     let temp = region.history(0).unwrap();
-    let mass_last = mass.latest_of(mass.locations()[0]).unwrap();
-    let temp_last = temp.latest_of(temp.locations()[0]).unwrap();
+    let mass_last = mass
+        .latest_of(mass.iter_locations().next().unwrap())
+        .unwrap();
+    let temp_last = temp
+        .latest_of(temp.iter_locations().next().unwrap())
+        .unwrap();
     assert_ne!(mass_last, temp_last);
 }
 

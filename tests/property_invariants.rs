@@ -6,7 +6,9 @@
 //! deterministic xorshift PRNG (fixed seeds, 64 cases per property — every
 //! run checks the identical case set).
 
-use insitu::collect::{BatchPool, MiniBatch, Sample, SampleHistory};
+use insitu::collect::{
+    BatchAssembler, BatchPool, MiniBatch, PredictorLayout, Retention, Sample, SampleHistory,
+};
 use insitu::model::{metrics, IncrementalTrainer, OnlineScaler, TrainerConfig};
 use insitu::tracking::{find_local_extrema, moving_average, PeakDetector};
 use insitu::IterParam;
@@ -142,6 +144,129 @@ fn history_preserves_every_recorded_sample() {
             assert_eq!(history.value_at(*location, *iteration), Some(*value));
         }
         assert_eq!(history.len(), expected.len());
+    }
+}
+
+/// Records the same random regular-cadence samples (with occasional
+/// duplicate-iteration overwrites) into a [`Retention::Full`] and a
+/// [`Retention::Window`] history and returns them plus the window size.
+fn paired_histories(rng: &mut Rng) -> (SampleHistory, SampleHistory, usize) {
+    let window = rng.range_usize(2, 24);
+    let mut full = SampleHistory::new();
+    let mut windowed = SampleHistory::with_retention(Retention::Window(window));
+    let locations = rng.range_usize(1, 6);
+    let steps = rng.range_u64(1, 60);
+    let stride = rng.range_u64(1, 5);
+    for it in 0..steps {
+        let iteration = it * stride;
+        for loc in 0..locations {
+            let value = rng.range_f64(-100.0, 100.0);
+            full.record(Sample::new(iteration, loc, value));
+            windowed.record(Sample::new(iteration, loc, value));
+            // Occasionally overwrite the just-recorded sample — both stores
+            // must apply the same tie-overwrite semantics, including the
+            // rescan when the overwrite lowers the running peak.
+            if rng.range_usize(0, 5) == 0 {
+                let replacement = rng.range_f64(-100.0, 100.0);
+                full.record(Sample::new(iteration, loc, replacement));
+                windowed.record(Sample::new(iteration, loc, replacement));
+            }
+        }
+    }
+    (full, windowed, window)
+}
+
+#[test]
+fn windowed_history_agrees_with_full_wherever_the_window_covers() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4104 + case);
+        let (full, windowed, window) = paired_histories(&mut rng);
+        assert_eq!(full.len(), windowed.len(), "len counts evicted samples");
+        // The incremental reductions cover evicted samples, so they agree
+        // unconditionally — whole profile, every location.
+        assert_eq!(full.peak_profile(), windowed.peak_profile());
+        for loc in full.iter_locations() {
+            assert_eq!(full.latest_of(loc), windowed.latest_of(loc));
+            assert_eq!(full.last_iteration_of(loc), windowed.last_iteration_of(loc));
+            assert_eq!(full.recorded_of(loc), windowed.recorded_of(loc));
+            // The windowed series is exactly the tail of the full one…
+            let full_values = full.values_of(loc).unwrap();
+            let kept = windowed.series_len(loc);
+            assert!(kept <= window.max(1));
+            assert_eq!(
+                windowed.values_of(loc).unwrap(),
+                &full_values[full_values.len() - kept..]
+            );
+            assert_eq!(
+                windowed.iterations_of(loc).unwrap(),
+                &full.iterations_of(loc).unwrap()[full_values.len() - kept..]
+            );
+            // …and every point lookup the window covers matches Full,
+            // including the borrowed recent-tail view.
+            for &iteration in windowed.iterations_of(loc).unwrap() {
+                assert_eq!(
+                    windowed.value_at(loc, iteration),
+                    full.value_at(loc, iteration)
+                );
+            }
+            for count in 1..=kept {
+                assert_eq!(
+                    windowed.recent_values_of(loc, count),
+                    full.recent_values_of(loc, count)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_assembler_rows_match_full_when_the_window_covers_them() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4204 + case);
+        let order = rng.range_usize(1, 4);
+        let step = rng.range_u64(1, 4);
+        let lag_steps = rng.range_u64(1, 3);
+        let lag = lag_steps * step;
+        let locations = rng.range_u64(4, 10);
+        let steps = rng.range_u64(10, 40);
+        let spatial = IterParam::new(1, locations, 1).unwrap();
+        let temporal = IterParam::new(0, steps * step, step).unwrap();
+        let layout = match rng.range_usize(0, 3) {
+            0 => PredictorLayout::SpatioTemporal,
+            1 => PredictorLayout::Temporal,
+            _ => PredictorLayout::Spatial,
+        };
+        let assembler = BatchAssembler::new(order, lag, layout, spatial, temporal);
+        // The deepest lagged read is order·lag_steps sampled iterations back
+        // (Temporal layout); a window that covers it plus the target must
+        // reproduce every row the full store produces.
+        let window = order * lag_steps as usize + 1 + rng.range_usize(0, 4);
+        let mut full = SampleHistory::new();
+        let mut windowed = SampleHistory::with_retention(Retention::Window(window));
+        let mut out_full = vec![0.0; order];
+        let mut out_windowed = vec![0.0; order];
+        for it in temporal.iter() {
+            for loc in spatial.iter() {
+                let value = rng.range_f64(-10.0, 10.0);
+                full.record(Sample::new(it, loc as usize, value));
+                windowed.record(Sample::new(it, loc as usize, value));
+            }
+            // Assemble this iteration's rows from both stores.
+            for loc in spatial.iter() {
+                let a = assembler.write_predictors_for(&full, loc as usize, it, &mut out_full);
+                let b =
+                    assembler.write_predictors_for(&windowed, loc as usize, it, &mut out_windowed);
+                assert_eq!(
+                    a.is_some(),
+                    b.is_some(),
+                    "row availability diverged (layout {layout:?}, order \
+                     {order}, lag {lag}, window {window}, loc {loc}, it {it})"
+                );
+                if a.is_some() {
+                    assert_eq!(out_full, out_windowed, "predictor values diverged");
+                }
+            }
+        }
     }
 }
 

@@ -1,16 +1,22 @@
 //! Counting-allocator proof that the steady-state step performs **zero
-//! per-row heap allocations**.
+//! per-row heap allocations** across the whole pipeline: sample, record,
+//! assemble, train, **and extract**.
 //!
 //! A global allocator counts every `alloc`/`realloc`. Two engines run the
 //! same scenario at an 8× different row rate (8 vs 64 training rows per
 //! iteration) with the mini-batch capacity scaled proportionally, so both
-//! consume the **same number of batches** per window. If any stage —
-//! sample, assemble, train — allocated per row, the larger configuration
-//! would allocate more; the test asserts the steady-state allocation count
-//! of a 100-step window is *identical* for both sizes, in Inline and
-//! Background training modes alike. (A small per-step / per-batch constant
-//! — the step report, the background job boxes — is allowed; scaling with
-//! rows is not.)
+//! consume the **same number of batches** per window. Every window step
+//! additionally forces a feature extraction (`extract_now`), which reads
+//! the history's incrementally-maintained peak profile as a borrowed
+//! slice — if extraction rescanned or gathered the per-location series
+//! (as the pre-slot-store code did), its allocations would scale with the
+//! location count. If any stage — sample, record, assemble, train,
+//! extract — allocated per row, the larger configuration would allocate
+//! more; the test asserts the steady-state allocation count of a 100-step
+//! window is *identical* for both sizes, in Inline and Background training
+//! modes alike. (A small per-step / per-batch constant — the step report,
+//! the extracted-feature status entry, the background job boxes — is
+//! allowed; scaling with rows is not.)
 //!
 //! Keep this file to a **single test**: the counter is process-global, so
 //! concurrently running tests would perturb each other's windows.
@@ -124,15 +130,24 @@ fn window_allocations(locations: u64, mode: TrainingMode) -> u64 {
         let step = engine.step(it);
         domain.advance(it);
         step.complete(&domain);
+        // Force the extract stage every step: the break-point extraction
+        // reads the borrowed incremental peak profile, so its cost must not
+        // scale with the location count either.
+        engine.extract_now(region).unwrap();
     }
     engine.drain();
     let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
 
-    // The window must have actually exercised training.
-    let batches = engine.status(region).unwrap().batches_trained;
+    // The window must have actually exercised training and extraction.
+    let status = engine.status(region).unwrap();
+    let batches = status.batches_trained;
     assert!(
         batches * 2 >= (WARMUP_STEPS + WINDOW_STEPS) as usize - 10,
         "scenario must train a batch every two steps, got {batches}"
+    );
+    assert!(
+        status.feature("velocity").is_some(),
+        "the per-step extract_now must have extracted the breakpoint"
     );
     allocations
 }
@@ -173,10 +188,11 @@ fn steady_state_allocations_do_not_scale_with_rows() {
             );
         }
         // And the constant itself stays a small per-step/per-batch cost
-        // (step report + background job plumbing), nowhere near one
+        // (step report + the extracted-feature status entries the per-step
+        // extract_now rebuilds + background job plumbing), nowhere near one
         // allocation per row (6400 rows flow through the large window).
         assert!(
-            small <= 6 * WINDOW_STEPS,
+            small <= 10 * WINDOW_STEPS,
             "{mode:?}: {small} allocations over {WINDOW_STEPS} steps is \
              more than a small per-step constant"
         );
