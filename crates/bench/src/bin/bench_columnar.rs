@@ -11,30 +11,13 @@
 //! cargo run --release -p bench --bin bench_columnar
 //! ```
 
-use std::time::Instant;
-
-use bench::rowref;
+use bench::{median_ns, rowref};
 
 struct Measurement {
     locations: u64,
     row_ns_per_run: f64,
     columnar_ns_per_run: f64,
     batches: usize,
-}
-
-/// Median wall-clock nanoseconds of `runs` executions of `f`.
-fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
-    // One warm-up execution, then timed samples.
-    f();
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    samples[samples.len() / 2]
 }
 
 fn main() {

@@ -1,0 +1,89 @@
+//! Regenerates `BENCH_shard.json`: wall-clock scaling of the sharded
+//! collection pipeline (sample + record + assemble + extract, no
+//! training) at 1/2/4/8 shards, against the unsharded global collector.
+//!
+//! All paths are bit-identical (`bench::shard::assert_paths_agree` refuses
+//! to time divergent pipelines), so the numbers isolate exactly what
+//! sharding costs and buys: per-shard fan-out dispatch, the k-way row
+//! merge, and the k-way peak-profile reduction. Speedups are relative to
+//! the 1-shard run. On a single-core host the fan-out jobs serialize on
+//! one pool worker, so multi-shard ratios hover around 1× — the recorded
+//! `available_parallelism` makes that context part of the artifact. Run
+//! from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_shard
+//! ```
+
+use bench::{median_ns, shard};
+use parsim::{ParallelConfig, ThreadPool};
+
+struct Measurement {
+    shards: usize,
+    ns_per_run: f64,
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let runs = if quick { 5 } else { 15 };
+    let (locations, iterations) = if quick { (512, 80) } else { (2048, 200) };
+
+    let workload = shard::workload(locations, iterations);
+    let pool = ThreadPool::new(ParallelConfig::new(8, 1).expect("valid config"));
+    // Refuse to time pipelines that do not agree bit for bit.
+    let digest = shard::assert_paths_agree(&workload, &pool);
+
+    let unsharded_ns = median_ns(runs, || {
+        shard::run_unsharded(&workload);
+    });
+    let mut measurements = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let ns_per_run = median_ns(runs, || {
+            shard::run_sharded(&workload, shards, &pool);
+        });
+        measurements.push(Measurement { shards, ns_per_run });
+    }
+    let base_ns = measurements[0].ns_per_run;
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Hand-rolled JSON (the offline serde stand-in has no serializer).
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"sample+record+assemble+extract, sharded collection scaling\",\n",
+    );
+    json.push_str(&format!(
+        "  \"workload\": {{\"locations\": {locations}, \"iterations\": {iterations}, \"order\": {}, \"lag\": {}, \"batch_capacity\": {}}},\n",
+        shard::WORKLOAD_ORDER,
+        shard::WORKLOAD_LAG,
+        shard::WORKLOAD_BATCH
+    ));
+    json.push_str(&format!("  \"timed_runs_per_case\": {runs},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"samples\": {},\n", digest.samples));
+    json.push_str(&format!("  \"batches\": {},\n", digest.batches));
+    json.push_str(&format!("  \"unsharded_ns\": {unsharded_ns:.0},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let speedup = base_ns / m.ns_per_run;
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            m.shards,
+            m.ns_per_run,
+            speedup,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    println!("{json}");
+    for m in &measurements {
+        println!(
+            "shards {:>2}: {:>12.0} ns, speedup over 1-shard {:.2}x",
+            m.shards,
+            m.ns_per_run,
+            base_ns / m.ns_per_run
+        );
+    }
+    println!("unsharded : {unsharded_ns:>12.0} ns");
+}

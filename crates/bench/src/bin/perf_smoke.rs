@@ -1,0 +1,213 @@
+//! CI perf-regression wall: re-measures the three recorded layout/scaling
+//! benchmarks at reduced sizes and fails if any measured speedup ratio
+//! drops below **50 % of the ratio committed** in the corresponding
+//! `BENCH_*.json`:
+//!
+//! * `BENCH_history.json` — map-based vs slot-indexed sample store,
+//! * `BENCH_columnar.json` — row-oriented vs columnar mini-batches,
+//! * `BENCH_shard.json` — sharded collection scaling vs one shard.
+//!
+//! The floor is derived from the committed artifact (geometric mean of its
+//! per-case speedups), not hard-coded, so improving a benchmark raises the
+//! bar automatically and CI noise has 2× headroom before a false alarm.
+//! Each measured pipeline pair is verified bit-identical before timing,
+//! exactly like the full benchmark bins. Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_smoke
+//! ```
+
+use bench::{histref, median_ns, rowref, shard};
+use parsim::{ParallelConfig, ThreadPool};
+
+/// Fraction of the committed speedup a reduced-size re-measurement must
+/// retain.
+const FLOOR: f64 = 0.5;
+
+/// Timed runs per measured case (reduced; the committed artifacts use 15).
+const RUNS: usize = 5;
+
+/// Extracts every `"speedup": <number>` value from a committed
+/// `BENCH_*.json` (the offline serde stand-in has no deserializer, and the
+/// files are hand-rolled flat JSON, so a scan is exact).
+fn committed_speedups(path: &str) -> Vec<f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path}: not readable ({e}); run the benchmark bin first"));
+    let mut speedups = Vec::new();
+    let needle = "\"speedup\":";
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find(needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        let value: f64 = rest[..end]
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("{path}: malformed speedup ({e})"));
+        speedups.push(value);
+        rest = &rest[end..];
+    }
+    assert!(!speedups.is_empty(), "{path}: no speedup entries found");
+    speedups
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Extracts the `"available_parallelism": <n>` the shard artifact records.
+/// Unlike the history/columnar ratios (same-thread layout comparisons,
+/// machine-independent), shard scaling depends on core count — the floor
+/// is only a meaningful bound on machines with at least as many cores as
+/// the recording host.
+fn committed_parallelism(path: &str) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path}: not readable ({e}); run the benchmark bin first"));
+    let needle = "\"available_parallelism\":";
+    let pos = text
+        .find(needle)
+        .unwrap_or_else(|| panic!("{path}: no available_parallelism entry"));
+    let rest = &text[pos + needle.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("{path}: malformed available_parallelism ({e})"))
+}
+
+struct Check {
+    name: &'static str,
+    committed: f64,
+    measured: f64,
+}
+
+impl Check {
+    fn floor(&self) -> f64 {
+        self.committed * FLOOR
+    }
+
+    fn passed(&self) -> bool {
+        self.measured >= self.floor()
+    }
+}
+
+/// Map-based vs slot-indexed sample store. The location ladder matches the
+/// committed artifact's cases exactly (only iterations and runs are
+/// reduced), so the measured geomean is compared like for like and the
+/// 2× floor headroom is real.
+fn measure_history() -> f64 {
+    let mut speedups = Vec::new();
+    for &locations in &[10u64, 40, 150] {
+        let workload = histref::workload(locations, 120);
+        histref::assert_pipelines_agree(&workload);
+        let map_ns = median_ns(RUNS, || {
+            histref::run_map_pipeline(&workload);
+        });
+        let slot_ns = median_ns(RUNS, || {
+            histref::run_slot_pipeline(&workload);
+        });
+        speedups.push(map_ns / slot_ns);
+    }
+    geomean(&speedups)
+}
+
+/// Row-oriented vs columnar mini-batches, on the committed location ladder.
+fn measure_columnar() -> f64 {
+    let mut speedups = Vec::new();
+    for &locations in &[10u64, 40, 150] {
+        let workload = rowref::workload(locations, 120);
+        let (row_batches, row_loss) = rowref::run_row_pipeline(&workload);
+        let (col_batches, col_loss) = rowref::run_columnar_pipeline(&workload);
+        assert_eq!(row_batches, col_batches, "paths must consume equal batches");
+        assert_eq!(
+            row_loss.to_bits(),
+            col_loss.to_bits(),
+            "paths must be arithmetically identical"
+        );
+        let row_ns = median_ns(RUNS, || {
+            rowref::run_row_pipeline(&workload);
+        });
+        let col_ns = median_ns(RUNS, || {
+            rowref::run_columnar_pipeline(&workload);
+        });
+        speedups.push(row_ns / col_ns);
+    }
+    geomean(&speedups)
+}
+
+/// Sharded collection scaling vs one shard, reduced sizes. Measures the
+/// same 1/2/4/8 shard ladder as the committed artifact.
+fn measure_shard() -> f64 {
+    let workload = shard::workload(512, 80);
+    let pool = ThreadPool::new(ParallelConfig::new(8, 1).expect("valid config"));
+    shard::assert_paths_agree(&workload, &pool);
+    let base_ns = median_ns(RUNS, || {
+        shard::run_sharded(&workload, 1, &pool);
+    });
+    let mut speedups = vec![1.0];
+    for &shards in &[2usize, 4, 8] {
+        let ns = median_ns(RUNS, || {
+            shard::run_sharded(&workload, shards, &pool);
+        });
+        speedups.push(base_ns / ns);
+    }
+    geomean(&speedups)
+}
+
+fn main() {
+    let mut checks = vec![
+        Check {
+            name: "history (BENCH_history.json)",
+            committed: geomean(&committed_speedups("BENCH_history.json")),
+            measured: measure_history(),
+        },
+        Check {
+            name: "columnar (BENCH_columnar.json)",
+            committed: geomean(&committed_speedups("BENCH_columnar.json")),
+            measured: measure_columnar(),
+        },
+    ];
+    // The shard floor is core-count-dependent: committed ratios recorded on
+    // an N-core host are structurally unreachable on a smaller machine (the
+    // fan-out jobs just queue), so only enforce the floor when this host
+    // has at least as many cores as the recording one. A host that merely
+    // matches the recording can only do as well or better, so the 50 %
+    // floor stays a sound regression bound there.
+    let recorded_cores = committed_parallelism("BENCH_shard.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= recorded_cores {
+        checks.push(Check {
+            name: "shard (BENCH_shard.json)",
+            committed: geomean(&committed_speedups("BENCH_shard.json")),
+            measured: measure_shard(),
+        });
+    } else {
+        println!(
+            "shard (BENCH_shard.json)         skipped: {cores} cores here vs \
+             {recorded_cores} when recorded — scaling floor not comparable; \
+             re-record BENCH_shard.json on comparable hardware to re-arm it"
+        );
+    }
+
+    let mut failed = false;
+    for check in &checks {
+        let verdict = if check.passed() { "ok" } else { "REGRESSED" };
+        println!(
+            "{:<32} committed {:>6.3}x  floor {:>6.3}x  measured {:>6.3}x  {}",
+            check.name,
+            check.committed,
+            check.floor(),
+            check.measured,
+            verdict
+        );
+        failed |= !check.passed();
+    }
+    if failed {
+        eprintln!(
+            "perf-smoke: a measured speedup fell below {}x of its committed \
+             BENCH_*.json ratio — a layout/sharding win has regressed",
+            FLOOR
+        );
+        std::process::exit(1);
+    }
+    println!("perf-smoke: all speedup ratios within {FLOOR}x of the committed artifacts");
+}

@@ -29,6 +29,25 @@ pub mod fitting;
 pub mod histref;
 pub mod lulesh_exp;
 pub mod rowref;
+pub mod shard;
 pub mod summary;
 pub mod table;
 pub mod wd_exp;
+
+/// Median wall-clock nanoseconds of `runs` executions of `f`, after one
+/// warm-up execution — the one timing discipline shared by every
+/// `BENCH_*.json`-producing binary **and** by `perf_smoke`'s floor
+/// comparison (they must measure the same way for the comparison to mean
+/// anything).
+pub fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}

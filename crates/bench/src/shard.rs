@@ -1,0 +1,228 @@
+//! Sharded-collection workload for the shard-scaling benchmark.
+//!
+//! Drives the **same** sample + record + assemble + extract pipeline
+//! through the global single-store `Collector` and through
+//! `ShardedCollector` at several shard counts, over a pre-computed wave so
+//! the timed region contains only in-situ work (no simulation cost, no
+//! training — `bench::rowref` already covers the train stage). A content
+//! fingerprint over every produced batch and every per-step peak profile
+//! proves the paths are **bit-identical** before anything is timed, so
+//! `src/bin/bench_shard.rs` measures exactly the sharding overhead/benefit
+//! (fan-out dispatch, k-way row merge, k-way profile reduction), nothing
+//! else.
+
+use insitu::collect::{Collector, PredictorLayout, Retention, ShardedCollector};
+use insitu::provider::SliceProvider;
+use insitu::IterParam;
+use parsim::ThreadPool;
+use simkit::decomposition::BlockDecomposition;
+use simkit::index::Extents;
+
+/// AR order of the benchmark analysis.
+pub const WORKLOAD_ORDER: usize = 3;
+/// Iteration lag of the benchmark analysis.
+pub const WORKLOAD_LAG: u64 = 5;
+/// Mini-batch fill threshold, in rows.
+pub const WORKLOAD_BATCH: usize = 256;
+
+/// A pre-computed travelling wave: one frame of provider values per
+/// iteration, so the timed pipeline never pays for simulating.
+pub struct ShardWorkload {
+    /// Sampled locations `1..=locations`.
+    pub locations: u64,
+    /// Iterations `0..iterations`, all sampled.
+    pub iterations: u64,
+    frames: Vec<Vec<f64>>,
+}
+
+/// Builds the workload (an outward-travelling decaying pulse).
+pub fn workload(locations: u64, iterations: u64) -> ShardWorkload {
+    let frames = (0..iterations)
+        .map(|it| {
+            let front = it as f64 * 0.25;
+            (0..=locations as usize)
+                .map(|loc| {
+                    let x = loc as f64;
+                    20.0 / (1.0 + 0.05 * x) * (-((x - front) * (x - front)) / 512.0).exp()
+                })
+                .collect()
+        })
+        .collect();
+    ShardWorkload {
+        locations,
+        iterations,
+        frames,
+    }
+}
+
+impl ShardWorkload {
+    fn spatial(&self) -> IterParam {
+        IterParam::new(1, self.locations, 1).expect("valid spatial range")
+    }
+
+    fn temporal(&self) -> IterParam {
+        IterParam::new(0, self.iterations - 1, 1).expect("valid temporal range")
+    }
+
+    /// The linear ownership split used by the sharded runs.
+    pub fn partition(&self, shards: usize) -> BlockDecomposition {
+        BlockDecomposition::new(
+            Extents::new(self.locations as usize + 1, 1, 1).expect("valid extents"),
+            shards,
+        )
+        .expect("valid rank count")
+    }
+}
+
+/// Bitwise content summary of one pipeline run: FNV-folded batch rows and
+/// per-step peak profiles. Two runs with equal digests produced the same
+/// batches (same rows, same boundaries) and the same extraction inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    /// Samples recorded (owned locations × iterations).
+    pub samples: usize,
+    /// Full batches produced.
+    pub batches: usize,
+    /// Training rows across all batches.
+    pub rows: usize,
+    /// FNV-1a over every batch's inputs/targets and every step's profile.
+    pub fingerprint: u64,
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn fold(&mut self, bits: u64) {
+        self.0 ^= bits;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+
+    fn fold_values(&mut self, values: &[f64]) {
+        for v in values {
+            self.fold(v.to_bits());
+        }
+    }
+}
+
+/// Runs the workload through the global single-store collector.
+pub fn run_unsharded(w: &ShardWorkload) -> Digest {
+    let mut collector = Collector::new(
+        w.spatial(),
+        w.temporal(),
+        WORKLOAD_ORDER,
+        WORKLOAD_LAG,
+        PredictorLayout::SpatioTemporal,
+        WORKLOAD_BATCH,
+    );
+    let mut digest = Fnv::new();
+    let mut samples = 0;
+    let mut batches = 0;
+    let mut rows = 0;
+    for it in 0..w.iterations {
+        let frame = &w.frames[it as usize];
+        samples += collector.sample(it, frame, &SliceProvider);
+        if let Some(batch) = collector.assemble(it) {
+            batches += 1;
+            rows += batch.len();
+            digest.fold_values(batch.inputs());
+            digest.fold_values(batch.targets());
+            collector.recycle(batch);
+        }
+        // The per-step extraction read: the break-point scan over the
+        // (location, peak) profile.
+        for &(loc, peak) in collector.history().peak_profile() {
+            digest.fold(loc as u64);
+            digest.fold(peak.to_bits());
+        }
+    }
+    Digest {
+        samples,
+        batches,
+        rows,
+        fingerprint: digest.0,
+    }
+}
+
+/// Runs the workload through a [`ShardedCollector`] with `shards` shards,
+/// fanning the record/assemble stage out on `pool`.
+pub fn run_sharded(w: &ShardWorkload, shards: usize, pool: &ThreadPool) -> Digest {
+    let mut collector = ShardedCollector::new(
+        w.spatial(),
+        w.temporal(),
+        WORKLOAD_ORDER,
+        WORKLOAD_LAG,
+        PredictorLayout::SpatioTemporal,
+        WORKLOAD_BATCH,
+        Retention::Full,
+        &w.partition(shards),
+    );
+    let mut digest = Fnv::new();
+    let mut samples = 0;
+    let mut batches = 0;
+    let mut rows = 0;
+    for it in 0..w.iterations {
+        let frame = &w.frames[it as usize];
+        samples += collector.sample(it, frame, &SliceProvider, pool);
+        if let Some(batch) = collector.assemble(it) {
+            batches += 1;
+            rows += batch.len();
+            digest.fold_values(batch.inputs());
+            digest.fold_values(batch.targets());
+            collector.recycle(batch);
+        }
+        // The same per-step extraction read, served by the k-way merge.
+        for &(loc, peak) in collector.peak_profile() {
+            digest.fold(loc as u64);
+            digest.fold(peak.to_bits());
+        }
+    }
+    Digest {
+        samples,
+        batches,
+        rows,
+        fingerprint: digest.0,
+    }
+}
+
+/// Refuses to time pipelines that do not agree bit for bit: the unsharded
+/// store, a 1-shard collector and a multi-shard collector (serial and
+/// pooled) must all produce the same digest. Returns the digest.
+pub fn assert_paths_agree(w: &ShardWorkload, pool: &ThreadPool) -> Digest {
+    let reference = run_unsharded(w);
+    let serial = ThreadPool::serial();
+    for shards in [1usize, 4] {
+        let a = run_sharded(w, shards, &serial);
+        assert_eq!(
+            reference, a,
+            "{shards}-shard serial run must be bit-identical to unsharded"
+        );
+        let b = run_sharded(w, shards, pool);
+        assert_eq!(
+            reference, b,
+            "{shards}-shard pooled run must be bit-identical to unsharded"
+        );
+    }
+    reference
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim::ParallelConfig;
+
+    #[test]
+    fn all_shard_counts_agree_bitwise_with_the_global_store() {
+        let w = workload(96, 60);
+        let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        let digest = assert_paths_agree(&w, &pool);
+        assert_eq!(digest.samples, 96 * 60);
+        assert!(digest.batches > 0);
+        for shards in [2usize, 8] {
+            assert_eq!(digest, run_sharded(&w, shards, &pool));
+        }
+    }
+}

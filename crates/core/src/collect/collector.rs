@@ -41,6 +41,42 @@ pub enum CollectionEvent {
     },
 }
 
+/// Cap on the per-location history pre-reservation shared by the global
+/// [`Collector`] and the sharded
+/// [`ShardedCollector`](crate::collect::ShardedCollector). Pre-sizing lets
+/// steady-state sampling append without reallocating — each location gets
+/// one value per sampled iteration — but a temporal characteristic
+/// spanning the whole simulation (millions of iterations) must not commit
+/// worst-case memory up front inside the host application, especially when
+/// early termination means most of it would never be used. Runs outliving
+/// the cap fall back to amortized `Vec` growth (a per-series allocation
+/// every doubling, still nothing per row); windowed retention additionally
+/// caps the reservation at the window's bounded backing storage.
+pub(crate) const MAX_EAGER_SAMPLES_PER_LOCATION: usize = 4096;
+
+/// Widens a requested [`Retention`] policy to the AR model's lagged reach:
+/// the deepest lagged read any layout performs is `order` strides of
+/// `ceil(lag / step)` sampled iterations (the purely temporal layout), and
+/// the window must cover it plus the target iteration itself. Shared by the
+/// single-store [`Collector`] and the sharded
+/// [`ShardedCollector`](crate::collect::ShardedCollector) so both bound
+/// memory without ever starving batch assembly or forecasting.
+pub(crate) fn widened_retention(
+    retention: Retention,
+    order: usize,
+    lag: u64,
+    temporal: IterParam,
+) -> Retention {
+    match retention {
+        Retention::Full => Retention::Full,
+        Retention::Window(n) => {
+            let step = temporal.step().max(1);
+            let lag_steps = (lag.div_ceil(step)).max(1) as usize;
+            Retention::Window(n.max(order * lag_steps + 1))
+        }
+    }
+}
+
 /// Collects the diagnostic variable according to the configured temporal and
 /// spatial characteristics and assembles columnar mini-batches.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -114,29 +150,7 @@ impl Collector {
         retention: Retention,
     ) -> Self {
         let locations: Vec<usize> = spatial.iter().map(|loc| loc as usize).collect();
-        let retention = match retention {
-            Retention::Full => Retention::Full,
-            Retention::Window(n) => {
-                // The deepest lagged read any layout performs is
-                // `order` strides of `ceil(lag / step)` sampled iterations
-                // (the purely temporal layout); the window must cover it
-                // plus the target iteration itself.
-                let step = temporal.step().max(1);
-                let lag_steps = (lag.div_ceil(step)).max(1) as usize;
-                Retention::Window(n.max(order * lag_steps + 1))
-            }
-        };
-        // Pre-size the history so steady-state sampling appends without
-        // reallocating: each sampled location will receive one value per
-        // sampled iteration. The reservation is capped — a temporal
-        // characteristic spanning the whole simulation (millions of
-        // iterations) must not commit worst-case memory up front inside the
-        // host application, especially when early termination means most of
-        // it would never be used. Runs outliving the cap fall back to
-        // amortized `Vec` growth (a per-series allocation every doubling,
-        // still nothing per row). Windowed retention additionally caps the
-        // reservation at the window's bounded backing storage.
-        const MAX_EAGER_SAMPLES_PER_LOCATION: usize = 4096;
+        let retention = widened_retention(retention, order, lag, temporal);
         let mut history = SampleHistory::with_retention(retention);
         history.reserve(
             &locations,

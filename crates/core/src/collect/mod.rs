@@ -23,15 +23,22 @@
 //!   statistics read by the extractors as borrowed slices, and a
 //!   configurable [`Retention`] policy ([`Retention::Window`] bounds
 //!   per-location memory for indefinitely-running analyses).
+//!
+//! For domain-decomposed simulations, [`ShardedCollector`] partitions one
+//! analysis' locations by rank ownership into per-shard slot-indexed
+//! stores that record and assemble communication-free in parallel and
+//! merge back bit-identically (see [`ShardedCollector`]).
 
 mod assembler;
 mod collector;
 mod history;
 mod minibatch;
 mod sample;
+mod shard;
 
 pub use assembler::{BatchAssembler, PredictorLayout};
 pub use collector::{CollectionEvent, Collector};
 pub use history::{Retention, SampleHistory, SlotId};
 pub use minibatch::{BatchPool, MiniBatch};
 pub use sample::Sample;
+pub use shard::ShardedCollector;

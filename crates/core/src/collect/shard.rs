@@ -1,0 +1,884 @@
+//! Sharded multi-domain collection with cross-shard feature reduction.
+//!
+//! This (private) module hosts [`ShardedCollector`]; the full layout and
+//! merge-discipline story lives on that type's documentation, since the
+//! type is the public surface.
+
+use parsim::{JobHandle, ThreadPool};
+use simkit::decomposition::BlockDecomposition;
+
+use super::assembler::{BatchAssembler, PredictorLayout};
+use super::collector::{widened_retention, MAX_EAGER_SAMPLES_PER_LOCATION};
+use super::history::{Retention, SampleHistory, SlotId};
+use super::minibatch::{BatchPool, MiniBatch};
+use crate::params::IterParam;
+use crate::provider::VarProvider;
+
+/// One shard: the slot-indexed store, assembler and staging buffers for a
+/// contiguous-by-ownership subset of the spatial characteristic. Owns all
+/// of its state, so a step can move it onto a `parsim` worker and back.
+#[derive(Debug)]
+struct CollectorShard {
+    /// Locations this shard owns, in increasing (global sampling) order.
+    owned: Vec<usize>,
+    /// Owned ∪ ghost locations, in increasing order — the fill set.
+    sampled: Vec<usize>,
+    /// `owned_mask[k]` — whether `sampled[k]` is owned (vs ghost).
+    owned_mask: Vec<bool>,
+    /// History slot of each sampled location, resolved at construction.
+    slot_ids: Vec<SlotId>,
+    /// This shard's slot-indexed SoA store (owned + ghost series).
+    history: SampleHistory,
+    /// Row builder; spatial/temporal stepping uses the *global*
+    /// characteristics so rows are bit-identical to the unsharded path.
+    assembler: BatchAssembler,
+    /// Provider batch-fill scratch, one slot per sampled location.
+    scratch: Vec<f64>,
+    /// Rows assembled this step, cleared in place after the merge.
+    staging: MiniBatch,
+    /// Target location of each staged row (increasing; drives the merge).
+    staged_locations: Vec<usize>,
+    /// Owned samples ever appended (the shard's share of the logical
+    /// history length; ghost appends are excluded).
+    owned_appended: usize,
+}
+
+impl CollectorShard {
+    /// The shard-local half of one collected iteration: record the filled
+    /// scratch into the history, then assemble this shard's rows into the
+    /// staging batch. Pure shard-local state — safe to run on a worker.
+    fn record_and_stage(&mut self, iteration: u64) {
+        let Self {
+            owned,
+            sampled,
+            owned_mask,
+            slot_ids,
+            history,
+            assembler,
+            scratch,
+            staging,
+            staged_locations,
+            owned_appended,
+        } = self;
+        for k in 0..sampled.len() {
+            let before = history.len();
+            history.record_in_slot(slot_ids[k], iteration, scratch[k]);
+            if owned_mask[k] && history.len() > before {
+                *owned_appended += 1;
+            }
+        }
+        for &location in owned.iter() {
+            let Some(target) = history.value_at(location, iteration) else {
+                continue;
+            };
+            if staging.push_with(target, |out| {
+                assembler.write_predictors_for(history, location, iteration, out)
+            }) {
+                staged_locations.push(location);
+            }
+        }
+    }
+}
+
+/// A sharded drop-in for the global [`Collector`](super::Collector) for
+/// domain-decomposed simulations: partitions the spatial characteristic by
+/// decomposition ownership, fans the per-step record/assemble work across
+/// a thread pool, and merges per-shard results so downstream consumers
+/// (trainer, extractors) observe exactly the unsharded behaviour.
+///
+/// The paper's target simulations (LULESH, Castro wdmerger) are
+/// domain-decomposed across ranks; a global collector that walks every
+/// sampled location on one thread is the scaling bottleneck the in-situ
+/// literature warns about. `ShardedCollector` splits one analysis'
+/// spatial characteristic by [`BlockDecomposition`] ownership into
+/// **shards** that work communication-free per step and merge cheaply at
+/// the boundaries — the design of rank-local in-situ statistics (Sane et
+/// al., Rezaeiravesh et al.) transplanted onto this crate's slot-indexed
+/// stores.
+///
+/// # Shard layout
+///
+/// ```text
+///        spatial characteristic (global location order)
+///   ┌────────────┬────────────┬────────────┬────────────┐
+///   │  shard 0   │  shard 1   │  shard 2   │  shard 3   │   ownership by
+///   │ owned locs │ owned locs │ owned locs │ owned locs │   BlockDecomposition
+///   └────────────┴──┬───┬─────┴────────────┴────────────┘
+///                   │ghosts│  ≤ `order` preceding locations per shard edge
+///                   ▼   ▼
+///   per shard:  SampleHistory (slot-indexed SoA, owned ∪ ghost series)
+///               BatchAssembler (global spatial indexing)
+///               staging MiniBatch (this step's rows, cleared in place)
+/// ```
+///
+/// * **Partition.** Every sampled location is owned by exactly one shard
+///   (the rank [`BlockDecomposition::shard_of`] assigns). Shards that
+///   would own nothing are dropped, so the effective shard count never
+///   exceeds the location count.
+/// * **Ghost halo.** The spatio-temporal AR row for an owned location
+///   reads predictors from up to `order` *preceding* locations, which may
+///   belong to a neighbouring shard. Those locations are replicated into
+///   the shard's store as a read-only **ghost halo** and sampled
+///   redundantly from the provider (redundant compute instead of
+///   communication — the standard halo trade). Ghost series are
+///   bit-identical to the owner's because the provider is a pure function
+///   of the domain, so every cross-shard merge can simply deduplicate by
+///   location.
+/// * **Per-step stages.** [`sample`](ShardedCollector::sample)
+///   batch-fills each shard's scratch from the provider, then fans
+///   **record + assemble-to-staging** for all shards out across the
+///   `parsim` pool (each shard moves onto a worker and comes back — the
+///   same ownership-passing discipline as background training).
+///   [`assemble`](ShardedCollector::assemble) k-way-merges the staged
+///   rows back into one global [`MiniBatch`] in location order, which
+///   makes the training batch sequence — and therefore every loss and
+///   coefficient — **bit-identical** to the unsharded
+///   [`Collector`](super::Collector).
+/// * **Cross-shard reduction.** The per-shard incremental peak/latest
+///   statistics merge into the global sorted
+///   [`peak_profile`](ShardedCollector::peak_profile) via a k-way merge
+///   at extraction time, so feature extraction is oblivious to sharding.
+/// * **Zero steady-state allocations, per shard.** Staging batches are
+///   cleared in place, scratch buffers are reused, and the global batch
+///   cycles through a [`BatchPool`] exactly like the unsharded collector.
+#[derive(Debug)]
+pub struct ShardedCollector {
+    spatial: IterParam,
+    temporal: IterParam,
+    /// Shards, each `Some` between steps; `None` only transiently while a
+    /// shard is off on a worker during the fan-out.
+    shards: Vec<Option<CollectorShard>>,
+    /// Owning shard of every sampled location, sorted by location.
+    loc_shard: Vec<(usize, u32)>,
+    /// The global filling batch the merged rows stream into.
+    batch: MiniBatch,
+    /// Recycling pool for the global batch (same discipline as the
+    /// unsharded collector).
+    pool: BatchPool,
+    iterations_collected: u64,
+    /// Scratch: k-way merge cursors, one per shard.
+    cursors: Vec<usize>,
+    /// Scratch: in-flight shard jobs during the fan-out.
+    handles: Vec<JobHandle<CollectorShard>>,
+    /// The merged global `(location, peak)` profile, rebuilt by
+    /// [`ShardedCollector::peak_profile`] into retained capacity.
+    merged_profile: Vec<(usize, f64)>,
+    /// Steps whose record/assemble stage fanned out across the pool.
+    parallel_fanouts: u64,
+}
+
+impl ShardedCollector {
+    /// Creates a sharded collector over `partition.num_ranks()` shards.
+    ///
+    /// The parameters mirror
+    /// [`Collector::with_retention`](super::Collector::with_retention);
+    /// `partition` decides which shard owns each sampled location
+    /// (out-of-grid location ids spread round-robin, see
+    /// [`BlockDecomposition::shard_of`]). Shards that own no location are
+    /// dropped. A requested [`Retention::Window`] is widened to the AR
+    /// model's lagged reach exactly as in the unsharded collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` or `batch_capacity` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        spatial: IterParam,
+        temporal: IterParam,
+        order: usize,
+        lag: u64,
+        layout: PredictorLayout,
+        batch_capacity: usize,
+        retention: Retention,
+        partition: &BlockDecomposition,
+    ) -> Self {
+        let retention = widened_retention(retention, order, lag, temporal);
+        let locations: Vec<usize> = spatial.iter().map(|loc| loc as usize).collect();
+        // Partition the spatial characteristic by ownership, tracking the
+        // *spatial index* of every owned location so the ghost halo can be
+        // computed in sampled units (the assembler steps by spatial index,
+        // not by raw location id).
+        let mut owned_indices: Vec<Vec<usize>> = vec![Vec::new(); partition.num_ranks()];
+        for (index, &location) in locations.iter().enumerate() {
+            owned_indices[partition.shard_of(location)].push(index);
+        }
+        // The ghost reach: layouts that read preceding *locations* need up
+        // to `order` of them replicated; the purely temporal layout reads
+        // only the owned location's own series.
+        let ghost_reach = match layout {
+            PredictorLayout::Temporal => 0,
+            PredictorLayout::SpatioTemporal | PredictorLayout::Spatial => order,
+        };
+        let mut shards = Vec::new();
+        let mut loc_shard: Vec<(usize, u32)> = Vec::with_capacity(locations.len());
+        for indices in owned_indices {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard_id = shards.len() as u32;
+            // Owned ∪ ghost spatial indices, increasing.
+            let mut sampled_indices: Vec<usize> = Vec::new();
+            for &index in &indices {
+                sampled_indices.extend(index.saturating_sub(ghost_reach)..=index);
+            }
+            sampled_indices.sort_unstable();
+            sampled_indices.dedup();
+            let owned: Vec<usize> = indices.iter().map(|&i| locations[i]).collect();
+            let sampled: Vec<usize> = sampled_indices.iter().map(|&i| locations[i]).collect();
+            let owned_mask: Vec<bool> = sampled_indices
+                .iter()
+                .map(|i| indices.binary_search(i).is_ok())
+                .collect();
+            let mut history = SampleHistory::with_retention(retention);
+            history.reserve(&sampled, temporal.len().min(MAX_EAGER_SAMPLES_PER_LOCATION));
+            let slot_ids: Vec<SlotId> = sampled.iter().map(|&loc| history.slot_of(loc)).collect();
+            for &loc in &owned {
+                loc_shard.push((loc, shard_id));
+            }
+            let staging_rows = owned.len().max(1);
+            shards.push(Some(CollectorShard {
+                scratch: vec![0.0; sampled.len()],
+                staging: MiniBatch::new(order, staging_rows),
+                staged_locations: Vec::with_capacity(staging_rows),
+                owned,
+                sampled,
+                owned_mask,
+                slot_ids,
+                history,
+                assembler: BatchAssembler::new(order, lag, layout, spatial, temporal),
+                owned_appended: 0,
+            }));
+        }
+        loc_shard.sort_unstable_by_key(|&(loc, _)| loc);
+        let mut pool = BatchPool::new(order, batch_capacity);
+        let batch = pool.acquire();
+        Self {
+            spatial,
+            temporal,
+            cursors: vec![0; shards.len()],
+            handles: Vec::with_capacity(shards.len()),
+            merged_profile: Vec::with_capacity(loc_shard.len()),
+            shards,
+            loc_shard,
+            batch,
+            pool,
+            iterations_collected: 0,
+            parallel_fanouts: 0,
+        }
+    }
+
+    /// The spatial characteristic.
+    pub fn spatial(&self) -> IterParam {
+        self.spatial
+    }
+
+    /// The temporal characteristic.
+    pub fn temporal(&self) -> IterParam {
+        self.temporal
+    }
+
+    /// Number of non-empty shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's slot-indexed store (owned **and** ghost series).
+    pub fn shard_history(&self, shard: usize) -> Option<&SampleHistory> {
+        self.shards
+            .get(shard)
+            .map(|s| &s.as_ref().expect("shard resident between steps").history)
+    }
+
+    /// The locations one shard owns, in increasing order.
+    pub fn shard_owned(&self, shard: usize) -> Option<&[usize]> {
+        self.shards.get(shard).map(|s| {
+            s.as_ref()
+                .expect("shard resident between steps")
+                .owned
+                .as_slice()
+        })
+    }
+
+    /// The buffer pool backing the global batch, for inspecting the
+    /// recycling behaviour.
+    pub fn batch_pool(&self) -> &BatchPool {
+        &self.pool
+    }
+
+    /// Number of iterations on which data was actually collected.
+    pub fn iterations_collected(&self) -> u64 {
+        self.iterations_collected
+    }
+
+    /// Steps whose record/assemble stage fanned out across the pool.
+    pub fn parallel_fanouts(&self) -> u64 {
+        self.parallel_fanouts
+    }
+
+    /// Whether the temporal characteristic has been exhausted.
+    pub fn finished(&self, iteration: u64) -> bool {
+        iteration > self.temporal.end()
+    }
+
+    /// Total owned samples ever recorded — equals the unsharded history's
+    /// [`len`](SampleHistory::len) (ghost duplicates excluded).
+    pub fn len(&self) -> usize {
+        self.resident().map(|s| s.owned_appended).sum()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn resident(&self) -> impl Iterator<Item = &CollectorShard> {
+        self.shards
+            .iter()
+            .map(|s| s.as_ref().expect("shard resident between steps"))
+    }
+
+    /// The shard owning `location`, if it is sampled.
+    fn owner(&self, location: usize) -> Option<&CollectorShard> {
+        let idx = self
+            .loc_shard
+            .binary_search_by_key(&location, |&(loc, _)| loc)
+            .ok()?;
+        let shard = self.loc_shard[idx].1 as usize;
+        Some(self.shards[shard].as_ref().expect("shard resident"))
+    }
+
+    /// The **sample** stage: if `iteration` is selected, batch-fills every
+    /// shard's scratch from the provider (the only part that touches the
+    /// domain), then fans the shard-local **record + assemble-to-staging**
+    /// work out across `pool` — each shard moves onto a worker and is
+    /// joined back in shard order, so results are deterministic. With a
+    /// serial pool (or a single shard) the same work runs inline on the
+    /// calling thread, bit-identically. Returns the number of *owned*
+    /// samples recorded (ghost re-samples are not counted, so the figure
+    /// matches the unsharded collector's).
+    pub fn sample<D: ?Sized, P: VarProvider<D> + ?Sized>(
+        &mut self,
+        iteration: u64,
+        domain: &D,
+        provider: &P,
+        pool: &ThreadPool,
+    ) -> usize {
+        if !self.temporal.contains(iteration) {
+            return 0;
+        }
+        for slot in &mut self.shards {
+            let shard = slot.as_mut().expect("shard resident between steps");
+            provider.fill(domain, &shard.sampled, &mut shard.scratch);
+        }
+        // Gate on the *configured* worker budget, like the inline train
+        // fan-out: on a smaller machine the jobs queue FIFO, still correct.
+        if self.shards.len() >= 2 && pool.config().total_workers() >= 2 {
+            self.parallel_fanouts += 1;
+            debug_assert!(self.handles.is_empty());
+            for slot in &mut self.shards {
+                let mut shard = slot.take().expect("shard resident between steps");
+                self.handles.push(pool.spawn_job(move || {
+                    shard.record_and_stage(iteration);
+                    shard
+                }));
+            }
+            for (slot, handle) in self.shards.iter_mut().zip(self.handles.drain(..)) {
+                *slot = Some(handle.join());
+            }
+        } else {
+            for slot in &mut self.shards {
+                slot.as_mut()
+                    .expect("shard resident between steps")
+                    .record_and_stage(iteration);
+            }
+        }
+        self.iterations_collected += 1;
+        self.spatial.len()
+    }
+
+    /// The shared k-way merge kernel: the smallest pending location across
+    /// all shards under `key` (the location at a shard's cursor, `None`
+    /// when that shard's stream is exhausted), with the index of the first
+    /// shard holding it. Cursors only advance on a consumed hit — that is
+    /// the callers' job, since `assemble` consumes one shard per step of
+    /// the merge (ownership partitions make the minimum unique) while
+    /// `peak_profile` consumes *every* shard holding the minimum (ghost
+    /// entries deduplicate). A plain min scan: shard counts are small.
+    fn min_pending<F>(&self, key: F) -> Option<(usize, usize)>
+    where
+        F: Fn(&CollectorShard, usize) -> Option<usize>,
+    {
+        let mut next: Option<(usize, usize)> = None;
+        for (s, slot) in self.shards.iter().enumerate() {
+            let shard = slot.as_ref().expect("shard resident between steps");
+            if let Some(loc) = key(shard, self.cursors[s]) {
+                if next.is_none_or(|(best, _)| loc < best) {
+                    next = Some((loc, s));
+                }
+            }
+        }
+        next
+    }
+
+    /// The **assemble** stage: k-way-merges this step's staged rows from
+    /// all shards into the global filling batch **in increasing location
+    /// order** — the exact row order of the unsharded assembler, which is
+    /// what keeps batch boundaries, training losses and coefficients
+    /// bit-identical. Once the batch fills it is swapped against a
+    /// recycled buffer and returned. Must be called after
+    /// [`ShardedCollector::sample`] for the same iteration.
+    pub fn assemble(&mut self, _iteration: u64) -> Option<MiniBatch> {
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+        while let Some((_, s)) =
+            self.min_pending(|shard, cursor| shard.staged_locations.get(cursor).copied())
+        {
+            let cursor = self.cursors[s];
+            let shard = self.shards[s].as_ref().expect("shard resident");
+            let row = shard.staging.row(cursor).expect("staged row exists");
+            let target = shard.staging.targets()[cursor];
+            self.batch
+                .push(row, target)
+                .expect("staging and global batch share one order");
+            self.cursors[s] += 1;
+        }
+        for slot in &mut self.shards {
+            let shard = slot.as_mut().expect("shard resident between steps");
+            shard.staging.clear();
+            shard.staged_locations.clear();
+        }
+        if self.batch.is_full() {
+            let fresh = self.pool.acquire();
+            Some(std::mem::replace(&mut self.batch, fresh))
+        } else {
+            None
+        }
+    }
+
+    /// Returns a spent batch to the global buffer pool.
+    pub fn recycle(&mut self, batch: MiniBatch) {
+        self.pool.release(batch);
+    }
+
+    /// The cross-shard reduction: k-way-merges the per-shard incremental
+    /// `(location, peak)` profiles into one globally sorted profile,
+    /// deduplicating ghost entries (a ghost's series is bit-identical to
+    /// its owner's, so which copy survives is immaterial). Rebuilt into
+    /// retained capacity on every call — extraction-time cost is
+    /// O(shards × locations), allocation-free after warm-up, and the
+    /// result is bit-identical to the unsharded
+    /// [`SampleHistory::peak_profile`].
+    pub fn peak_profile(&mut self) -> &[(usize, f64)] {
+        self.merged_profile.clear();
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+        while let Some((min_loc, _)) = self.min_pending(|shard, cursor| {
+            shard
+                .history
+                .peak_profile()
+                .get(cursor)
+                .map(|&(loc, _)| loc)
+        }) {
+            let mut peak = f64::NEG_INFINITY;
+            for (s, slot) in self.shards.iter().enumerate() {
+                let shard = slot.as_ref().expect("shard resident between steps");
+                if let Some(&(loc, p)) = shard.history.peak_profile().get(self.cursors[s]) {
+                    if loc == min_loc {
+                        // Ghost copies agree bitwise; keep the last seen to
+                        // match plain overwrite semantics.
+                        peak = p;
+                        self.cursors[s] += 1;
+                    }
+                }
+            }
+            self.merged_profile.push((min_loc, peak));
+        }
+        &self.merged_profile
+    }
+
+    /// The value column of one location's series (window survivors),
+    /// served from the owning shard.
+    pub fn values_of(&self, location: usize) -> Option<&[f64]> {
+        self.owner(location)?.history.values_of(location)
+    }
+
+    /// The iteration column of one location's series, parallel to
+    /// [`ShardedCollector::values_of`].
+    pub fn iterations_of(&self, location: usize) -> Option<&[u64]> {
+        self.owner(location)?.history.iterations_of(location)
+    }
+
+    /// Number of samples ever recorded for `location`, evicted included.
+    pub fn recorded_of(&self, location: usize) -> usize {
+        self.owner(location)
+            .map_or(0, |s| s.history.recorded_of(location))
+    }
+
+    /// The most recent iteration recorded at `location`, if any.
+    pub fn last_iteration_of(&self, location: usize) -> Option<u64> {
+        self.owner(location)?.history.last_iteration_of(location)
+    }
+
+    /// The sampled location with the longest series (ties broken by the
+    /// largest location id) — the same representative the unsharded
+    /// pipeline's "last maximum in location order" scan selects.
+    pub fn representative(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for shard in self.resident() {
+            for &location in &shard.owned {
+                let count = shard.history.recorded_of(location);
+                if count == 0 {
+                    continue;
+                }
+                if best.is_none_or(|(c, l)| (count, location) >= (c, l)) {
+                    best = Some((count, location));
+                }
+            }
+        }
+        best.map(|(_, location)| location)
+    }
+
+    /// The location of the maximum most-recently-observed value across all
+    /// owned locations — the "wave front" reduction, merged across shards.
+    ///
+    /// Scans in **global location order** (via the sorted ownership map)
+    /// with exactly the unsharded scan's replacement rule — the incumbent
+    /// survives only a strictly-greater comparison — so ties *and*
+    /// incomparable values (NaN, e.g. a blown-up simulation) resolve to the
+    /// same location the unsharded `iter_latest().max_by(...)` scan picks.
+    pub fn front_location(&self) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for &(location, shard) in &self.loc_shard {
+            let shard = self.shards[shard as usize]
+                .as_ref()
+                .expect("shard resident between steps");
+            let Some(value) = shard.history.latest_of(location) else {
+                continue;
+            };
+            let replace = match best {
+                None => true,
+                // `max_by` keeps the new element unless the incumbent
+                // compares strictly greater (incomparable counts as a tie).
+                Some((bv, _)) => {
+                    bv.partial_cmp(&value).unwrap_or(std::cmp::Ordering::Equal)
+                        != std::cmp::Ordering::Greater
+                }
+            };
+            if replace {
+                best = Some((value, location));
+            }
+        }
+        best.map(|(_, location)| location)
+    }
+
+    /// Allocation-free forecasting kernel: writes the predictors for
+    /// `V(location, iteration)` into `out`, reading through the owning
+    /// shard's store (whose ghost halo covers every cross-shard lag).
+    pub fn write_predictors_for(
+        &self,
+        location: usize,
+        iteration: u64,
+        out: &mut [f64],
+    ) -> Option<()> {
+        let shard = self.owner(location)?;
+        shard
+            .assembler
+            .write_predictors_for(&shard.history, location, iteration, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::Collector;
+    use parsim::ParallelConfig;
+    use simkit::index::Extents;
+
+    const LOCATIONS: u64 = 24;
+
+    fn partition(shards: usize) -> BlockDecomposition {
+        BlockDecomposition::new(Extents::new(LOCATIONS as usize + 2, 1, 1).unwrap(), shards)
+            .unwrap()
+    }
+
+    fn sharded(shards: usize, retention: Retention) -> ShardedCollector {
+        ShardedCollector::new(
+            IterParam::new(1, LOCATIONS, 1).unwrap(),
+            IterParam::new(0, 300, 5).unwrap(),
+            3,
+            5,
+            PredictorLayout::SpatioTemporal,
+            16,
+            retention,
+            &partition(shards),
+        )
+    }
+
+    fn unsharded(retention: Retention) -> Collector {
+        Collector::with_retention(
+            IterParam::new(1, LOCATIONS, 1).unwrap(),
+            IterParam::new(0, 300, 5).unwrap(),
+            3,
+            5,
+            PredictorLayout::SpatioTemporal,
+            16,
+            retention,
+        )
+    }
+
+    fn value(loc: usize, it: u64) -> f64 {
+        let x = loc as f64;
+        let front = it as f64 * 0.1;
+        10.0 / (1.0 + x) * (-((x - front) * (x - front)) / 16.0).exp()
+    }
+
+    /// A toy domain carrying the current iteration, so the provider is a
+    /// pure function of `(domain, location)`.
+    struct Wave {
+        it: u64,
+    }
+
+    fn provider(d: &Wave, loc: usize) -> f64 {
+        value(loc, d.it)
+    }
+
+    /// Drives both collectors over the same wave and asserts the batch
+    /// stream is bit-identical.
+    fn assert_bit_identical(shards: usize, pool: &ThreadPool, retention: Retention) {
+        let mut reference = unsharded(retention);
+        let mut tested = sharded(shards, retention);
+        let mut batches = 0usize;
+        for it in 0..=300u64 {
+            let domain = Wave { it };
+            let a = reference.sample(it, &domain, &provider);
+            let b = tested.sample(it, &domain, &provider, pool);
+            assert_eq!(a, b, "owned sample count must match at {it}");
+            let ra = reference.assemble(it);
+            let rb = tested.assemble(it);
+            match (ra, rb) {
+                (None, None) => {}
+                (Some(ba), Some(bb)) => {
+                    batches += 1;
+                    assert_eq!(ba.inputs(), bb.inputs(), "inputs differ at {it}");
+                    assert_eq!(ba.targets(), bb.targets(), "targets differ at {it}");
+                    reference.recycle(ba);
+                    tested.recycle(bb);
+                }
+                (a, b) => panic!("batch cadence diverged at {it}: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(batches >= 3, "scenario must produce batches");
+        assert_eq!(reference.history().len(), tested.len());
+        assert_eq!(
+            reference.history().peak_profile(),
+            tested.peak_profile(),
+            "merged peak profile must equal the global store's"
+        );
+        for loc in 1..=LOCATIONS as usize {
+            assert_eq!(reference.history().values_of(loc), tested.values_of(loc));
+            assert_eq!(
+                reference.history().iterations_of(loc),
+                tested.iterations_of(loc)
+            );
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_unsharded_bitwise() {
+        let pool = ThreadPool::serial();
+        assert_bit_identical(1, &pool, Retention::Full);
+    }
+
+    #[test]
+    fn multi_shard_matches_unsharded_bitwise_serial_and_parallel() {
+        for shards in [2usize, 4, 8] {
+            let serial = ThreadPool::serial();
+            assert_bit_identical(shards, &serial, Retention::Full);
+            let parallel = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+            assert_bit_identical(shards, &parallel, Retention::Full);
+        }
+    }
+
+    #[test]
+    fn windowed_retention_matches_unsharded_bitwise() {
+        let pool = ThreadPool::new(ParallelConfig::new(2, 1).unwrap());
+        assert_bit_identical(4, &pool, Retention::Window(1));
+    }
+
+    #[test]
+    fn parallel_fanout_engages_on_configured_workers_only() {
+        let serial = ThreadPool::serial();
+        let mut c = sharded(4, Retention::Full);
+        c.sample(0, &Wave { it: 0 }, &provider, &serial);
+        assert_eq!(c.parallel_fanouts(), 0);
+        let pooled = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        c.sample(5, &Wave { it: 5 }, &provider, &pooled);
+        assert_eq!(c.parallel_fanouts(), 1);
+        assert_eq!(c.iterations_collected(), 2);
+    }
+
+    #[test]
+    fn shards_partition_ownership_and_carry_ghosts() {
+        let c = sharded(4, Retention::Full);
+        assert_eq!(c.shard_count(), 4);
+        let mut owned_total = 0;
+        for s in 0..c.shard_count() {
+            owned_total += c.shard_owned(s).unwrap().len();
+        }
+        assert_eq!(owned_total, LOCATIONS as usize, "ownership partitions");
+        // Interior shards replicate up to `order` preceding locations.
+        let second = c.shard_owned(1).unwrap();
+        let first_owned = second[0];
+        let ghost = first_owned - 1;
+        assert!(
+            c.shard_history(1).is_some(),
+            "shard histories are accessible"
+        );
+        // After sampling, the ghost series is present in shard 1 while the
+        // location is owned by shard 0.
+        let mut c = sharded(4, Retention::Full);
+        let pool = ThreadPool::serial();
+        c.sample(0, &Wave { it: 0 }, &provider, &pool);
+        assert!(c.shard_history(1).unwrap().values_of(ghost).is_some());
+        assert_eq!(c.values_of(ghost).unwrap(), &[value(ghost, 0)][..]);
+    }
+
+    #[test]
+    fn steady_state_reuses_buffers() {
+        let pool = ThreadPool::serial();
+        let mut c = sharded(4, Retention::Full);
+        let mut batches = 0;
+        for it in 0..=300u64 {
+            c.sample(it, &Wave { it }, &provider, &pool);
+            if let Some(batch) = c.assemble(it) {
+                batches += 1;
+                c.recycle(batch);
+            }
+        }
+        assert!(batches >= 3);
+        assert!(
+            c.batch_pool().buffers_created() <= 2,
+            "global batch must recycle, {} buffers created",
+            c.batch_pool().buffers_created()
+        );
+    }
+
+    #[test]
+    fn temporal_layout_needs_no_ghosts() {
+        let c = ShardedCollector::new(
+            IterParam::new(1, LOCATIONS, 1).unwrap(),
+            IterParam::new(0, 300, 5).unwrap(),
+            3,
+            5,
+            PredictorLayout::Temporal,
+            16,
+            Retention::Full,
+            &partition(4),
+        );
+        for s in 0..c.shard_count() {
+            let shard = c.shards[s].as_ref().unwrap();
+            assert_eq!(
+                shard.sampled, shard.owned,
+                "temporal rows never cross shard boundaries"
+            );
+        }
+    }
+
+    #[test]
+    fn unselected_iterations_are_skipped() {
+        let pool = ThreadPool::serial();
+        let mut c = sharded(2, Retention::Full);
+        assert_eq!(c.sample(3, &Wave { it: 3 }, &provider, &pool), 0);
+        assert!(c.assemble(3).is_none());
+        assert!(c.is_empty());
+        assert_eq!(
+            c.sample(5, &Wave { it: 5 }, &provider, &pool),
+            LOCATIONS as usize
+        );
+        assert_eq!(c.len(), LOCATIONS as usize);
+    }
+
+    #[test]
+    fn front_location_matches_unsharded_even_with_nan_values() {
+        // A blown-up simulation feeds NaNs into the latest-value scan — the
+        // exact regime where the wave-front broadcast matters. The sharded
+        // reduction must resolve incomparable values to the same location
+        // as the unsharded `max_by` scan (cubic-style interleaved ownership
+        // included, exercised here by the round-robin fallback).
+        let nan_at = |targets: &'static [usize]| {
+            move |_d: &Wave, loc: usize| {
+                if targets.contains(&loc) {
+                    f64::NAN
+                } else {
+                    1.0 / (1.0 + loc as f64)
+                }
+            }
+        };
+        let pool = ThreadPool::serial();
+        // Linear chunks and a cubic split whose ownership interleaves the
+        // linear location ids across ranks.
+        let cubic = BlockDecomposition::new(Extents::cubic(4), 8).unwrap();
+        for partition in [partition(4), cubic] {
+            for targets in [&[2usize][..], &[2, 9][..], &[1, 12, 24][..]] {
+                let provider = nan_at(targets);
+                let mut reference = unsharded(Retention::Full);
+                let mut tested = ShardedCollector::new(
+                    IterParam::new(1, LOCATIONS, 1).unwrap(),
+                    IterParam::new(0, 300, 5).unwrap(),
+                    3,
+                    5,
+                    PredictorLayout::SpatioTemporal,
+                    16,
+                    Retention::Full,
+                    &partition,
+                );
+                for it in (0..=20u64).step_by(5) {
+                    reference.sample(it, &Wave { it }, &provider);
+                    tested.sample(it, &Wave { it }, &provider, &pool);
+                }
+                let reference_front = reference
+                    .history()
+                    .iter_latest()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(loc, _)| loc);
+                assert_eq!(
+                    reference_front,
+                    tested.front_location(),
+                    "NaN at {targets:?} must resolve identically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_location_and_representative_match_unsharded() {
+        let pool = ThreadPool::serial();
+        let mut reference = unsharded(Retention::Full);
+        let mut tested = sharded(4, Retention::Full);
+        for it in (0..=300u64).step_by(5) {
+            let domain = Wave { it };
+            reference.sample(it, &domain, &provider);
+            tested.sample(it, &domain, &provider, &pool);
+            let reference_front = reference
+                .history()
+                .iter_latest()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(loc, _)| loc);
+            assert_eq!(reference_front, tested.front_location(), "front at {it}");
+        }
+        let reference_repr = reference
+            .history()
+            .iter_locations()
+            .max_by_key(|&loc| reference.history().recorded_of(loc));
+        assert_eq!(reference_repr, tested.representative());
+        // Forecasting predictors read identically through the ghost halo.
+        let mut a = [0.0; 3];
+        let mut b = [0.0; 3];
+        for loc in 1..=LOCATIONS as usize {
+            let ra = reference.write_predictors_for(loc, 300, &mut a);
+            let rb = tested.write_predictors_for(loc, 300, &mut b);
+            assert_eq!(ra, rb, "predictor availability at {loc}");
+            if ra.is_some() {
+                assert_eq!(a, b, "predictors at {loc}");
+            }
+        }
+    }
+}

@@ -3,13 +3,147 @@
 use std::collections::VecDeque;
 
 use parsim::ThreadPool;
+use simkit::decomposition::BlockDecomposition;
 
-use crate::collect::{Collector, MiniBatch, SampleHistory};
+use crate::collect::{Collector, MiniBatch, SampleHistory, ShardedCollector};
 use crate::extract::{BreakpointExtractor, DelayTimeExtractor, FeatureKind, OutlierExtractor};
 use crate::model::IncrementalTrainer;
 use crate::region::{AnalysisMethod, AnalysisSpec, FeatureValue};
 
 use super::background::TrainerSlot;
+
+/// The collection backend of one analysis: either the global single-store
+/// [`Collector`] or a [`ShardedCollector`] partitioned by a
+/// [`BlockDecomposition`]. Every consumer in this module goes through this
+/// enum's uniform accessors, so the sample → assemble → train → extract
+/// pipeline — extraction included — is **oblivious** to sharding: the
+/// sharded variant answers the same queries through its cross-shard
+/// k-way merges and owner lookups, bit-identically.
+pub(crate) enum Store {
+    Single(Collector),
+    Sharded(ShardedCollector),
+}
+
+impl Store {
+    /// The **sample** stage; sharded stores fan the per-shard record +
+    /// assemble work out across `pool`. Returns the number of owned
+    /// samples recorded and whether a shard fan-out engaged.
+    fn sample<D: ?Sized>(
+        &mut self,
+        iteration: u64,
+        domain: &D,
+        provider: &(dyn crate::provider::VarProvider<D> + Send + Sync),
+        pool: &ThreadPool,
+    ) -> (usize, bool) {
+        match self {
+            Store::Single(c) => (c.sample(iteration, domain, provider), false),
+            Store::Sharded(s) => {
+                let before = s.parallel_fanouts();
+                let samples = s.sample(iteration, domain, provider, pool);
+                (samples, s.parallel_fanouts() > before)
+            }
+        }
+    }
+
+    /// The **assemble** stage: the filled global batch, if one is ready.
+    fn assemble(&mut self, iteration: u64) -> Option<MiniBatch> {
+        match self {
+            Store::Single(c) => c.assemble(iteration),
+            Store::Sharded(s) => s.assemble(iteration),
+        }
+    }
+
+    /// Returns a spent batch to the backing buffer pool.
+    fn recycle(&mut self, batch: MiniBatch) {
+        match self {
+            Store::Single(c) => c.recycle(batch),
+            Store::Sharded(s) => s.recycle(batch),
+        }
+    }
+
+    /// Whether the temporal characteristic has been exhausted.
+    pub(crate) fn finished(&self, iteration: u64) -> bool {
+        match self {
+            Store::Single(c) => c.finished(iteration),
+            Store::Sharded(s) => s.finished(iteration),
+        }
+    }
+
+    /// Total samples ever recorded (ghost duplicates excluded).
+    fn len(&self) -> usize {
+        match self {
+            Store::Single(c) => c.history().len(),
+            Store::Sharded(s) => s.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The globally sorted `(location, peak)` profile the break-point and
+    /// outlier extractors consume. `&mut` because the sharded variant
+    /// rebuilds its merged profile into retained capacity.
+    fn peak_profile(&mut self) -> &[(usize, f64)] {
+        match self {
+            Store::Single(c) => c.history().peak_profile(),
+            Store::Sharded(s) => s.peak_profile(),
+        }
+    }
+
+    fn values_of(&self, location: usize) -> Option<&[f64]> {
+        match self {
+            Store::Single(c) => c.history().values_of(location),
+            Store::Sharded(s) => s.values_of(location),
+        }
+    }
+
+    fn iterations_of(&self, location: usize) -> Option<&[u64]> {
+        match self {
+            Store::Single(c) => c.history().iterations_of(location),
+            Store::Sharded(s) => s.iterations_of(location),
+        }
+    }
+
+    fn last_iteration_of(&self, location: usize) -> Option<u64> {
+        match self {
+            Store::Single(c) => c.history().last_iteration_of(location),
+            Store::Sharded(s) => s.last_iteration_of(location),
+        }
+    }
+
+    /// The sampled location with the longest series (ties → largest id).
+    fn representative(&self) -> Option<usize> {
+        match self {
+            Store::Single(c) => {
+                let history = c.history();
+                history
+                    .iter_locations()
+                    .max_by_key(|loc| history.recorded_of(*loc))
+            }
+            Store::Sharded(s) => s.representative(),
+        }
+    }
+
+    /// The location of the maximum most-recently-observed value.
+    fn front_location(&self) -> Option<usize> {
+        match self {
+            Store::Single(c) => c
+                .history()
+                .iter_latest()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(loc, _)| loc),
+            Store::Sharded(s) => s.front_location(),
+        }
+    }
+
+    fn write_predictors_for(&self, location: usize, iteration: u64, out: &mut [f64]) -> Option<()> {
+        match self {
+            Store::Single(c) => c.write_predictors_for(location, iteration, out),
+            Store::Sharded(s) => s.write_predictors_for(location, iteration, out),
+        }
+    }
+}
 
 /// One armed analysis: its specification plus the live collector/trainer
 /// state, driven through the explicit **sample → assemble → train →
@@ -20,7 +154,7 @@ use super::background::TrainerSlot;
 /// so the steady state reuses a fixed set of allocations.
 pub(crate) struct Analysis<D: ?Sized> {
     pub(crate) spec: AnalysisSpec<D>,
-    collector: Collector,
+    pub(crate) store: Store,
     slot: TrainerSlot,
     /// Batches waiting for the background trainer, oldest first. Training
     /// order is preserved, which is what makes background results
@@ -41,22 +175,38 @@ pub(crate) struct Analysis<D: ?Sized> {
 }
 
 impl<D: ?Sized> Analysis<D> {
-    pub(crate) fn new(spec: AnalysisSpec<D>) -> Self {
-        let collector = Collector::with_retention(
-            spec.spatial,
-            spec.temporal,
-            spec.trainer.order,
-            spec.lag,
-            spec.layout,
-            spec.batch_capacity,
-            spec.retention,
-        );
+    /// Arms an analysis. With `sharding` the collection layer is split by
+    /// decomposition ownership into a [`ShardedCollector`]; otherwise the
+    /// global single-store [`Collector`] is used. Both are bit-identical
+    /// end to end.
+    pub(crate) fn new(spec: AnalysisSpec<D>, sharding: Option<&BlockDecomposition>) -> Self {
+        let store = match sharding {
+            Some(partition) => Store::Sharded(ShardedCollector::new(
+                spec.spatial,
+                spec.temporal,
+                spec.trainer.order,
+                spec.lag,
+                spec.layout,
+                spec.batch_capacity,
+                spec.retention,
+                partition,
+            )),
+            None => Store::Single(Collector::with_retention(
+                spec.spatial,
+                spec.temporal,
+                spec.trainer.order,
+                spec.lag,
+                spec.layout,
+                spec.batch_capacity,
+                spec.retention,
+            )),
+        };
         let trainer = IncrementalTrainer::new(spec.trainer)
             .expect("spec builder validated the trainer configuration");
         let order = spec.trainer.order;
         Self {
             spec,
-            collector,
+            store,
             slot: TrainerSlot::Idle(Box::new(trainer)),
             pending: VecDeque::new(),
             feature: None,
@@ -65,10 +215,6 @@ impl<D: ?Sized> Analysis<D> {
             predictor_scratch: vec![0.0; order],
             batches_trained: 0,
         }
-    }
-
-    pub(crate) fn collector(&self) -> &Collector {
-        &self.collector
     }
 
     pub(crate) fn feature(&self) -> Option<&FeatureValue> {
@@ -81,27 +227,34 @@ impl<D: ?Sized> Analysis<D> {
     }
 
     /// Stage 1 — **sample**: batch-query the provider over the spatial
-    /// characteristic and append to the history. Returns the number of
-    /// samples recorded (0 when the iteration is not selected).
-    pub(crate) fn sample(&mut self, iteration: u64, domain: &D) -> usize {
-        let samples = self
-            .collector
-            .sample(iteration, domain, self.spec.provider.as_ref());
+    /// characteristic and append to the history; sharded stores fan the
+    /// record/assemble work out across `pool`. Returns the number of
+    /// samples recorded (0 when the iteration is not selected) and whether
+    /// a shard fan-out engaged.
+    pub(crate) fn sample(
+        &mut self,
+        iteration: u64,
+        domain: &D,
+        pool: &ThreadPool,
+    ) -> (usize, bool) {
+        let (samples, fanned) =
+            self.store
+                .sample(iteration, domain, self.spec.provider.as_ref(), pool);
         if samples > 0 {
             self.refresh_representative();
         }
-        samples
+        (samples, fanned)
     }
 
     /// Stage 2 — **assemble**: write fresh samples into the columnar batch;
     /// returns the filled batch when one is ready. Threshold-only analyses
     /// recycle their batches immediately (they never train).
     pub(crate) fn assemble(&mut self, iteration: u64) -> Option<MiniBatch> {
-        let batch = self.collector.assemble(iteration)?;
+        let batch = self.store.assemble(iteration)?;
         if self.spec.method == AnalysisMethod::CurveFitting {
             Some(batch)
         } else {
-            self.collector.recycle(batch);
+            self.store.recycle(batch);
             None
         }
     }
@@ -114,7 +267,7 @@ impl<D: ?Sized> Analysis<D> {
             unreachable!("inline training never leaves the trainer in flight");
         };
         let loss = trainer.train_batch(&batch).ok();
-        self.collector.recycle(batch);
+        self.store.recycle(batch);
         self.record_batch_outcome(loss)
     }
 
@@ -130,7 +283,7 @@ impl<D: ?Sized> Analysis<D> {
     /// spent batch and returns the loss.
     pub(crate) fn finish_train(&mut self) -> Option<f64> {
         let (batch, loss) = self.slot.join_if_busy()?;
-        self.collector.recycle(batch);
+        self.store.recycle(batch);
         self.record_batch_outcome(loss)
     }
 
@@ -148,7 +301,7 @@ impl<D: ?Sized> Analysis<D> {
     /// the last call.
     pub(crate) fn pump(&mut self, pool: &ThreadPool) -> Option<f64> {
         let loss = self.slot.reclaim_if_finished().and_then(|(batch, loss)| {
-            self.collector.recycle(batch);
+            self.store.recycle(batch);
             self.record_batch_outcome(loss)
         });
         if self.slot.is_idle() {
@@ -166,7 +319,7 @@ impl<D: ?Sized> Analysis<D> {
         let mut last = None;
         loop {
             if let Some((batch, loss)) = self.slot.join_if_busy() {
-                self.collector.recycle(batch);
+                self.store.recycle(batch);
                 if let Some(loss) = self.record_batch_outcome(loss) {
                     last = Some(loss);
                 }
@@ -197,10 +350,11 @@ impl<D: ?Sized> Analysis<D> {
     }
 
     /// Stage 4 — **extract**: attempts feature extraction from the current
-    /// history/model state.
+    /// history/model state. Oblivious to sharding: every read goes through
+    /// the [`Store`] accessors, which a sharded backend answers via its
+    /// cross-shard merges (peak profile) and owner lookups (series views).
     pub(crate) fn try_extract(&mut self) {
-        let history = self.collector.history();
-        if history.is_empty() {
+        if self.store.is_empty() {
             return;
         }
         let extracted = match self.spec.feature {
@@ -208,7 +362,7 @@ impl<D: ?Sized> Analysis<D> {
                 // The incremental peak profile is maintained at record time;
                 // extraction reads it as a borrowed slice — no rescan of the
                 // per-location series, no allocation.
-                let peaks = history.peak_profile();
+                let peaks = self.store.peak_profile();
                 let initial = peaks.iter().map(|(_, v)| v.abs()).fold(0.0_f64, f64::max);
                 if initial <= 0.0 {
                     None
@@ -223,8 +377,8 @@ impl<D: ?Sized> Analysis<D> {
                 // The SoA history hands the extractor its iteration and
                 // value columns directly — no gather into scratch vectors.
                 let location = self.representative.unwrap_or(0);
-                let iterations = history.iterations_of(location);
-                let values = history.values_of(location);
+                let iterations = self.store.iterations_of(location);
+                let values = self.store.values_of(location);
                 iterations.zip(values).and_then(|(iterations, values)| {
                     DelayTimeExtractor::new()
                         .extract_sampled(iterations, values)
@@ -233,7 +387,7 @@ impl<D: ?Sized> Analysis<D> {
                 })
             }
             FeatureKind::Outliers { threshold } => {
-                let profile = history.peak_profile();
+                let profile = self.store.peak_profile();
                 OutlierExtractor::new(threshold)
                     .ok()
                     .and_then(|ex| ex.extract(profile).ok())
@@ -246,17 +400,15 @@ impl<D: ?Sized> Analysis<D> {
     }
 
     /// Updates the cached representative location — the location with the
-    /// most samples (ties broken by the smallest id). Called from the sample
+    /// most samples (ties broken by the largest id). Called from the sample
     /// stage, the only place the history grows.
     fn refresh_representative(&mut self) {
-        let history = self.collector.history();
-        if history.len() == self.representative_len {
+        let len = self.store.len();
+        if len == self.representative_len {
             return;
         }
-        self.representative_len = history.len();
-        self.representative = history
-            .iter_locations()
-            .max_by_key(|loc| history.recorded_of(*loc));
+        self.representative_len = len;
+        self.representative = self.store.representative();
     }
 
     /// Latest one-step prediction at the representative location, if the
@@ -268,15 +420,18 @@ impl<D: ?Sized> Analysis<D> {
         if !trainer.model().is_trained() {
             return None;
         }
-        let history = self.collector.history();
         let location = self.representative.unwrap_or(0);
-        let latest_iteration = history.last_iteration_of(location)?;
-        self.collector.write_predictors_for(
-            location,
-            latest_iteration,
-            &mut self.predictor_scratch,
-        )?;
+        let latest_iteration = self.store.last_iteration_of(location)?;
+        self.store
+            .write_predictors_for(location, latest_iteration, &mut self.predictor_scratch)?;
         trainer.predict(&self.predictor_scratch).ok()
+    }
+
+    /// The location of the maximum most-recently-observed value across the
+    /// sampled locations — the "wave front" broadcast to other ranks in
+    /// the LULESH case study (merged across shards when sharded).
+    pub(crate) fn front_location(&self) -> Option<usize> {
+        self.store.front_location()
     }
 
     /// Whether this analysis considers its work done (model converged, or
@@ -290,16 +445,38 @@ impl<D: ?Sized> Analysis<D> {
                     .slot
                     .trainer()
                     .is_some_and(IncrementalTrainer::is_converged);
-                (converged || self.collector.finished(iteration))
+                (converged || self.store.finished(iteration))
                     && !self.training_in_flight()
                     && self.pending.is_empty()
             }
-            AnalysisMethod::ThresholdOnly => self.collector.finished(iteration),
+            AnalysisMethod::ThresholdOnly => self.store.finished(iteration),
         }
     }
 
-    /// History accessor used by the engine's public API.
-    pub(crate) fn history(&self) -> &SampleHistory {
-        self.collector.history()
+    /// The single global history, when this analysis is unsharded. Sharded
+    /// analyses have one store per shard — see
+    /// [`Engine::shard_history`](super::Engine::shard_history).
+    pub(crate) fn history(&self) -> Option<&SampleHistory> {
+        match &self.store {
+            Store::Single(c) => Some(c.history()),
+            Store::Sharded(_) => None,
+        }
+    }
+
+    /// Number of collection shards (1 for the single-store backend).
+    pub(crate) fn shard_count(&self) -> usize {
+        match &self.store {
+            Store::Single(_) => 1,
+            Store::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// One shard's history (shard 0 of an unsharded analysis is the global
+    /// history).
+    pub(crate) fn shard_history(&self, shard: usize) -> Option<&SampleHistory> {
+        match &self.store {
+            Store::Single(c) => (shard == 0).then(|| c.history()),
+            Store::Sharded(s) => s.shard_history(shard),
+        }
     }
 }

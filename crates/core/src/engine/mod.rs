@@ -74,6 +74,7 @@ mod step;
 pub use step::{StepReport, StepScope};
 
 use parsim::ThreadPool;
+use simkit::decomposition::BlockDecomposition;
 
 use crate::collect::{MiniBatch, SampleHistory};
 use crate::error::{Error, Result};
@@ -107,9 +108,16 @@ pub enum TrainingMode {
 pub struct EngineConfig {
     /// Inline or background training (default inline).
     pub training_mode: TrainingMode,
-    /// Thread pool used for background training jobs and for the inline
-    /// train stage's multi-analysis fan-out.
+    /// Thread pool used for background training jobs, for the inline
+    /// train stage's multi-analysis fan-out, and for the shard-parallel
+    /// sample/record/assemble stage of sharded collection.
     pub pool: ThreadPool,
+    /// When set, every analysis collects through a
+    /// [`ShardedCollector`](crate::collect::ShardedCollector) partitioned
+    /// by this decomposition's ownership (default: one global collector).
+    /// Sharding is a pure execution strategy — extracted features, training
+    /// losses and statuses are bit-identical to the unsharded engine.
+    pub sharding: Option<BlockDecomposition>,
 }
 
 impl EngineConfig {
@@ -125,6 +133,7 @@ impl EngineConfig {
         Self {
             training_mode: TrainingMode::Inline,
             pool,
+            sharding: None,
         }
     }
 
@@ -133,6 +142,23 @@ impl EngineConfig {
         Self {
             training_mode: TrainingMode::Background,
             pool,
+            sharding: None,
+        }
+    }
+
+    /// Sharded collection: each analysis' locations are partitioned by
+    /// `decomposition` ownership into per-shard slot-indexed stores, and
+    /// the per-step record/assemble work fans out across `pool` (jobs
+    /// queue FIFO when the machine has fewer cores — still bit-identical).
+    /// Training stays inline; set
+    /// [`training_mode`](EngineConfig::training_mode) to
+    /// [`TrainingMode::Background`] to combine sharded collection with
+    /// off-thread training.
+    pub fn sharded(decomposition: BlockDecomposition, pool: ThreadPool) -> Self {
+        Self {
+            training_mode: TrainingMode::Inline,
+            pool,
+            sharding: Some(decomposition),
         }
     }
 }
@@ -216,6 +242,9 @@ pub struct Engine<D: ?Sized> {
     /// Number of steps whose train stage fanned out across the pool
     /// (diagnostic; asserted by the parallelism tests).
     parallel_train_fanouts: u64,
+    /// Number of steps whose sharded collection stage fanned out across
+    /// the pool (diagnostic; asserted by the sharding tests).
+    parallel_shard_fanouts: u64,
 }
 
 impl<D: ?Sized> std::fmt::Debug for Engine<D> {
@@ -247,6 +276,7 @@ impl<D: ?Sized> Engine<D> {
             inline_ready: Vec::new(),
             join_scratch: Vec::new(),
             parallel_train_fanouts: 0,
+            parallel_shard_fanouts: 0,
         }
     }
 
@@ -260,6 +290,13 @@ impl<D: ?Sized> Engine<D> {
     /// and with a serial pool).
     pub fn parallel_train_fanouts(&self) -> u64 {
         self.parallel_train_fanouts
+    }
+
+    /// Number of completed steps whose sharded sample/record/assemble
+    /// stage fanned shards out across the pool (always 0 without
+    /// [`EngineConfig::sharded`] and with a serial pool).
+    pub fn parallel_shard_fanouts(&self) -> u64 {
+        self.parallel_shard_fanouts
     }
 
     /// Registers a new, empty region.
@@ -338,11 +375,12 @@ impl<D: ?Sized> Engine<D> {
         region: RegionId,
         spec: AnalysisSpec<D>,
     ) -> Result<AnalysisId> {
+        let sharding = self.config.sharding.as_ref();
         let slot = self.regions.get_mut(region.0).ok_or(Error::UnknownHandle {
             what: "region",
             index: region.0,
         })?;
-        slot.analyses.push(Analysis::new(spec));
+        slot.analyses.push(Analysis::new(spec, sharding));
         Ok(AnalysisId {
             region: region.0,
             index: slot.analyses.len() - 1,
@@ -396,13 +434,38 @@ impl<D: ?Sized> Engine<D> {
         self.regions.get(region.0).map(|r| &r.status)
     }
 
-    /// The sample history of one analysis.
+    /// The sample history of one analysis. For analyses collected through
+    /// a sharded engine ([`EngineConfig::sharded`]) there is no single
+    /// global store — this returns `None`; use [`Engine::shard_count`] and
+    /// [`Engine::shard_history`] to inspect the per-shard stores instead.
     pub fn history(&self, analysis: AnalysisId) -> Option<&SampleHistory> {
         self.regions
             .get(analysis.region)?
             .analyses
             .get(analysis.index)
-            .map(Analysis::history)
+            .and_then(Analysis::history)
+    }
+
+    /// Number of collection shards behind one analysis: 1 for the default
+    /// global collector, the number of non-empty ownership shards under
+    /// [`EngineConfig::sharded`]. `None` for stale handles.
+    pub fn shard_count(&self, analysis: AnalysisId) -> Option<usize> {
+        self.regions
+            .get(analysis.region)?
+            .analyses
+            .get(analysis.index)
+            .map(Analysis::shard_count)
+    }
+
+    /// The slot-indexed store of one collection shard (owned **and**
+    /// ghost-halo series). Shard 0 of an unsharded analysis is the global
+    /// history.
+    pub fn shard_history(&self, analysis: AnalysisId, shard: usize) -> Option<&SampleHistory> {
+        self.regions
+            .get(analysis.region)?
+            .analyses
+            .get(analysis.index)?
+            .shard_history(shard)
     }
 
     /// The trainer of one analysis, for inspecting the fitted model and loss
@@ -440,7 +503,7 @@ impl<D: ?Sized> Engine<D> {
             }
             if advanced {
                 for analysis in &mut region.analyses {
-                    if analysis.is_done(iteration) || analysis.collector().finished(iteration) {
+                    if analysis.is_done(iteration) || analysis.store.finished(iteration) {
                         analysis.try_extract();
                     }
                 }
@@ -465,7 +528,7 @@ impl<D: ?Sized> Engine<D> {
                 if let Some(loss) = analysis.drain(&self.config.pool) {
                     region.status.last_loss = Some(loss);
                 }
-                if analysis.is_done(iteration) || analysis.collector().finished(iteration) {
+                if analysis.is_done(iteration) || analysis.store.finished(iteration) {
                     analysis.try_extract();
                 }
             }
@@ -510,7 +573,12 @@ impl<D: ?Sized> Engine<D> {
     /// over every analysis of every region:
     ///
     /// 1. **sample** + **assemble** for all analyses, collecting the
-    ///    columnar batches that filled this step;
+    ///    columnar batches that filled this step. Under
+    ///    [`EngineConfig::sharded`] this is the **shard-parallel stage**:
+    ///    each analysis' record/assemble work fans out across the pool,
+    ///    one job per ownership shard, and the staged rows k-way-merge
+    ///    back into the global batch in location order (bit-identical to
+    ///    the unsharded scan);
     /// 2. **train** the full batches — queued to workers in background
     ///    mode, on the simulation thread inline, or fanned out across the
     ///    pool when several independent analyses' batches are ready at
@@ -518,7 +586,8 @@ impl<D: ?Sized> Engine<D> {
     /// 3. **extract**, refresh and broadcast each region's status.
     ///
     /// Spent batches return to their collectors' buffer pools, so the
-    /// steady-state step performs zero per-row heap allocations.
+    /// steady-state step performs zero per-row heap allocations — per
+    /// shard, too.
     pub(crate) fn run_pipeline(&mut self, iteration: u64, domain: &D) -> StepReport {
         let background = self.config.training_mode == TrainingMode::Background;
 
@@ -526,10 +595,13 @@ impl<D: ?Sized> Engine<D> {
         // in the reusable `inline_ready` scratch for the train stage.
         let mut ready = std::mem::take(&mut self.inline_ready);
         debug_assert!(ready.is_empty());
+        let mut shard_fanout = false;
         for (r, region) in self.regions.iter_mut().enumerate() {
             let mut samples_this_iteration = 0;
             for (a, analysis) in region.analyses.iter_mut().enumerate() {
-                samples_this_iteration += analysis.sample(iteration, domain);
+                let (samples, fanned) = analysis.sample(iteration, domain, &self.config.pool);
+                samples_this_iteration += samples;
+                shard_fanout |= fanned;
                 match analysis.assemble(iteration) {
                     Some(batch) if background => {
                         if let Some(loss) = analysis.queue_batch(batch, &self.config.pool) {
@@ -587,10 +659,13 @@ impl<D: ?Sized> Engine<D> {
         self.inline_ready = ready;
 
         // Stage 4: extract, refresh and broadcast.
+        if shard_fanout {
+            self.parallel_shard_fanouts += 1;
+        }
         let mut statuses = Vec::with_capacity(self.regions.len());
         for region in &mut self.regions {
             for analysis in &mut region.analyses {
-                if analysis.is_done(iteration) || analysis.collector().finished(iteration) {
+                if analysis.is_done(iteration) || analysis.store.finished(iteration) {
                     analysis.try_extract();
                 }
             }
@@ -598,7 +673,10 @@ impl<D: ?Sized> Engine<D> {
             region.broadcaster.broadcast(&region.status);
             statuses.push(region.status.clone());
         }
-        StepReport { statuses }
+        StepReport {
+            statuses,
+            shard_fanout,
+        }
     }
 
     /// Recomputes the derived fields of a region's status from its analyses.
@@ -627,13 +705,10 @@ impl<D: ?Sized> Engine<D> {
 
     /// The location of the maximum most-recently-observed value across the
     /// first analysis' sampled locations — the "wave front" broadcast to
-    /// other ranks in the LULESH case study.
+    /// other ranks in the LULESH case study (reduced across shards when
+    /// collection is sharded).
     fn front_location(analyses: &[Analysis<D>]) -> Option<usize> {
-        let history = analyses.first()?.history();
-        history
-            .iter_latest()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(loc, _)| loc)
+        analyses.first()?.front_location()
     }
 }
 
@@ -810,6 +885,108 @@ mod tests {
                 parallel.trainer(ib).unwrap().model().coefficients()
             );
         }
+    }
+
+    /// A decomposition over a 1-D grid sized to the pulse's 12 sampled
+    /// locations, so a multi-rank split actually spreads them over
+    /// several shards.
+    fn pulse_partition(shards: usize) -> BlockDecomposition {
+        BlockDecomposition::new(simkit::index::Extents::new(14, 1, 1).unwrap(), shards).unwrap()
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_to_unsharded() {
+        let (reference, reference_region) = run_engine(Engine::new(), 301);
+        let a = reference.status(reference_region).unwrap();
+        for shards in [1usize, 3, 4] {
+            let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+            let config = EngineConfig::sharded(pulse_partition(shards), pool);
+            let (sharded, region) = run_engine(Engine::with_config(config), 301);
+            let b = sharded.status(region).unwrap();
+            assert_eq!(a.samples_collected, b.samples_collected, "{shards} shards");
+            assert_eq!(a.batches_trained, b.batches_trained, "{shards} shards");
+            assert_eq!(a.last_loss, b.last_loss, "{shards} shards");
+            assert_eq!(a.features, b.features, "{shards} shards");
+            assert_eq!(a.front_location, b.front_location, "{shards} shards");
+            assert!(!b.features.is_empty());
+            let ia = reference.analysis_id(reference_region, 0).unwrap();
+            let ib = sharded.analysis_id(region, 0).unwrap();
+            assert_eq!(
+                reference.trainer(ia).unwrap().loss_history(),
+                sharded.trainer(ib).unwrap().loss_history(),
+                "{shards} shards: loss sequence must be bit-identical"
+            );
+            assert_eq!(
+                reference.trainer(ia).unwrap().model().coefficients(),
+                sharded.trainer(ib).unwrap().model().coefficients()
+            );
+            if shards >= 2 {
+                assert!(
+                    sharded.parallel_shard_fanouts() > 0,
+                    "{shards} shards with a multi-worker pool must fan out"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_background_training_drains_bit_identical() {
+        let (inline, inline_region) = run_engine(Engine::new(), 301);
+        let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        let config = EngineConfig {
+            training_mode: TrainingMode::Background,
+            pool,
+            sharding: Some(pulse_partition(4)),
+        };
+        let (sharded, region) = run_engine(Engine::with_config(config), 301);
+        let a = inline.status(inline_region).unwrap();
+        let b = sharded.status(region).unwrap();
+        assert_eq!(a.batches_trained, b.batches_trained);
+        assert_eq!(a.last_loss, b.last_loss);
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn shard_accessors_expose_per_shard_stores() {
+        let pool = ThreadPool::serial();
+        let mut engine: Engine<Pulse> =
+            Engine::with_config(EngineConfig::sharded(pulse_partition(4), pool));
+        let region = engine.add_region("pulse").unwrap();
+        let analysis = engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        let mut domain = Pulse::new();
+        for it in 0..40u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            let report = step.complete(&domain);
+            // A serial pool never fans out; collection still shards.
+            assert!(!report.used_shard_fanout());
+        }
+        assert!(
+            engine.history(analysis).is_none(),
+            "sharded analyses have no single global history"
+        );
+        let shards = engine.shard_count(analysis).unwrap();
+        assert!(shards >= 2, "the 12-location pulse spans several shards");
+        let mut sampled = 0;
+        for s in 0..shards {
+            sampled += engine
+                .shard_history(analysis, s)
+                .unwrap()
+                .iter_locations()
+                .count();
+        }
+        // Ghost halos replicate up to `order` preceding locations per shard.
+        assert!(sampled >= 12, "all locations are sampled somewhere");
+        assert!(engine.shard_history(analysis, shards).is_none());
+
+        // Unsharded engines answer the shard accessors with one shard.
+        let mut unsharded: Engine<Pulse> = Engine::new();
+        let r = unsharded.add_region("pulse").unwrap();
+        let a = unsharded.add_analysis(r, pulse_spec("velocity")).unwrap();
+        assert_eq!(unsharded.shard_count(a), Some(1));
+        assert!(unsharded.shard_history(a, 0).is_some());
+        assert!(unsharded.shard_history(a, 1).is_none());
+        assert_eq!(unsharded.parallel_shard_fanouts(), 0);
     }
 
     #[test]

@@ -60,9 +60,19 @@ impl<D: ?Sized> Drop for StepScope<'_, D> {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StepReport {
     pub(super) statuses: Vec<RegionStatus>,
+    /// Whether this step's sharded collection stage fanned shards out
+    /// across the pool (always `false` without
+    /// [`EngineConfig::sharded`](super::EngineConfig::sharded)).
+    pub(super) shard_fanout: bool,
 }
 
 impl StepReport {
+    /// Whether this step's sample/record/assemble work was fanned out
+    /// across collection shards on the engine's pool. Purely diagnostic:
+    /// the step's results are bit-identical either way.
+    pub fn used_shard_fanout(&self) -> bool {
+        self.shard_fanout
+    }
     /// The status of one region.
     pub fn region(&self, id: RegionId) -> Option<&RegionStatus> {
         self.statuses.get(id.index())

@@ -1,21 +1,35 @@
-//! Regenerates the golden values embedded in `tests/golden_columnar.rs`.
+//! Regenerates the golden pipeline dump committed at
+//! `tests/golden/columnar.txt` (and the constants embedded in
+//! `tests/golden_columnar.rs`).
 //!
 //! Runs the LULESH and wdmerger proxies through the in-situ engine with the
-//! exact scenarios of the golden regression test and prints every per-batch
+//! exact scenarios of the golden regression test and dumps every per-batch
 //! loss, the fitted model parameters, and the extracted features as
-//! `f64::to_bits` hex literals, ready to paste into the test. The reference
-//! values currently in the test were captured from the row-oriented
-//! (pre-columnar) pipeline; the columnar pipeline must reproduce them bit
-//! for bit.
+//! `f64::to_bits` hex literals — to stdout *and* to the committed file, so
+//! CI's `golden-drift` job can regenerate the dump and `git diff
+//! --exit-code` it against the checked-in copy. The reference values were
+//! captured from the row-oriented (pre-columnar) pipeline; every later
+//! data-path refactor (columnar batches, slot-indexed store, sharded
+//! collection) must reproduce them bit for bit.
+//!
+//! If a future change intentionally alters the training arithmetic, rerun
+//! this example, commit the regenerated file, paste the new constants into
+//! the test, and say so in the PR.
+
+use std::fmt::Write as _;
 
 use insitu::collect::PredictorLayout;
 use insitu_repro::prelude::*;
 
-fn dump(label: &str, region: &Region<impl ?Sized>, analyses: usize) {
-    println!("// --- {label} ---");
+/// Path of the committed dump, relative to the workspace root (where
+/// `cargo run --example golden_capture` executes).
+const GOLDEN_PATH: &str = "tests/golden/columnar.txt";
+
+fn dump(out: &mut String, label: &str, region: &Region<impl ?Sized>, analyses: usize) {
+    writeln!(out, "// --- {label} ---").unwrap();
     let status = region.status();
-    println!("samples_collected: {}", status.samples_collected);
-    println!("batches_trained: {}", status.batches_trained);
+    writeln!(out, "samples_collected: {}", status.samples_collected).unwrap();
+    writeln!(out, "batches_trained: {}", status.batches_trained).unwrap();
     for index in 0..analyses {
         let trainer = region.trainer(index).expect("trainer resident");
         let losses: Vec<String> = trainer
@@ -23,28 +37,37 @@ fn dump(label: &str, region: &Region<impl ?Sized>, analyses: usize) {
             .iter()
             .map(|l| format!("0x{:016x}", l.to_bits()))
             .collect();
-        println!("analysis {index} losses: [{}]", losses.join(", "));
+        writeln!(out, "analysis {index} losses: [{}]", losses.join(", ")).unwrap();
         let model = trainer.model();
-        println!(
+        writeln!(
+            out,
             "analysis {index} intercept: 0x{:016x}",
             model.intercept().to_bits()
-        );
+        )
+        .unwrap();
         let coeffs: Vec<String> = model
             .coefficients()
             .iter()
             .map(|c| format!("0x{:016x}", c.to_bits()))
             .collect();
-        println!("analysis {index} coefficients: [{}]", coeffs.join(", "));
+        writeln!(
+            out,
+            "analysis {index} coefficients: [{}]",
+            coeffs.join(", ")
+        )
+        .unwrap();
     }
     for (name, feature) in &status.features {
-        println!(
+        writeln!(
+            out,
             "feature {name}: scalar bits 0x{:016x}",
             feature.scalar().to_bits()
-        );
+        )
+        .unwrap();
     }
 }
 
-fn lulesh_scenario() {
+fn lulesh_scenario(out: &mut String) {
     let size = 14;
     let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(size));
     let mut region: Region<LuleshSim> = Region::new("golden-lulesh");
@@ -65,10 +88,10 @@ fn lulesh_scenario() {
         it < 250
     });
     region.extract_now();
-    dump("lulesh", &region, 1);
+    dump(out, "lulesh", &region, 1);
 }
 
-fn wdmerger_scenario() {
+fn wdmerger_scenario(out: &mut String) {
     let config = WdMergerConfig::with_resolution(12);
     let mut sim = WdMergerSim::new(config);
     let mut region: Region<WdMergerSim> = Region::new("golden-wd");
@@ -93,10 +116,14 @@ fn wdmerger_scenario() {
         true
     });
     region.extract_now();
-    dump("wdmerger", &region, analyses);
+    dump(out, "wdmerger", &region, analyses);
 }
 
 fn main() {
-    lulesh_scenario();
-    wdmerger_scenario();
+    let mut out = String::new();
+    lulesh_scenario(&mut out);
+    wdmerger_scenario(&mut out);
+    print!("{out}");
+    std::fs::write(GOLDEN_PATH, &out).expect("write the committed golden dump");
+    eprintln!("wrote {GOLDEN_PATH}");
 }

@@ -1,0 +1,144 @@
+//! Engine-level pin for sharded collection: a LULESH proxy workload driven
+//! through `EngineConfig::sharded` — at one shard, several linear shards
+//! and a cubic split — must be **bit-identical** to the plain unsharded
+//! engine: same statuses, same per-batch loss sequence, same fitted
+//! coefficients, same extracted features. Sharding is an execution
+//! strategy, not a numerical one.
+//!
+//! Also pins `drain()` correctness when background training races the
+//! shard-parallel step: the shard fan-out jobs and the training jobs share
+//! one `parsim` worker set, and mid-run drains must not change a single
+//! bit of the outcome.
+
+use insitu_repro::prelude::*;
+use simkit::decomposition::BlockDecomposition;
+use simkit::index::Extents;
+
+const EDGE_ELEMS: usize = 14;
+const ITERATIONS: u64 = 400;
+
+fn lulesh_spec() -> AnalysisSpec<LuleshSim> {
+    AnalysisSpec::builder()
+        .name("velocity")
+        .provider(|s: &LuleshSim, loc: usize| s.velocity_at(loc))
+        .spatial(IterParam::new(1, 12, 1).unwrap())
+        .temporal(IterParam::new(1, ITERATIONS, 1).unwrap())
+        .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+        .lag(5)
+        .batch_capacity(16)
+        .build()
+        .unwrap()
+}
+
+/// Runs the scenario; `drain_period` forces a mid-run `drain()` every that
+/// many iterations (racing any in-flight background training against the
+/// next shard-parallel steps), and a `poll()` every 11 iterations.
+fn run(config: EngineConfig, drain_period: Option<u64>) -> (Engine<LuleshSim>, RegionId) {
+    let mut sim = LuleshSim::new(LuleshConfig::with_edge_elems(EDGE_ELEMS));
+    let mut engine: Engine<LuleshSim> = Engine::with_config(config);
+    let region = engine.add_region("sharded-pin").unwrap();
+    engine.add_analysis(region, lulesh_spec()).unwrap();
+    sim.run_with(|s, it| {
+        engine.step(it).complete(s);
+        if let Some(period) = drain_period {
+            if it % 11 == 0 {
+                engine.poll();
+            }
+            if it > 0 && it.is_multiple_of(period) {
+                engine.drain();
+            }
+        }
+        it < ITERATIONS
+    });
+    engine.drain();
+    engine.extract_now(region).unwrap();
+    (engine, region)
+}
+
+/// Everything the pin compares, as exact bits: per-batch loss sequence,
+/// intercept + coefficients, named features, sample and batch counts.
+type Fingerprint = (Vec<u64>, Vec<u64>, Vec<(String, u64)>, usize, usize);
+
+fn fingerprint(engine: &Engine<LuleshSim>, region: RegionId) -> Fingerprint {
+    let status = engine.status(region).unwrap();
+    let analysis = engine.analysis_id(region, 0).unwrap();
+    let trainer = engine
+        .trainer(analysis)
+        .expect("trainer resident after drain");
+    let losses = trainer.loss_history().iter().map(|l| l.to_bits()).collect();
+    let mut model = vec![trainer.model().intercept().to_bits()];
+    model.extend(trainer.model().coefficients().iter().map(|c| c.to_bits()));
+    let features = status
+        .features
+        .iter()
+        .map(|(name, value)| (name.clone(), value.scalar().to_bits()))
+        .collect();
+    (
+        losses,
+        model,
+        features,
+        status.samples_collected,
+        status.batches_trained,
+    )
+}
+
+#[test]
+fn n_shard_collection_is_bit_identical_to_unsharded() {
+    let (reference, reference_region) = run(EngineConfig::inline(), None);
+    let expected = fingerprint(&reference, reference_region);
+    assert!(!expected.0.is_empty(), "scenario must train batches");
+    assert!(!expected.2.is_empty(), "scenario must extract a feature");
+
+    // Linear splits over the sampled location ids at 1, 3 and 4 shards,
+    // with the record/assemble stage fanning out on a pooled engine.
+    for shards in [1usize, 3, 4] {
+        let decomposition =
+            BlockDecomposition::new(Extents::new(14, 1, 1).unwrap(), shards).unwrap();
+        let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        let (sharded, region) = run(EngineConfig::sharded(decomposition, pool), None);
+        assert_eq!(
+            expected,
+            fingerprint(&sharded, region),
+            "{shards} linear shards drifted from the unsharded engine"
+        );
+        if shards >= 2 {
+            assert!(sharded.parallel_shard_fanouts() > 0);
+        }
+    }
+
+    // The LULESH-style cubic split: 8 ranks over the 14^3 element grid
+    // (the radial profile spans the first two x-octants).
+    let cubic = BlockDecomposition::new(Extents::cubic(EDGE_ELEMS), 8).unwrap();
+    assert_eq!(cubic.kind(), simkit::decomposition::SplitKind::Cubic);
+    let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+    let (sharded, region) = run(EngineConfig::sharded(cubic, pool), None);
+    assert_eq!(
+        expected,
+        fingerprint(&sharded, region),
+        "the cubic split drifted from the unsharded engine"
+    );
+}
+
+#[test]
+fn drain_racing_shard_parallel_steps_is_bit_identical() {
+    let (reference, reference_region) = run(EngineConfig::inline(), None);
+    let expected = fingerprint(&reference, reference_region);
+
+    // Sharded collection + background training on one shared pool: shard
+    // fan-out jobs and training jobs contend for the same workers, and the
+    // mid-run drains join training at arbitrary points between (and right
+    // after) shard-parallel steps.
+    for drain_period in [37u64, 113] {
+        let decomposition = BlockDecomposition::new(Extents::new(14, 1, 1).unwrap(), 4).unwrap();
+        let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        let mut config = EngineConfig::sharded(decomposition, pool);
+        config.training_mode = TrainingMode::Background;
+        let (engine, region) = run(config, Some(drain_period));
+        assert!(engine.parallel_shard_fanouts() > 0);
+        assert_eq!(
+            expected,
+            fingerprint(&engine, region),
+            "drain every {drain_period} steps changed the outcome"
+        );
+    }
+}
