@@ -11,6 +11,7 @@
 //! cargo run --release -p bench --bin bench_columnar
 //! ```
 
+use bench::report::{JsonObj, JsonReport};
 use bench::{median_ns, rowref};
 
 struct Measurement {
@@ -52,32 +53,27 @@ fn main() {
         });
     }
 
-    // Hand-rolled JSON (the offline serde stand-in has no serializer).
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"assemble+train, row-oriented vs columnar mini-batches\",\n");
-    json.push_str(&format!(
-        "  \"workload\": {{\"iterations\": {iterations}, \"order\": {}, \"batch_capacity\": {}, \"epochs_per_batch\": {}}},\n",
-        rowref::WORKLOAD_ORDER,
-        rowref::WORKLOAD_BATCH,
-        rowref::WORKLOAD_EPOCHS
-    ));
-    json.push_str(&format!("  \"timed_runs_per_case\": {runs},\n"));
-    json.push_str("  \"cases\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        let speedup = m.row_ns_per_run / m.columnar_ns_per_run;
-        json.push_str(&format!(
-            "    {{\"locations\": {}, \"batches\": {}, \"row_ns\": {:.0}, \"columnar_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
-            m.locations,
-            m.batches,
-            m.row_ns_per_run,
-            m.columnar_ns_per_run,
-            speedup,
-            if i + 1 < measurements.len() { "," } else { "" }
-        ));
+    let mut report = JsonReport::new("assemble+train, row-oriented vs columnar mini-batches")
+        .obj(
+            "workload",
+            JsonObj::new()
+                .uint("iterations", iterations)
+                .uint("order", rowref::WORKLOAD_ORDER as u64)
+                .uint("batch_capacity", rowref::WORKLOAD_BATCH as u64)
+                .uint("epochs_per_batch", rowref::WORKLOAD_EPOCHS as u64),
+        )
+        .uint("timed_runs_per_case", runs as u64);
+    for m in &measurements {
+        report.case(
+            JsonObj::new()
+                .uint("locations", m.locations)
+                .uint("batches", m.batches as u64)
+                .ns("row_ns", m.row_ns_per_run)
+                .ns("columnar_ns", m.columnar_ns_per_run)
+                .ratio("speedup", m.row_ns_per_run / m.columnar_ns_per_run),
+        );
     }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write("BENCH_columnar.json", &json).expect("write BENCH_columnar.json");
+    let json = report.write("BENCH_columnar.json");
     println!("{json}");
     for m in &measurements {
         println!(

@@ -14,6 +14,7 @@
 //! cargo run --release -p bench --bin bench_history
 //! ```
 
+use bench::report::{JsonObj, JsonReport};
 use bench::{histref, median_ns};
 
 struct Measurement {
@@ -49,34 +50,27 @@ fn main() {
         });
     }
 
-    // Hand-rolled JSON (the offline serde stand-in has no serializer).
-    let mut json = String::from("{\n");
-    json.push_str(
-        "  \"benchmark\": \"sample+record+extract, map-based vs slot-indexed history\",\n",
-    );
-    json.push_str(&format!(
-        "  \"workload\": {{\"iterations\": {iterations}, \"order\": {}, \"lag\": {}, \"breakpoint_threshold\": {}}},\n",
-        histref::WORKLOAD_ORDER,
-        histref::WORKLOAD_LAG,
-        histref::WORKLOAD_THRESHOLD
-    ));
-    json.push_str(&format!("  \"timed_runs_per_case\": {runs},\n"));
-    json.push_str("  \"cases\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        let speedup = m.map_ns_per_run / m.slot_ns_per_run;
-        json.push_str(&format!(
-            "    {{\"locations\": {}, \"samples\": {}, \"map_ns\": {:.0}, \"slot_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
-            m.locations,
-            m.samples,
-            m.map_ns_per_run,
-            m.slot_ns_per_run,
-            speedup,
-            if i + 1 < measurements.len() { "," } else { "" }
-        ));
+    let mut report = JsonReport::new("sample+record+extract, map-based vs slot-indexed history")
+        .obj(
+            "workload",
+            JsonObj::new()
+                .uint("iterations", iterations)
+                .uint("order", histref::WORKLOAD_ORDER as u64)
+                .uint("lag", histref::WORKLOAD_LAG)
+                .ratio("breakpoint_threshold", histref::WORKLOAD_THRESHOLD),
+        )
+        .uint("timed_runs_per_case", runs as u64);
+    for m in &measurements {
+        report.case(
+            JsonObj::new()
+                .uint("locations", m.locations)
+                .uint("samples", m.samples as u64)
+                .ns("map_ns", m.map_ns_per_run)
+                .ns("slot_ns", m.slot_ns_per_run)
+                .ratio("speedup", m.map_ns_per_run / m.slot_ns_per_run),
+        );
     }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write("BENCH_history.json", &json).expect("write BENCH_history.json");
+    let json = report.write("BENCH_history.json");
     println!("{json}");
     for m in &measurements {
         println!(

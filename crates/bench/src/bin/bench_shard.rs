@@ -15,6 +15,7 @@
 //! cargo run --release -p bench --bin bench_shard
 //! ```
 
+use bench::report::{JsonObj, JsonReport};
 use bench::{median_ns, shard};
 use parsim::{ParallelConfig, ThreadPool};
 
@@ -45,37 +46,30 @@ fn main() {
     }
     let base_ns = measurements[0].ns_per_run;
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    // Hand-rolled JSON (the offline serde stand-in has no serializer).
-    let mut json = String::from("{\n");
-    json.push_str(
-        "  \"benchmark\": \"sample+record+assemble+extract, sharded collection scaling\",\n",
-    );
-    json.push_str(&format!(
-        "  \"workload\": {{\"locations\": {locations}, \"iterations\": {iterations}, \"order\": {}, \"lag\": {}, \"batch_capacity\": {}}},\n",
-        shard::WORKLOAD_ORDER,
-        shard::WORKLOAD_LAG,
-        shard::WORKLOAD_BATCH
-    ));
-    json.push_str(&format!("  \"timed_runs_per_case\": {runs},\n"));
-    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
-    json.push_str(&format!("  \"samples\": {},\n", digest.samples));
-    json.push_str(&format!("  \"batches\": {},\n", digest.batches));
-    json.push_str(&format!("  \"unsharded_ns\": {unsharded_ns:.0},\n"));
-    json.push_str("  \"cases\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        let speedup = base_ns / m.ns_per_run;
-        json.push_str(&format!(
-            "    {{\"shards\": {}, \"ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
-            m.shards,
-            m.ns_per_run,
-            speedup,
-            if i + 1 < measurements.len() { "," } else { "" }
-        ));
+    let mut report = JsonReport::new("sample+record+assemble+extract, sharded collection scaling")
+        .obj(
+            "workload",
+            JsonObj::new()
+                .uint("locations", locations)
+                .uint("iterations", iterations)
+                .uint("order", shard::WORKLOAD_ORDER as u64)
+                .uint("lag", shard::WORKLOAD_LAG)
+                .uint("batch_capacity", shard::WORKLOAD_BATCH as u64),
+        )
+        .uint("timed_runs_per_case", runs as u64)
+        .available_parallelism()
+        .uint("samples", digest.samples as u64)
+        .uint("batches", digest.batches as u64)
+        .ns("unsharded_ns", unsharded_ns);
+    for m in &measurements {
+        report.case(
+            JsonObj::new()
+                .uint("shards", m.shards as u64)
+                .ns("ns", m.ns_per_run)
+                .ratio("speedup", base_ns / m.ns_per_run),
+        );
     }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    let json = report.write("BENCH_shard.json");
     println!("{json}");
     for m in &measurements {
         println!(

@@ -1,23 +1,24 @@
-//! CI perf-regression wall: re-measures the three recorded layout/scaling
-//! benchmarks at reduced sizes and fails if any measured speedup ratio
-//! drops below **50 % of the ratio committed** in the corresponding
-//! `BENCH_*.json`:
+//! CI perf-regression wall: re-measures the recorded layout/scaling/service
+//! benchmarks at reduced sizes and fails if any measured number drops below
+//! **50 % of the value committed** in the corresponding `BENCH_*.json`:
 //!
 //! * `BENCH_history.json` — map-based vs slot-indexed sample store,
 //! * `BENCH_columnar.json` — row-oriented vs columnar mini-batches,
-//! * `BENCH_shard.json` — sharded collection scaling vs one shard.
+//! * `BENCH_shard.json` — sharded collection scaling vs one shard,
+//! * `BENCH_service.json` — wire-served session throughput (steps/sec).
 //!
 //! The floor is derived from the committed artifact (geometric mean of its
-//! per-case speedups), not hard-coded, so improving a benchmark raises the
-//! bar automatically and CI noise has 2× headroom before a false alarm.
-//! Each measured pipeline pair is verified bit-identical before timing,
-//! exactly like the full benchmark bins. Run from the workspace root:
+//! per-case speedups, or the matching rung's throughput), not hard-coded,
+//! so improving a benchmark raises the bar automatically and CI noise has
+//! 2× headroom before a false alarm. Each measured pipeline pair is
+//! verified bit-identical before timing, exactly like the full benchmark
+//! bins. Run from the workspace root:
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_smoke
 //! ```
 
-use bench::{histref, median_ns, rowref, shard};
+use bench::{histref, median_ns, rowref, service, shard};
 use parsim::{ParallelConfig, ThreadPool};
 
 /// Fraction of the committed speedup a reduced-size re-measurement must
@@ -27,27 +28,32 @@ const FLOOR: f64 = 0.5;
 /// Timed runs per measured case (reduced; the committed artifacts use 15).
 const RUNS: usize = 5;
 
-/// Extracts every `"speedup": <number>` value from a committed
+/// Extracts every `"<key>": <number>` value from a committed
 /// `BENCH_*.json` (the offline serde stand-in has no deserializer, and the
-/// files are hand-rolled flat JSON, so a scan is exact).
-fn committed_speedups(path: &str) -> Vec<f64> {
+/// files are hand-rolled flat JSON with one case per line, so a scan is
+/// exact).
+fn committed_values(path: &str, key: &str) -> Vec<f64> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("{path}: not readable ({e}); run the benchmark bin first"));
-    let mut speedups = Vec::new();
-    let needle = "\"speedup\":";
+    let mut values = Vec::new();
+    let needle = format!("\"{key}\":");
     let mut rest = text.as_str();
-    while let Some(pos) = rest.find(needle) {
+    while let Some(pos) = rest.find(&needle) {
         rest = &rest[pos + needle.len()..];
         let end = rest.find([',', '}']).unwrap_or(rest.len());
         let value: f64 = rest[..end]
             .trim()
             .parse()
-            .unwrap_or_else(|e| panic!("{path}: malformed speedup ({e})"));
-        speedups.push(value);
+            .unwrap_or_else(|e| panic!("{path}: malformed {key} ({e})"));
+        values.push(value);
         rest = &rest[end..];
     }
-    assert!(!speedups.is_empty(), "{path}: no speedup entries found");
-    speedups
+    assert!(!values.is_empty(), "{path}: no {key} entries found");
+    values
+}
+
+fn committed_speedups(path: &str) -> Vec<f64> {
+    committed_values(path, "speedup")
 }
 
 fn geomean(values: &[f64]) -> f64 {
@@ -78,6 +84,7 @@ struct Check {
     name: &'static str,
     committed: f64,
     measured: f64,
+    unit: &'static str,
 }
 
 impl Check {
@@ -159,11 +166,13 @@ fn main() {
             name: "history (BENCH_history.json)",
             committed: geomean(&committed_speedups("BENCH_history.json")),
             measured: measure_history(),
+            unit: "x",
         },
         Check {
             name: "columnar (BENCH_columnar.json)",
             committed: geomean(&committed_speedups("BENCH_columnar.json")),
             measured: measure_columnar(),
+            unit: "x",
         },
     ];
     // The shard floor is core-count-dependent: committed ratios recorded on
@@ -179,6 +188,7 @@ fn main() {
             name: "shard (BENCH_shard.json)",
             committed: geomean(&committed_speedups("BENCH_shard.json")),
             measured: measure_shard(),
+            unit: "x",
         });
     } else {
         println!(
@@ -187,27 +197,61 @@ fn main() {
              re-record BENCH_shard.json on comparable hardware to re-arm it"
         );
     }
+    // The service floor is likewise throughput on real threads and sockets:
+    // hold this host to the committed steps/sec only when it has at least
+    // as many cores as the recording host. The measured rung is the
+    // committed ladder's first (smallest) one, compared like for like, and
+    // runs in verify mode — a throughput number from diverging features
+    // would be meaningless.
+    let recorded_service_cores = committed_parallelism(service::ARTIFACT);
+    if cores >= recorded_service_cores {
+        let committed = committed_values(service::ARTIFACT, "steps_per_sec")[0];
+        let sessions = service::LADDER[0];
+        // One warm-up rung, then the measured one — the same warm-then-time
+        // discipline `median_ns` applies to the layout checks.
+        service::run_rung(sessions)
+            .unwrap_or_else(|e| panic!("{}: service warm-up failed: {e}", service::ARTIFACT));
+        let report = service::run_rung(sessions)
+            .unwrap_or_else(|e| panic!("{}: service rung failed: {e}", service::ARTIFACT));
+        assert_eq!(
+            report.verified, sessions,
+            "wire-served features diverged from the in-process engine"
+        );
+        checks.push(Check {
+            name: "service (BENCH_service.json)",
+            committed,
+            measured: report.session_steps_per_sec,
+            unit: " steps/s",
+        });
+    } else {
+        println!(
+            "service (BENCH_service.json)     skipped: {cores} cores here vs \
+             {recorded_service_cores} when recorded — throughput floor not \
+             comparable; re-record BENCH_service.json to re-arm it"
+        );
+    }
 
     let mut failed = false;
     for check in &checks {
         let verdict = if check.passed() { "ok" } else { "REGRESSED" };
         println!(
-            "{:<32} committed {:>6.3}x  floor {:>6.3}x  measured {:>6.3}x  {}",
+            "{:<32} committed {:>9.3}{u}  floor {:>9.3}{u}  measured {:>9.3}{u}  {}",
             check.name,
             check.committed,
             check.floor(),
             check.measured,
-            verdict
+            verdict,
+            u = check.unit,
         );
         failed |= !check.passed();
     }
     if failed {
         eprintln!(
-            "perf-smoke: a measured speedup fell below {}x of its committed \
-             BENCH_*.json ratio — a layout/sharding win has regressed",
+            "perf-smoke: a measured value fell below {}x of its committed \
+             BENCH_*.json number — a layout/sharding/service win has regressed",
             FLOOR
         );
         std::process::exit(1);
     }
-    println!("perf-smoke: all speedup ratios within {FLOOR}x of the committed artifacts");
+    println!("perf-smoke: all measurements within {FLOOR}x of the committed artifacts");
 }

@@ -28,7 +28,9 @@ pub mod ablation;
 pub mod fitting;
 pub mod histref;
 pub mod lulesh_exp;
+pub mod report;
 pub mod rowref;
+pub mod service;
 pub mod shard;
 pub mod summary;
 pub mod table;

@@ -1,0 +1,100 @@
+//! The service benchmark: sustained sessions×steps/sec through the
+//! `serve` wire protocol, self-hosted on an ephemeral TCP port.
+//!
+//! This module owns the *scale* of the benchmark — the session ladder and
+//! the artifact path — while `serve::loadgen` owns the workload and the
+//! `BENCH_service.json` format (its renderer is also what `perf_smoke`'s
+//! floor reparses). Every rung runs in verify mode, so the recorded
+//! numbers are simultaneously a bit-identity proof: a rung whose served
+//! features diverge from the in-process engine is an error, not a data
+//! point.
+
+use serve::loadgen::{self, LoadgenConfig, LoadgenReport};
+use serve::ServerConfig;
+
+/// The artifact this benchmark regenerates.
+pub const ARTIFACT: &str = "BENCH_service.json";
+
+/// Concurrent-session rungs. The top rung is the acceptance scale: a
+/// thousand-session run with windowed retention and bounded memory.
+pub const LADDER: [usize; 3] = [64, 256, 1024];
+
+/// The quick ladder (`BENCH_QUICK=1`) for CI smoke runs.
+pub const QUICK_LADDER: [usize; 2] = [16, 64];
+
+/// The workload every rung replays (sessions count varies per rung).
+pub fn workload() -> LoadgenConfig {
+    LoadgenConfig {
+        steps: 120,
+        locations: 8,
+        connections: 4,
+        distinct: 16,
+        window: 64,
+        verify: true,
+        ..LoadgenConfig::default()
+    }
+}
+
+/// Runs one rung of the ladder against a self-hosted server.
+pub fn run_rung(sessions: usize) -> Result<LoadgenReport, String> {
+    let config = LoadgenConfig {
+        sessions,
+        ..workload()
+    };
+    loadgen::run_self_hosted(&config, ServerConfig::default())
+}
+
+/// Runs the full ladder (or the quick one) and returns the rendered
+/// artifact alongside the reports.
+pub fn run_ladder(quick: bool) -> Result<(String, Vec<LoadgenReport>), String> {
+    let rungs: &[usize] = if quick { &QUICK_LADDER } else { &LADDER };
+    let mut reports = Vec::with_capacity(rungs.len());
+    for &sessions in rungs {
+        reports.push(run_rung(sessions)?);
+    }
+    Ok((loadgen::render_json(&workload(), &reports), reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_rung_verifies_over_the_wire() {
+        let config = LoadgenConfig {
+            sessions: 6,
+            steps: 30,
+            connections: 2,
+            distinct: 3,
+            ..workload()
+        };
+        let report =
+            loadgen::run_self_hosted(&config, ServerConfig::default()).expect("self-hosted run");
+        assert_eq!(report.verified, 6);
+        assert_eq!(report.steps, 30);
+        assert!(report.session_steps_per_sec > 0.0);
+    }
+
+    #[test]
+    fn the_artifact_records_one_case_per_rung() {
+        let workload = workload();
+        let reports: Vec<LoadgenReport> = LADDER
+            .iter()
+            .map(|&sessions| LoadgenReport {
+                sessions,
+                steps: workload.steps,
+                elapsed_ns: 1_000_000,
+                session_steps_per_sec: 1000.0,
+                busy_bounces: 0,
+                verified: sessions,
+            })
+            .collect();
+        let json = loadgen::render_json(&workload, &reports);
+        let cases = json
+            .lines()
+            .filter(|line| line.contains("\"steps_per_sec\":"))
+            .count();
+        assert_eq!(cases, LADDER.len());
+        assert!(json.contains("\"available_parallelism\":"));
+    }
+}

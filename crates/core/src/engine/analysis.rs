@@ -332,6 +332,23 @@ impl<D: ?Sized> Analysis<D> {
         last
     }
 
+    /// Winds the analysis down without training the backlog: joins the
+    /// in-flight background job, if any (its loss is recorded — the batch
+    /// was already being consumed), then recycles every still-queued batch
+    /// **untrained** into the collector's buffer pool. After this call the
+    /// trainer is resident, no pool job references this analysis, and no
+    /// batch buffer has been leaked. Returns the joined job's loss.
+    pub(crate) fn shutdown(&mut self) -> Option<f64> {
+        let loss = self.slot.join_if_busy().and_then(|(batch, loss)| {
+            self.store.recycle(batch);
+            self.record_batch_outcome(loss)
+        });
+        while let Some(batch) = self.pending.pop_front() {
+            self.store.recycle(batch);
+        }
+        loss
+    }
+
     fn record_batch_outcome(&mut self, loss: Option<f64>) -> Option<f64> {
         if loss.is_some() {
             self.batches_trained += 1;

@@ -262,6 +262,16 @@ impl<D: ?Sized> Default for Engine<D> {
     }
 }
 
+impl<D: ?Sized> Drop for Engine<D> {
+    /// Joins in-flight background training jobs so a dropped engine never
+    /// leaves a pool worker running against freed analysis state. Queued
+    /// batches are discarded untrained — use [`Engine::drain`] first when
+    /// the remaining results matter.
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 impl<D: ?Sized> Engine<D> {
     /// An engine with inline training (the paper's behaviour).
     pub fn new() -> Self {
@@ -534,6 +544,28 @@ impl<D: ?Sized> Engine<D> {
             }
             Self::refresh_status(region, iteration);
             region.broadcaster.broadcast(&region.status);
+        }
+    }
+
+    /// Winds the engine down **without** training the backlog: joins every
+    /// in-flight background `TrainJob` (a job that
+    /// has already left for a worker cannot be cancelled, so its loss is
+    /// recorded) and recycles every still-queued batch untrained.
+    ///
+    /// This is the session-eviction half of the lifecycle: where
+    /// [`Engine::drain`] finishes the work (bit-identical to inline),
+    /// `shutdown` finishes only what is unavoidable and discards the rest —
+    /// but never orphans a pool job and never leaks a recycled batch
+    /// buffer. Dropping an engine calls `shutdown` implicitly, so evicting
+    /// a long-running session mid-run (the `serve` crate's `CloseSession`)
+    /// is safe by construction. Idempotent; a no-op for inline engines.
+    pub fn shutdown(&mut self) {
+        for region in &mut self.regions {
+            for analysis in &mut region.analyses {
+                if let Some(loss) = analysis.shutdown() {
+                    region.status.last_loss = Some(loss);
+                }
+            }
         }
     }
 
@@ -987,6 +1019,89 @@ mod tests {
         assert!(unsharded.shard_history(a, 0).is_some());
         assert!(unsharded.shard_history(a, 1).is_none());
         assert_eq!(unsharded.parallel_shard_fanouts(), 0);
+    }
+
+    #[test]
+    fn shutdown_joins_in_flight_jobs_and_discards_the_queue() {
+        let pool = ThreadPool::new(ParallelConfig::new(1, 2).unwrap());
+        let mut engine: Engine<Pulse> = Engine::with_config(EngineConfig::background(pool));
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        let mut domain = Pulse::new();
+        for it in 0..200u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            step.complete(&domain);
+        }
+        // Shut down mid-run: whatever was in flight joins, the queue is
+        // discarded, and the engine is left fully idle with the trainer
+        // resident again.
+        engine.shutdown();
+        assert!(engine.poll().is_idle());
+        let analysis = engine.analysis_id(region, 0).unwrap();
+        assert!(engine.trainer(analysis).is_some(), "trainer is resident");
+        // Every batch the trainer consumed is accounted in the status (the
+        // deciding property: no in-flight job was orphaned mid-count). The
+        // queue was discarded, so the follow-up drain has nothing to train
+        // and the two counts agree exactly.
+        engine.drain();
+        assert_eq!(
+            engine.status(region).unwrap().batches_trained,
+            engine.trainer(analysis).unwrap().loss_history().len()
+        );
+        // ...and shutdown is idempotent: a second call changes nothing.
+        let before = engine.status(region).unwrap().clone();
+        engine.shutdown();
+        assert_eq!(&before, engine.status(region).unwrap());
+    }
+
+    #[test]
+    fn shutdown_discards_queued_batches_untrained() {
+        // A serial 1-worker pool with many same-cadence steps guarantees a
+        // backlog: at most one job runs while the rest queue.
+        let pool = ThreadPool::new(ParallelConfig::new(1, 2).unwrap());
+        let inline_reference = {
+            let (engine, region) = run_engine(Engine::new(), 301);
+            let status = engine.status(region).unwrap().clone();
+            status
+        };
+        let mut engine: Engine<Pulse> = Engine::with_config(EngineConfig::background(pool));
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        let mut domain = Pulse::new();
+        for it in 0..301u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            step.complete(&domain);
+        }
+        let backlog = engine.poll().queued;
+        engine.shutdown();
+        let trained = engine.status(region).unwrap().batches_trained;
+        // Shutdown never trains the backlog; with a queued backlog at the
+        // moment of shutdown, strictly fewer batches were consumed than the
+        // inline reference trained.
+        assert!(trained <= inline_reference.batches_trained);
+        if backlog > 0 {
+            assert!(trained < inline_reference.batches_trained);
+        }
+    }
+
+    #[test]
+    fn dropping_a_background_engine_mid_run_is_safe() {
+        let pool = ThreadPool::new(ParallelConfig::new(1, 2).unwrap());
+        let mut engine: Engine<Pulse> = Engine::with_config(EngineConfig::background(pool.clone()));
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        let mut domain = Pulse::new();
+        for it in 0..120u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            step.complete(&domain);
+        }
+        // Drop with jobs potentially in flight: Drop runs shutdown, so the
+        // pool workers must stay healthy for subsequent users.
+        drop(engine);
+        assert_eq!(pool.spawn_job(|| 21 * 2).join(), 42);
     }
 
     #[test]

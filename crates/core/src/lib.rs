@@ -98,7 +98,7 @@ pub mod prelude {
     pub use crate::extract::{BreakpointExtractor, DelayTimeExtractor, FeatureKind};
     pub use crate::model::{ArModel, IncrementalTrainer, Optimizer, OptimizerKind, TrainerConfig};
     pub use crate::params::IterParam;
-    pub use crate::provider::{SliceProvider, VarProvider};
+    pub use crate::provider::{FrameProvider, SampleFrame, SliceProvider, VarProvider};
     pub use crate::region::{
         AnalysisMethod, AnalysisSpec, ExitAction, Region, RegionStatus, StatusBroadcaster,
     };

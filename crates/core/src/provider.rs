@@ -110,6 +110,159 @@ impl<D: ?Sized + AsRef<[f64]>> VarProvider<D> for SliceProvider {
     }
 }
 
+/// An owned, reusable columnar frame of `(location, value)` samples — the
+/// **ingestion-by-slices** entry point for processes that do not hold the
+/// simulation domain in memory.
+///
+/// An embedded engine samples by calling the provider against the live
+/// domain object. A *remote* engine (the `serve` crate's session server)
+/// instead receives each step's samples over the wire as two parallel
+/// columns. `SampleFrame` is the domain type for that case: load the
+/// columns with [`SampleFrame::ingest`], then complete the step with the
+/// frame as the domain and [`FrameProvider`] as the provider — the engine's
+/// *sample* stage gathers from the frame exactly as it would from a live
+/// field, through the same batch [`VarProvider::fill`] fast path.
+///
+/// The frame keeps its column buffers across [`SampleFrame::ingest`] calls,
+/// so a steady-state ingestion loop performs no per-step allocations once
+/// the columns have reached their high-water capacity.
+///
+/// ```
+/// use insitu::provider::{FrameProvider, SampleFrame, VarProvider};
+///
+/// let mut frame = SampleFrame::new();
+/// frame.ingest(&[4, 2, 9], &[0.4, 0.2, 0.9]).unwrap();
+/// assert_eq!(FrameProvider.value(&frame, 2), 0.2);
+/// // Locations absent from the frame read as 0.0, like `SliceProvider`'s
+/// // out-of-range reads.
+/// assert_eq!(FrameProvider.value(&frame, 3), 0.0);
+/// let mut out = [0.0; 3];
+/// FrameProvider.fill(&frame, &[2, 4, 5], &mut out);
+/// assert_eq!(out, [0.2, 0.4, 0.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleFrame {
+    /// Sampled locations, sorted ascending (the invariant behind the
+    /// binary-search lookup and the merge-join fill fast path).
+    locations: Vec<usize>,
+    /// Values parallel to `locations`.
+    values: Vec<f64>,
+}
+
+impl SampleFrame {
+    /// An empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the frame's contents with the given parallel columns,
+    /// reusing the existing buffers. Locations may arrive in any order —
+    /// already-sorted columns (the common wire case) are copied straight
+    /// through; unsorted ones are sorted by location. On duplicate
+    /// locations the **last** occurrence wins, matching "latest write"
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRange`](crate::Error::InvalidRange) if the
+    /// columns differ in length.
+    pub fn ingest(&mut self, locations: &[u64], values: &[f64]) -> crate::Result<()> {
+        if locations.len() != values.len() {
+            return Err(crate::Error::InvalidRange {
+                what: format!(
+                    "sample columns differ in length ({} locations, {} values)",
+                    locations.len(),
+                    values.len()
+                ),
+            });
+        }
+        self.locations.clear();
+        self.values.clear();
+        self.locations.extend(locations.iter().map(|&l| l as usize));
+        self.values.extend_from_slice(values);
+        if !self.locations.is_sorted() {
+            // Rare path: co-sort both columns by location. The frame is
+            // small (one step's samples), so a simple index sort is fine.
+            let mut order: Vec<usize> = (0..self.locations.len()).collect();
+            order.sort_by_key(|&i| self.locations[i]);
+            let locations = order.iter().map(|&i| self.locations[i]).collect();
+            let values = order.iter().map(|&i| self.values[i]).collect();
+            self.locations = locations;
+            self.values = values;
+        }
+        Ok(())
+    }
+
+    /// Clears the frame, keeping the column buffers.
+    pub fn clear(&mut self) {
+        self.locations.clear();
+        self.values.clear();
+    }
+
+    /// Number of samples in the frame.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Whether the frame holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// The value recorded for `location`, if the frame holds one. Duplicate
+    /// locations resolve to the last-ingested occurrence.
+    pub fn get(&self, location: usize) -> Option<f64> {
+        // partition_point finds one past the last occurrence, so duplicates
+        // resolve to the most recently ingested value.
+        let idx = self.locations.partition_point(|&l| l <= location);
+        (idx > 0 && self.locations[idx - 1] == location).then(|| self.values[idx - 1])
+    }
+
+    /// The sorted location column.
+    pub fn locations(&self) -> &[usize] {
+        &self.locations
+    }
+
+    /// The value column, parallel to [`SampleFrame::locations`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// The provider for [`SampleFrame`] domains: looks each sampled location up
+/// in the frame (missing locations read as `0.0`), with a merge-join
+/// [`VarProvider::fill`] fast path when the requested locations are sorted —
+/// which they always are when the engine samples a spatial [`IterParam`](crate::IterParam)
+/// (crate::IterParam) characteristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameProvider;
+
+impl VarProvider<SampleFrame> for FrameProvider {
+    fn value(&self, domain: &SampleFrame, location: usize) -> f64 {
+        domain.get(location).unwrap_or(0.0)
+    }
+
+    fn fill(&self, domain: &SampleFrame, locations: &[usize], out: &mut [f64]) {
+        if !locations.is_sorted() {
+            for (slot, &location) in out.iter_mut().zip(locations) {
+                *slot = domain.get(location).unwrap_or(0.0);
+            }
+            return;
+        }
+        // Merge-join over two sorted columns: one linear pass instead of a
+        // binary search per location.
+        let mut cursor = 0usize;
+        for (slot, &location) in out.iter_mut().zip(locations) {
+            cursor += domain.locations[cursor..].partition_point(|&l| l <= location);
+            *slot = if cursor > 0 && domain.locations[cursor - 1] == location {
+                domain.values[cursor - 1]
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +314,59 @@ mod tests {
         let mut out = [0.0; 3];
         VarProvider::<()>::fill(&p, &(), &[0, 1, 2], &mut out);
         assert_eq!(out, [2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn sample_frame_sorts_unsorted_columns_and_rejects_mismatched_ones() {
+        let mut frame = SampleFrame::new();
+        frame.ingest(&[9, 2, 4], &[0.9, 0.2, 0.4]).unwrap();
+        assert_eq!(frame.locations(), &[2, 4, 9]);
+        assert_eq!(frame.values(), &[0.2, 0.4, 0.9]);
+        assert_eq!(frame.len(), 3);
+        assert!(frame.ingest(&[1, 2], &[1.0]).is_err());
+        frame.clear();
+        assert!(frame.is_empty());
+        assert_eq!(frame.get(2), None);
+    }
+
+    #[test]
+    fn sample_frame_duplicate_locations_resolve_to_the_last_ingested() {
+        let mut frame = SampleFrame::new();
+        frame.ingest(&[3, 1, 3], &[0.1, 0.5, 0.7]).unwrap();
+        assert_eq!(frame.get(3), Some(0.7));
+        // Sorted input with duplicates behaves the same.
+        frame.ingest(&[1, 3, 3], &[0.5, 0.1, 0.7]).unwrap();
+        assert_eq!(frame.get(3), Some(0.7));
+    }
+
+    #[test]
+    fn frame_provider_fill_agrees_with_per_location_lookups() {
+        let mut frame = SampleFrame::new();
+        frame.ingest(&[1, 4, 6, 10], &[0.1, 0.4, 0.6, 1.0]).unwrap();
+        // Sorted request: merge-join fast path.
+        let sorted = [0usize, 1, 4, 5, 10, 12];
+        let mut fast = [9.0; 6];
+        FrameProvider.fill(&frame, &sorted, &mut fast);
+        // Unsorted request: per-location fallback.
+        let unsorted = [12usize, 4, 0, 10, 1, 5];
+        let mut slow = [9.0; 6];
+        FrameProvider.fill(&frame, &unsorted, &mut slow);
+        for (i, &loc) in sorted.iter().enumerate() {
+            assert_eq!(fast[i], FrameProvider.value(&frame, loc), "loc {loc}");
+        }
+        for (i, &loc) in unsorted.iter().enumerate() {
+            assert_eq!(slow[i], FrameProvider.value(&frame, loc), "loc {loc}");
+        }
+        assert_eq!(fast, [0.0, 0.1, 0.4, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn frame_provider_repeated_sorted_locations_fill_correctly() {
+        let mut frame = SampleFrame::new();
+        frame.ingest(&[2, 5], &[0.2, 0.5]).unwrap();
+        let locations = [2usize, 2, 5, 5];
+        let mut out = [0.0; 4];
+        FrameProvider.fill(&frame, &locations, &mut out);
+        assert_eq!(out, [0.2, 0.2, 0.5, 0.5]);
     }
 }

@@ -1,0 +1,118 @@
+//! The load generator: replays a travelling-pulse proxy workload over
+//! many concurrent wire sessions and reports sustained session-steps/sec.
+//!
+//! ```text
+//! loadgen [--tcp ADDR | --unix PATH]        target a running server
+//!         [--sessions N] [--steps N] [--connections N]
+//!         [--locations N] [--distinct N] [--window N]
+//!         [--no-verify]                     skip the bit-identity check
+//!         [--ladder]                        run the 64/256/1024 ladder
+//!         [--json PATH]                     write the BENCH_service.json
+//! ```
+//!
+//! With no target flag the server is hosted in-process on an ephemeral
+//! port, which is how `BENCH_service.json` is recorded:
+//!
+//! ```text
+//! cargo run --release -p serve --bin loadgen -- --ladder --json BENCH_service.json
+//! ```
+//!
+//! Exits non-zero if any session's wire-served features diverge from the
+//! in-process engine fed the identical sample stream.
+
+use serve::loadgen::{render_json, run, run_self_hosted, LoadgenConfig, LoadgenReport, Target};
+use serve::ServerConfig;
+
+fn main() {
+    let mut config = LoadgenConfig::default();
+    let mut target: Option<Target> = None;
+    let mut ladder = false;
+    let mut json: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--tcp" => {
+                let addr = value("--tcp");
+                let addr = addr
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--tcp: not an address: {addr}")));
+                target = Some(Target::Tcp(addr));
+            }
+            "--unix" => target = Some(Target::Unix(value("--unix").into())),
+            "--sessions" => config.sessions = parse(&value("--sessions"), "--sessions"),
+            "--steps" => config.steps = parse(&value("--steps"), "--steps") as u64,
+            "--connections" => config.connections = parse(&value("--connections"), "--connections"),
+            "--locations" => config.locations = parse(&value("--locations"), "--locations"),
+            "--distinct" => config.distinct = parse(&value("--distinct"), "--distinct"),
+            "--window" => config.window = parse(&value("--window"), "--window"),
+            "--no-verify" => config.verify = false,
+            "--ladder" => ladder = true,
+            "--json" => json = Some(value("--json")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--tcp ADDR | --unix PATH] [--sessions N] [--steps N] \
+                     [--connections N] [--locations N] [--distinct N] [--window N] \
+                     [--no-verify] [--ladder] [--json PATH]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let ladder_sessions: Vec<usize> = if ladder {
+        vec![64, 256, 1024]
+    } else {
+        vec![config.sessions]
+    };
+
+    let mut reports: Vec<LoadgenReport> = Vec::new();
+    for sessions in ladder_sessions {
+        let mut case = config.clone();
+        case.sessions = sessions;
+        case.connections = config.connections.clamp(1, sessions);
+        let report = match &target {
+            Some(target) => run(target, &case),
+            None => run_self_hosted(&case, ServerConfig::default()),
+        }
+        .unwrap_or_else(|e| fail(&e));
+        println!(
+            "sessions {:>5} x steps {:>4}: {:>12.1} session-steps/sec \
+             ({} busy bounces, {} verified, {:.2} s)",
+            report.sessions,
+            report.steps,
+            report.session_steps_per_sec,
+            report.busy_bounces,
+            report.verified,
+            report.elapsed_ns as f64 / 1e9,
+        );
+        if config.verify && report.verified != report.sessions {
+            fail(&format!(
+                "verification incomplete: {}/{} sessions matched the in-process reference",
+                report.verified, report.sessions
+            ));
+        }
+        reports.push(report);
+    }
+
+    if let Some(path) = json {
+        let rendered = render_json(&config, &reports);
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        println!("{rendered}");
+    }
+}
+
+fn parse(text: &str, what: &str) -> usize {
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("{what}: not a number: {text}")))
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(1);
+}

@@ -1,0 +1,205 @@
+//! A small blocking client for the wire protocol.
+//!
+//! [`Client`] drives one connection over TCP or a Unix socket. Every
+//! request method sends one frame and reads one reply, except the
+//! pipelined [`Client::step_burst`], which keeps
+//! [`Frame::Busy`]-aware retry and reply collection out of callers
+//! (the load generator and the integration tests).
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use insitu::region::FeatureValue;
+
+use crate::wire::{read_frame, write_frame, Frame, SessionSpec, SessionStatus, WireError};
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn split(&self) -> std::io::Result<(Box<dyn std::io::Read>, Box<dyn Write>)> {
+        Ok(match self {
+            Stream::Tcp(s) => (
+                Box::new(s.try_clone()?) as Box<dyn std::io::Read>,
+                Box::new(s.try_clone()?) as Box<dyn Write>,
+            ),
+            Stream::Unix(s) => (Box::new(s.try_clone()?), Box::new(s.try_clone()?)),
+        })
+    }
+}
+
+/// One connection to an analysis server, able to multiplex any number of
+/// sessions.
+pub struct Client {
+    reader: BufReader<Box<dyn std::io::Read>>,
+    writer: BufWriter<Box<dyn Write>>,
+    scratch_in: Vec<u8>,
+    scratch_out: Vec<u8>,
+}
+
+impl Client {
+    /// Connects over TCP (with Nagle disabled — the protocol is
+    /// small-frame request/reply, where coalescing only adds latency).
+    pub fn connect_tcp(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Self::new(Stream::Tcp(stream))
+    }
+
+    /// Connects over a Unix domain socket.
+    pub fn connect_unix(path: &Path) -> std::io::Result<Self> {
+        Self::new(Stream::Unix(UnixStream::connect(path)?))
+    }
+
+    fn new(stream: Stream) -> std::io::Result<Self> {
+        let (read, write) = stream.split()?;
+        Ok(Self {
+            reader: BufReader::new(read),
+            writer: BufWriter::new(write),
+            scratch_in: Vec::new(),
+            scratch_out: Vec::new(),
+        })
+    }
+
+    /// Sends one frame without waiting for a reply.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        write_frame(&mut self.writer, frame, &mut self.scratch_out)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next reply frame; a server hang-up is an error here
+    /// (replies are only awaited when one is due).
+    pub fn recv(&mut self) -> Result<Frame, WireError> {
+        read_frame(&mut self.reader, &mut self.scratch_in)?.ok_or(WireError::Truncated)
+    }
+
+    fn request(&mut self, frame: &Frame) -> Result<Frame, WireError> {
+        self.send(frame)?;
+        self.recv()
+    }
+
+    /// Opens a session, returning its server-assigned id.
+    pub fn open_session(&mut self, spec: SessionSpec) -> Result<u64, WireError> {
+        match self.request(&Frame::OpenSession(spec))? {
+            Frame::SessionOpened { session } => Ok(session),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends one step's samples and waits for its ack, retrying when the
+    /// session is busy (which cannot happen in lock-step use; see
+    /// [`Client::step_burst`] for pipelined use).
+    pub fn step(
+        &mut self,
+        session: u64,
+        iteration: u64,
+        locations: &[u64],
+        values: &[f64],
+    ) -> Result<(), WireError> {
+        loop {
+            let reply = self.request(&Frame::StepSamples {
+                session,
+                iteration,
+                locations: locations.to_vec(),
+                values: values.to_vec(),
+            })?;
+            match reply {
+                Frame::StepAck { .. } => return Ok(()),
+                Frame::Busy { .. } => continue,
+                Frame::ErrorReply { message, .. } => return Err(WireError::Invalid(message)),
+                other => return Err(unexpected(other)),
+            }
+        }
+    }
+
+    /// Pipelines one step for **many sessions**: all `StepSamples` frames
+    /// are written back-to-back, then all replies collected. Sessions
+    /// answered [`Frame::Busy`] are retried (again as a burst) until every
+    /// session has acked the step. Returns the number of `Busy` bounces —
+    /// the backpressure events the burst absorbed.
+    pub fn step_burst(
+        &mut self,
+        sessions: &[u64],
+        iteration: u64,
+        locations: &[u64],
+        values_of: impl Fn(u64) -> Vec<f64>,
+    ) -> Result<u64, WireError> {
+        let mut pending: Vec<u64> = sessions.to_vec();
+        let mut bounced = 0u64;
+        while !pending.is_empty() {
+            for &session in &pending {
+                write_frame(
+                    &mut self.writer,
+                    &Frame::StepSamples {
+                        session,
+                        iteration,
+                        locations: locations.to_vec(),
+                        values: values_of(session),
+                    },
+                    &mut self.scratch_out,
+                )?;
+            }
+            self.writer.flush()?;
+            let mut retry = Vec::new();
+            for _ in 0..pending.len() {
+                match self.recv()? {
+                    Frame::StepAck { .. } => {}
+                    Frame::Busy { session, .. } => {
+                        bounced += 1;
+                        retry.push(session);
+                    }
+                    Frame::ErrorReply { message, .. } => return Err(WireError::Invalid(message)),
+                    other => return Err(unexpected(other)),
+                }
+            }
+            pending = retry;
+        }
+        Ok(bounced)
+    }
+
+    /// Forces extraction and returns the session's features.
+    pub fn extract(&mut self, session: u64) -> Result<Vec<(String, FeatureValue)>, WireError> {
+        match self.request(&Frame::Extract { session })? {
+            Frame::FeatureReport { features, .. } => Ok(features),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Returns the features extracted so far without forcing anything.
+    pub fn features(&mut self, session: u64) -> Result<Vec<(String, FeatureValue)>, WireError> {
+        match self.request(&Frame::Features { session })? {
+            Frame::FeatureReport { features, .. } => Ok(features),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Polls the session status.
+    pub fn poll(&mut self, session: u64) -> Result<SessionStatus, WireError> {
+        match self.request(&Frame::Poll { session })? {
+            Frame::Status { status, .. } => Ok(status),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Closes the session.
+    pub fn close_session(&mut self, session: u64) -> Result<(), WireError> {
+        match self.request(&Frame::CloseSession { session })? {
+            Frame::Closed { .. } => Ok(()),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(frame: Frame) -> WireError {
+    WireError::Invalid(format!("unexpected reply frame: {frame:?}"))
+}

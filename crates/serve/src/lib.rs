@@ -1,0 +1,36 @@
+//! A session-multiplexing analysis service over a binary wire protocol.
+//!
+//! This crate turns the in-process [`insitu`] engine into a long-running
+//! service: simulations (or their I/O forwarders) connect over TCP or a
+//! Unix socket, open one *session* per analysis region, and stream
+//! columnar sample batches as length-prefixed frames. The server
+//! multiplexes many concurrent sessions onto a small set of worker lanes,
+//! sheds load with explicit `Busy` replies when a session's inflight
+//! queue fills (backpressure, never unbounded buffering), and serves
+//! extracted features that are **bit-identical** to what the same sample
+//! stream produces through the in-process engine.
+//!
+//! The layering, bottom-up:
+//!
+//! - [`wire`] — the transport-independent frame codec.
+//! - [`session`] — one session: an [`Engine`](insitu::engine::Engine)
+//!   over a reusable [`SampleFrame`](insitu::provider::SampleFrame),
+//!   applying request frames and producing response frames.
+//! - [`server`] — the listener/worker runtime: connection readers,
+//!   the session table, per-session inflight accounting, worker lanes.
+//! - [`client`] — a small blocking client used by the tests and the
+//!   load generator; supports pipelining with `Busy`-aware retry.
+//! - [`loadgen`] — the proxy-workload load generator behind the
+//!   `loadgen` binary and the service benchmark.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig};
+pub use wire::{Frame, SessionSpec, WireError};

@@ -1,0 +1,337 @@
+//! The proxy-workload load generator behind the `loadgen` binary.
+//!
+//! Replays a travelling-pulse workload — the same shape the proxy
+//! applications feed the in-process engine — over many concurrent
+//! sessions of a running server, measuring sustained session-steps per
+//! second. Each session is assigned one of a small set of *distinct*
+//! workload seeds; in verify mode the features served over the wire are
+//! compared against an in-process engine fed the identical stream, so a
+//! load run doubles as a bit-identity check under real concurrency.
+//!
+//! Sessions run with [`Retention::Window`], which is what bounds a
+//! session's memory when it streams indefinitely: the sample history is a
+//! fixed ring, the mini-batch pool recycles, and the trainer state is
+//! O(model order) — so thousands of concurrent sessions hold steady-state
+//! memory proportional to `sessions × window`, not `sessions × steps`.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use insitu::collect::Retention;
+use insitu::region::FeatureValue;
+use insitu::IterParam;
+
+use crate::client::Client;
+use crate::session::Session;
+use crate::wire::SessionSpec;
+
+/// Where the target server listens.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// A TCP address.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Target {
+    fn connect(&self) -> std::io::Result<Client> {
+        match self {
+            Target::Tcp(addr) => Client::connect_tcp(*addr),
+            Target::Unix(path) => Client::connect_unix(path),
+        }
+    }
+}
+
+/// Workload shape and scale.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent sessions to open.
+    pub sessions: usize,
+    /// Steps to stream into every session.
+    pub steps: u64,
+    /// Locations sampled per step (the spatial characteristic is
+    /// `1..=locations`).
+    pub locations: usize,
+    /// Client connections to spread the sessions over.
+    pub connections: usize,
+    /// Distinct workload seeds; session `s` replays seed `s % distinct`.
+    pub distinct: usize,
+    /// Sample-history window bounding per-session memory.
+    pub window: usize,
+    /// Compare every session's served features against an in-process
+    /// engine fed the identical stream.
+    pub verify: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            sessions: 64,
+            steps: 120,
+            locations: 8,
+            connections: 4,
+            distinct: 16,
+            window: 64,
+            verify: true,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The session spec every loadgen session opens (seed-independent;
+    /// the seed varies the sample values, not the analysis).
+    pub fn session_spec(&self) -> SessionSpec {
+        let mut spec = SessionSpec::new(
+            "loadgen",
+            IterParam::new(1, self.locations as u64, 1).expect("valid spatial range"),
+            IterParam::new(0, self.steps.max(1) - 1, 1).expect("valid temporal range"),
+        );
+        spec.lag = 10;
+        spec.retention = Retention::Window(self.window);
+        spec
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Sessions that ran.
+    pub sessions: usize,
+    /// Steps streamed into each session.
+    pub steps: u64,
+    /// Wall-clock nanoseconds of the stepping phase (opens, extraction
+    /// and closes excluded).
+    pub elapsed_ns: u128,
+    /// Sustained throughput: `sessions * steps / elapsed`.
+    pub session_steps_per_sec: f64,
+    /// `Busy` bounces absorbed — how often backpressure shed a step.
+    pub busy_bounces: u64,
+    /// Sessions whose served features matched the in-process reference
+    /// exactly (only populated in verify mode).
+    pub verified: usize,
+}
+
+/// Runs the workload against a server hosted **in this process** on an
+/// ephemeral TCP port: binds, runs, shuts the server down (joining every
+/// session), and returns the report. This is the path the benchmark and
+/// smoke binaries use — no external daemon to coordinate.
+pub fn run_self_hosted(
+    config: &LoadgenConfig,
+    server: crate::server::ServerConfig,
+) -> Result<LoadgenReport, String> {
+    let pool = parsim::ThreadPool::new(
+        parsim::ParallelConfig::new(server.workers.max(1), 1).map_err(|e| e.to_string())?,
+    );
+    let hosted =
+        crate::server::Server::bind_tcp("127.0.0.1:0", pool, server).map_err(|e| e.to_string())?;
+    let addr = hosted.tcp_addr().ok_or("server has no TCP address")?;
+    let report = run(&Target::Tcp(addr), config);
+    hosted.shutdown();
+    report
+}
+
+/// Renders the `BENCH_service.json` artifact for a ladder of reports.
+/// The `steps_per_sec` entries and the recorded `available_parallelism`
+/// are what `perf_smoke` parses for its service-throughput floor, so this
+/// renderer is the single owner of the format.
+pub fn render_json(workload: &LoadgenConfig, reports: &[LoadgenReport]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"wire-served session multiplexing, sustained session-steps/sec\",\n",
+    );
+    json.push_str(&format!(
+        "  \"workload\": {{\"steps\": {}, \"locations\": {}, \"window\": {}, \"distinct\": {}, \"verify\": {}}},\n",
+        workload.steps, workload.locations, workload.window, workload.distinct, workload.verify
+    ));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"elapsed_ns\": {}, \"busy_bounces\": {}, \"verified\": {}, \"steps_per_sec\": {:.1}}}{}\n",
+            r.sessions,
+            r.elapsed_ns,
+            r.busy_bounces,
+            r.verified,
+            r.session_steps_per_sec,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// The travelling-pulse sample value for one (seed, iteration, location).
+/// A front crosses the domain at a seed-dependent speed, which makes the
+/// delay-time feature land at seed-dependent iterations — distinct seeds
+/// really are distinct workloads.
+pub fn pulse_value(seed: u64, iteration: u64, location: u64) -> f64 {
+    let speed = 0.06 + 0.01 * (seed % 7) as f64;
+    let offset = (seed % 5) as f64;
+    ((iteration as f64) * speed - location as f64 - offset).tanh() + 1.0
+}
+
+/// Runs the workload against `target`. Returns an error string suitable
+/// for process exit on connection or protocol failures.
+///
+/// Three barrier-separated phases keep the measurement honest: every
+/// connection first opens its sessions, then all connections step in
+/// lockstep-started (but individually free-running) bursts — only this
+/// phase is timed — then features are extracted, verified and the
+/// sessions closed.
+pub fn run(target: &Target, config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    assert!(config.sessions > 0 && config.steps > 0);
+    let connections = config.connections.clamp(1, config.sessions);
+    let distinct = config.distinct.clamp(1, config.sessions);
+
+    // In-process references, one per distinct seed, computed up front so
+    // the timed phase measures only the wire path.
+    let references: Vec<Vec<(String, FeatureValue)>> = if config.verify {
+        (0..distinct as u64)
+            .map(|seed| reference_features(config, seed))
+            .collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+
+    // One extra party: the main thread, which brackets the stepping phase
+    // with the two barriers to time it.
+    let opened = Barrier::new(connections + 1);
+    let stepped = Barrier::new(connections + 1);
+    let mut elapsed_ns = 0u128;
+
+    let results: Vec<Result<(u64, usize), String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for conn_index in 0..connections {
+            let count = config.sessions / connections
+                + usize::from(conn_index < config.sessions % connections);
+            let (target, references) = (&*target, &references);
+            let (opened, stepped) = (&opened, &stepped);
+            handles.push(scope.spawn(move || {
+                drive_connection(
+                    target, config, conn_index, count, distinct, references, opened, stepped,
+                )
+            }));
+        }
+        opened.wait();
+        let started = Instant::now();
+        stepped.wait();
+        elapsed_ns = started.elapsed().as_nanos();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread"))
+            .collect()
+    });
+
+    let mut busy_bounces = 0;
+    let mut verified = 0;
+    for result in results {
+        let (bounced, ok) = result?;
+        busy_bounces += bounced;
+        verified += ok;
+    }
+    let session_steps = (config.sessions as u64 * config.steps) as f64;
+    Ok(LoadgenReport {
+        sessions: config.sessions,
+        steps: config.steps,
+        elapsed_ns,
+        session_steps_per_sec: session_steps / (elapsed_ns.max(1) as f64 / 1e9),
+        busy_bounces,
+        verified,
+    })
+}
+
+fn reference_features(
+    config: &LoadgenConfig,
+    seed: u64,
+) -> Result<Vec<(String, FeatureValue)>, String> {
+    let mut session = Session::open(&config.session_spec())?;
+    let locations: Vec<u64> = (1..=config.locations as u64).collect();
+    let mut values = vec![0.0; locations.len()];
+    for it in 0..config.steps {
+        for (slot, &l) in values.iter_mut().zip(&locations) {
+            *slot = pulse_value(seed, it, l);
+        }
+        session.step(it, &locations, &values)?;
+    }
+    Ok(session.extract())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    target: &Target,
+    config: &LoadgenConfig,
+    conn_index: usize,
+    count: usize,
+    distinct: usize,
+    references: &[Vec<(String, FeatureValue)>],
+    opened: &Barrier,
+    stepped: &Barrier,
+) -> Result<(u64, usize), String> {
+    // Whatever happens, both barriers must be reached or the other
+    // connections (and the timing thread) would deadlock.
+    let setup = (|| -> Result<(Client, Vec<u64>), String> {
+        let mut client = target.connect().map_err(|e| e.to_string())?;
+        let mut sessions = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = client
+                .open_session(config.session_spec())
+                .map_err(|e| e.to_string())?;
+            sessions.push(id);
+        }
+        Ok((client, sessions))
+    })();
+    opened.wait();
+    let (mut client, sessions) = match setup {
+        Ok(ready) => ready,
+        Err(e) => {
+            stepped.wait();
+            return Err(e);
+        }
+    };
+
+    // The seed of a session is derived from its order across the whole
+    // run, so the seed mix is stable whatever the connection count.
+    let seed_of = |session: u64| -> u64 {
+        let global = sessions.iter().position(|&s| s == session).unwrap_or(0) + conn_index * count;
+        (global % distinct) as u64
+    };
+    let locations: Vec<u64> = (1..=config.locations as u64).collect();
+    let stepping = (|| -> Result<u64, String> {
+        let mut bounced = 0;
+        for it in 0..config.steps {
+            bounced += client
+                .step_burst(&sessions, it, &locations, |session| {
+                    let seed = seed_of(session);
+                    locations
+                        .iter()
+                        .map(|&l| pulse_value(seed, it, l))
+                        .collect()
+                })
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(bounced)
+    })();
+    stepped.wait();
+    let bounced = stepping?;
+
+    let mut verified = 0;
+    for &session in &sessions {
+        let features = client.extract(session).map_err(|e| e.to_string())?;
+        if config.verify {
+            let seed = seed_of(session) as usize;
+            if features == references[seed] {
+                verified += 1;
+            } else {
+                return Err(format!(
+                    "session {session} (seed {seed}) diverged from the in-process reference"
+                ));
+            }
+        }
+        client.close_session(session).map_err(|e| e.to_string())?;
+    }
+    Ok((bounced, verified))
+}

@@ -1,0 +1,736 @@
+//! The session-multiplexing server runtime.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept thread ──► connection reader threads (one per socket)
+//!                        │  decode, route, enforce backpressure
+//!                        ▼
+//!                 worker lanes (pool jobs, one per lane)
+//!                        │  own the sessions, run the engines
+//!                        ▼
+//!                 replies through the shared connection writer
+//! ```
+//!
+//! Each **connection reader** decodes frames off its socket and routes
+//! them to a **worker lane** — a long-lived job on the server's
+//! [`ThreadPool`] owning a disjoint set of sessions (assigned round-robin
+//! by session id). The number of lanes adapts to the pool:
+//! `pool.workers().min(config.workers)`, never more loops than the pool
+//! has job threads, so a lane can never be queued behind another lane and
+//! starve its sessions.
+//!
+//! **Backpressure is shed-don't-stall**: every session carries an
+//! inflight gauge counting `StepSamples` frames queued to its lane but
+//! not yet processed. A step arriving with the gauge at
+//! [`ServerConfig::inflight_limit`] is answered [`Frame::Busy`] straight
+//! from the reader thread and dropped — the reader never blocks, the
+//! lane's queue stays bounded per session, and a slow session cannot
+//! starve the connection it shares with fast ones. Control frames
+//! (`Extract`/`Features`/`Poll`/`CloseSession`) bypass the gauge so a
+//! client can always drain state from a busy session.
+//!
+//! Sessions die cleanly by construction: `CloseSession` (or the owning
+//! connection dying) unregisters the session and its lane drops the
+//! [`Session`], whose engine `Drop` joins any
+//! in-flight training work.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use parsim::{JobHandle, ThreadPool};
+
+use crate::session::Session;
+use crate::wire::{read_frame, write_frame, ErrorCode, Frame, SessionSpec, WireError};
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Desired number of worker lanes. Clamped to the pool's job-thread
+    /// count (`pool.workers()`) so lanes never queue behind each other.
+    pub workers: usize,
+    /// Per-session cap on `StepSamples` frames queued but not yet
+    /// processed; steps beyond it are shed with [`Frame::Busy`].
+    pub inflight_limit: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            inflight_limit: 32,
+        }
+    }
+}
+
+/// A socket stream of either supported transport.
+enum RawConn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl RawConn {
+    fn try_clone(&self) -> std::io::Result<RawConn> {
+        Ok(match self {
+            RawConn::Tcp(s) => RawConn::Tcp(s.try_clone()?),
+            RawConn::Unix(s) => RawConn::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Shuts the socket down in both directions, waking any blocked read
+    /// on any clone of the same descriptor with EOF.
+    fn force_close(&self) {
+        let _ = match self {
+            RawConn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            RawConn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for RawConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            RawConn::Tcp(s) => s.read(buf),
+            RawConn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for RawConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            RawConn::Tcp(s) => s.write(buf),
+            RawConn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            RawConn::Tcp(s) => s.flush(),
+            RawConn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The write half of a connection, shared between the reader thread (for
+/// `Busy` and routing errors) and the worker lanes (for replies). One
+/// mutex per connection keeps frames from interleaving mid-write.
+#[derive(Clone)]
+struct ConnWriter {
+    inner: Arc<Mutex<RawConn>>,
+}
+
+impl ConnWriter {
+    /// Writes and flushes one frame; errors are ignored (a dead peer is
+    /// detected and cleaned up by its reader thread).
+    fn send(&self, frame: &Frame, scratch: &mut Vec<u8>) {
+        if let Ok(mut conn) = self.inner.lock() {
+            if write_frame(&mut *conn, frame, scratch).is_ok() {
+                let _ = conn.flush();
+            }
+        }
+    }
+}
+
+/// One request routed to a worker lane.
+enum Command {
+    Open {
+        session: u64,
+        spec: Box<SessionSpec>,
+        conn: ConnWriter,
+    },
+    Step {
+        session: u64,
+        iteration: u64,
+        locations: Vec<u64>,
+        values: Vec<f64>,
+        inflight: Arc<AtomicUsize>,
+        conn: ConnWriter,
+    },
+    Extract {
+        session: u64,
+        conn: ConnWriter,
+    },
+    Features {
+        session: u64,
+        conn: ConnWriter,
+    },
+    Poll {
+        session: u64,
+        conn: ConnWriter,
+    },
+    Close {
+        session: u64,
+        /// `None` when the owning connection died: drop silently.
+        conn: Option<ConnWriter>,
+    },
+}
+
+/// Routing record for one open session.
+struct Entry {
+    lane: usize,
+    inflight: Arc<AtomicUsize>,
+}
+
+/// State shared by the accept thread, readers, and worker lanes.
+struct Shared {
+    sessions: Mutex<HashMap<u64, Entry>>,
+    next_session: AtomicU64,
+    running: AtomicBool,
+    inflight_limit: usize,
+    /// Clones of every live connection, kept so shutdown can wake the
+    /// blocked reader threads.
+    conns: Mutex<Vec<RawConn>>,
+}
+
+/// A running analysis server. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting, closes every connection, winds
+/// down every session, and joins all of its threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    lanes: Arc<Vec<Sender<Command>>>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    workers: Vec<JobHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Server {
+    /// Starts a server listening on a TCP address (use port 0 to let the
+    /// OS pick; read it back with [`Server::tcp_addr`]).
+    pub fn bind_tcp(addr: &str, pool: ThreadPool, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let tcp_addr = listener.local_addr().ok();
+        Ok(Self::start(
+            Listener::Tcp(listener),
+            tcp_addr,
+            None,
+            pool,
+            config,
+        ))
+    }
+
+    /// Starts a server listening on a Unix domain socket. The socket file
+    /// is unlinked when the server shuts down.
+    pub fn bind_unix(path: &Path, pool: ThreadPool, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self::start(
+            Listener::Unix(listener),
+            None,
+            Some(path.to_path_buf()),
+            pool,
+            config,
+        ))
+    }
+
+    /// The TCP address actually bound, when listening on TCP.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    fn start(
+        listener: Listener,
+        tcp_addr: Option<SocketAddr>,
+        unix_path: Option<PathBuf>,
+        pool: ThreadPool,
+        config: ServerConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            running: AtomicBool::new(true),
+            inflight_limit: config.inflight_limit.max(1),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        // Never more lanes than the pool has job threads: a lane is a
+        // long-lived job, and an over-subscribed lane would queue behind
+        // the others forever, deadlocking its sessions.
+        let lane_count = pool.workers().min(config.workers).max(1);
+        let mut senders = Vec::with_capacity(lane_count);
+        let mut workers = Vec::with_capacity(lane_count);
+        for _ in 0..lane_count {
+            let (tx, rx) = mpsc::channel::<Command>();
+            senders.push(tx);
+            let shared_for_lane = Arc::clone(&shared);
+            workers.push(pool.spawn_job(move || lane_loop(rx, shared_for_lane)));
+        }
+        let lanes = Arc::new(senders);
+
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let lanes = Arc::clone(&lanes);
+            let readers = Arc::clone(&readers);
+            std::thread::spawn(move || accept_loop(listener, shared, lanes, readers))
+        };
+
+        Self {
+            shared,
+            lanes,
+            accept: Some(accept),
+            readers,
+            workers,
+            tcp_addr,
+            unix_path,
+        }
+    }
+
+    /// Stops the server: no new connections, every live connection is
+    /// closed, every session is wound down (in-flight training joined),
+    /// and all threads are joined before this returns.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if !self.shared.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Wake every blocked reader with EOF.
+        if let Ok(conns) = self.shared.conns.lock() {
+            for conn in conns.iter() {
+                conn.force_close();
+            }
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().expect("reader registry"));
+        for reader in readers {
+            let _ = reader.join();
+        }
+        // With accept and all readers gone, this Arc is the last holder of
+        // the lane senders: dropping it disconnects the channels and the
+        // lanes exit, dropping their sessions (which joins training work).
+        self.lanes = Arc::new(Vec::new());
+        for worker in self.workers.drain(..) {
+            worker.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    shared: Arc<Shared>,
+    lanes: Arc<Vec<Sender<Command>>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while shared.running.load(Ordering::SeqCst) {
+        let accepted = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| RawConn::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| RawConn::Unix(s)),
+        };
+        match accepted {
+            Ok(conn) => {
+                // A reply write that cannot complete within the timeout is
+                // dropped rather than wedging the writing lane behind a
+                // stuck client. Nagle is disabled: frames are small and
+                // request/reply latency dominates throughput.
+                let _ = match &conn {
+                    RawConn::Tcp(s) => {
+                        let _ = s.set_nodelay(true);
+                        s.set_write_timeout(Some(Duration::from_secs(10)))
+                    }
+                    RawConn::Unix(s) => s.set_write_timeout(Some(Duration::from_secs(10))),
+                };
+                let read_half = match conn.try_clone() {
+                    Ok(clone) => clone,
+                    Err(_) => continue,
+                };
+                if let Ok(mut conns) = shared.conns.lock() {
+                    match conn.try_clone() {
+                        Ok(clone) => conns.push(clone),
+                        Err(_) => continue,
+                    }
+                }
+                let writer = ConnWriter {
+                    inner: Arc::new(Mutex::new(conn)),
+                };
+                let shared_for_reader = Arc::clone(&shared);
+                let lanes_for_reader = Arc::clone(&lanes);
+                let handle = std::thread::spawn(move || {
+                    reader_loop(read_half, writer, shared_for_reader, lanes_for_reader)
+                });
+                readers.lock().expect("reader registry").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Decodes frames off one connection and routes them to the worker lanes.
+fn reader_loop(
+    mut conn: RawConn,
+    writer: ConnWriter,
+    shared: Arc<Shared>,
+    lanes: Arc<Vec<Sender<Command>>>,
+) {
+    // The accepted socket inherited the listener's non-blocking flag on
+    // some platforms; readers want plain blocking reads.
+    match &conn {
+        RawConn::Tcp(s) => {
+            let _ = s.set_nonblocking(false);
+        }
+        RawConn::Unix(s) => {
+            let _ = s.set_nonblocking(false);
+        }
+    }
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    // Sessions opened over this connection; evicted if the peer vanishes.
+    let mut owned: Vec<u64> = Vec::new();
+    loop {
+        let frame = match read_frame(&mut conn, &mut scratch) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(WireError::Io(_) | WireError::Truncated) => break,
+            Err(e @ WireError::Oversized { .. }) => {
+                // A bad length prefix leaves the stream unframeable;
+                // report and hang up rather than guess at a resync point.
+                writer.send(
+                    &Frame::ErrorReply {
+                        session: 0,
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                    &mut out,
+                );
+                break;
+            }
+            Err(e) => {
+                // Malformed/unknown/invalid body: the length prefix was
+                // good and the full body was consumed, so the stream is
+                // still framed — report and keep serving the connection.
+                writer.send(
+                    &Frame::ErrorReply {
+                        session: 0,
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                    &mut out,
+                );
+                continue;
+            }
+        };
+        match frame {
+            Frame::OpenSession(spec) => {
+                let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                let lane = (session as usize) % lanes.len();
+                let inflight = Arc::new(AtomicUsize::new(0));
+                shared
+                    .sessions
+                    .lock()
+                    .expect("session table")
+                    .insert(session, Entry { lane, inflight });
+                owned.push(session);
+                let cmd = Command::Open {
+                    session,
+                    spec: Box::new(spec),
+                    conn: writer.clone(),
+                };
+                if lanes[lane].send(cmd).is_err() {
+                    reply_error(&writer, &mut out, 0, ErrorCode::Internal, "server stopping");
+                }
+            }
+            Frame::StepSamples {
+                session,
+                iteration,
+                locations,
+                values,
+            } => {
+                let Some((lane, inflight)) = lookup(&shared, session) else {
+                    reply_unknown(&writer, &mut out, session);
+                    continue;
+                };
+                // Shed-don't-stall: reserve an inflight slot or bounce.
+                if !try_acquire(&inflight, shared.inflight_limit) {
+                    writer.send(
+                        &Frame::Busy {
+                            session,
+                            depth: shared.inflight_limit as u32,
+                        },
+                        &mut out,
+                    );
+                    continue;
+                }
+                let cmd = Command::Step {
+                    session,
+                    iteration,
+                    locations,
+                    values,
+                    inflight: Arc::clone(&inflight),
+                    conn: writer.clone(),
+                };
+                if lanes[lane].send(cmd).is_err() {
+                    inflight.fetch_sub(1, Ordering::AcqRel);
+                    reply_error(
+                        &writer,
+                        &mut out,
+                        session,
+                        ErrorCode::Internal,
+                        "server stopping",
+                    );
+                }
+            }
+            Frame::Extract { session } => {
+                route_control(&shared, &lanes, &writer, &mut out, session, |conn| {
+                    Command::Extract { session, conn }
+                });
+            }
+            Frame::Features { session } => {
+                route_control(&shared, &lanes, &writer, &mut out, session, |conn| {
+                    Command::Features { session, conn }
+                });
+            }
+            Frame::Poll { session } => {
+                route_control(&shared, &lanes, &writer, &mut out, session, |conn| {
+                    Command::Poll { session, conn }
+                });
+            }
+            Frame::CloseSession { session } => {
+                let removed = shared
+                    .sessions
+                    .lock()
+                    .expect("session table")
+                    .remove(&session);
+                match removed {
+                    Some(entry) => {
+                        owned.retain(|&id| id != session);
+                        let cmd = Command::Close {
+                            session,
+                            conn: Some(writer.clone()),
+                        };
+                        let _ = lanes[entry.lane].send(cmd);
+                    }
+                    None => reply_unknown(&writer, &mut out, session),
+                }
+            }
+            // Response frames arriving at the server are a peer bug.
+            _ => {
+                reply_error(
+                    &writer,
+                    &mut out,
+                    0,
+                    ErrorCode::Protocol,
+                    "response frame sent to server",
+                );
+                break;
+            }
+        }
+    }
+    // The connection is gone: evict every session it still owned.
+    let mut table = shared.sessions.lock().expect("session table");
+    for session in owned {
+        if let Some(entry) = table.remove(&session) {
+            let _ = lanes[entry.lane].send(Command::Close {
+                session,
+                conn: None,
+            });
+        }
+    }
+}
+
+fn lookup(shared: &Shared, session: u64) -> Option<(usize, Arc<AtomicUsize>)> {
+    let table = shared.sessions.lock().expect("session table");
+    table
+        .get(&session)
+        .map(|e| (e.lane, Arc::clone(&e.inflight)))
+}
+
+/// Reserves one inflight slot unless the gauge is at the limit.
+fn try_acquire(gauge: &AtomicUsize, limit: usize) -> bool {
+    let mut current = gauge.load(Ordering::Acquire);
+    loop {
+        if current >= limit {
+            return false;
+        }
+        match gauge.compare_exchange_weak(current, current + 1, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+fn route_control(
+    shared: &Shared,
+    lanes: &[Sender<Command>],
+    writer: &ConnWriter,
+    out: &mut Vec<u8>,
+    session: u64,
+    make: impl FnOnce(ConnWriter) -> Command,
+) {
+    match lookup(shared, session) {
+        Some((lane, _)) => {
+            if lanes[lane].send(make(writer.clone())).is_err() {
+                reply_error(writer, out, session, ErrorCode::Internal, "server stopping");
+            }
+        }
+        None => reply_unknown(writer, out, session),
+    }
+}
+
+fn reply_unknown(writer: &ConnWriter, out: &mut Vec<u8>, session: u64) {
+    reply_error(
+        writer,
+        out,
+        session,
+        ErrorCode::UnknownSession,
+        "no such session",
+    );
+}
+
+fn reply_error(writer: &ConnWriter, out: &mut Vec<u8>, session: u64, code: ErrorCode, msg: &str) {
+    writer.send(
+        &Frame::ErrorReply {
+            session,
+            code,
+            message: msg.to_string(),
+        },
+        out,
+    );
+}
+
+/// One worker lane: a long-lived pool job owning its sessions outright —
+/// no locking on the hot path; the channel is the synchronization.
+fn lane_loop(rx: Receiver<Command>, shared: Arc<Shared>) {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut out = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Open {
+                session,
+                spec,
+                conn,
+            } => match Session::open(&spec) {
+                Ok(open) => {
+                    sessions.insert(session, open);
+                    conn.send(&Frame::SessionOpened { session }, &mut out);
+                }
+                Err(message) => {
+                    shared
+                        .sessions
+                        .lock()
+                        .expect("session table")
+                        .remove(&session);
+                    conn.send(
+                        &Frame::ErrorReply {
+                            session,
+                            code: ErrorCode::BadSpec,
+                            message,
+                        },
+                        &mut out,
+                    );
+                }
+            },
+            Command::Step {
+                session,
+                iteration,
+                locations,
+                values,
+                inflight,
+                conn,
+            } => {
+                let reply = match sessions.get_mut(&session) {
+                    Some(open) => match open.step(iteration, &locations, &values) {
+                        Ok((samples, batches_trained)) => Frame::StepAck {
+                            session,
+                            iteration,
+                            samples,
+                            batches_trained,
+                        },
+                        Err(message) => Frame::ErrorReply {
+                            session,
+                            code: ErrorCode::Protocol,
+                            message,
+                        },
+                    },
+                    None => unknown_session(session),
+                };
+                inflight.fetch_sub(1, Ordering::AcqRel);
+                conn.send(&reply, &mut out);
+            }
+            Command::Extract { session, conn } => {
+                let reply = match sessions.get_mut(&session) {
+                    Some(open) => Frame::FeatureReport {
+                        session,
+                        features: open.extract(),
+                    },
+                    None => unknown_session(session),
+                };
+                conn.send(&reply, &mut out);
+            }
+            Command::Features { session, conn } => {
+                let reply = match sessions.get(&session) {
+                    Some(open) => Frame::FeatureReport {
+                        session,
+                        features: open.features(),
+                    },
+                    None => unknown_session(session),
+                };
+                conn.send(&reply, &mut out);
+            }
+            Command::Poll { session, conn } => {
+                let reply = match sessions.get(&session) {
+                    Some(open) => Frame::Status {
+                        session,
+                        status: open.poll(),
+                    },
+                    None => unknown_session(session),
+                };
+                conn.send(&reply, &mut out);
+            }
+            Command::Close { session, conn } => {
+                // Dropping the Session winds its engine down (Drop joins
+                // any in-flight training) before the reply goes out.
+                let existed = sessions.remove(&session).is_some();
+                if let Some(conn) = conn {
+                    let reply = if existed {
+                        Frame::Closed { session }
+                    } else {
+                        unknown_session(session)
+                    };
+                    conn.send(&reply, &mut out);
+                }
+            }
+        }
+    }
+    // Channel disconnected: the server is shutting down. Sessions drop
+    // here, joining their engines' in-flight work.
+}
+
+fn unknown_session(session: u64) -> Frame {
+    Frame::ErrorReply {
+        session,
+        code: ErrorCode::UnknownSession,
+        message: "no such session".to_string(),
+    }
+}

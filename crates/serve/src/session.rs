@@ -1,0 +1,247 @@
+//! One analysis session: the bridge between wire frames and an engine.
+//!
+//! A [`Session`] owns an [`Engine<SampleFrame>`] configured from the
+//! client's [`SessionSpec`], plus a reusable [`SampleFrame`] that each
+//! `StepSamples` frame is ingested into before the engine's
+//! sample → assemble → train → extract pipeline runs over it. Because the
+//! engine is the same type the in-process API uses — same collector, same
+//! trainer, same extractors — a session's features are bit-identical to
+//! what the identical sample stream produces in-process; the wire adds
+//! transport, not arithmetic.
+//!
+//! Sessions always train [inline](insitu::engine::EngineConfig::inline):
+//! the *server* provides the concurrency by spreading sessions across
+//! worker lanes, so a session must never block on (or compete for) pool
+//! job threads of its own. Specs with `shards >= 2` still get a sharded
+//! collector over a serial pool — the decomposition-partitioned store with
+//! fan-out degenerating to an in-place loop, preserving bit-identity with
+//! the unsharded scan.
+
+use insitu::engine::{Engine, EngineConfig, RegionId};
+use insitu::prelude::{FrameProvider, SampleFrame};
+use insitu::region::{AnalysisSpec, FeatureValue};
+use parsim::ThreadPool;
+use simkit::{BlockDecomposition, Extents};
+
+use crate::wire::{SessionSpec, SessionStatus};
+
+/// One open session: an engine, its region handle, and the reusable
+/// ingestion frame.
+pub struct Session {
+    engine: Engine<SampleFrame>,
+    region: RegionId,
+    frame: SampleFrame,
+    last_samples: u64,
+}
+
+impl Session {
+    /// Builds the engine for `spec`. Returns a human-readable message when
+    /// the spec fails the core library's validation (surfaced to the
+    /// client as [`ErrorCode::BadSpec`](crate::wire::ErrorCode::BadSpec)).
+    pub fn open(spec: &SessionSpec) -> Result<Self, String> {
+        let config = if spec.shards >= 2 {
+            // A 1-D decomposition wide enough that every shard owns at
+            // least one location of the spatial characteristic.
+            let nx = (spec.spatial.end() as usize + 1).max(spec.shards);
+            let extents = Extents::new(nx, 1, 1).map_err(|e| e.to_string())?;
+            let decomposition =
+                BlockDecomposition::new(extents, spec.shards).map_err(|e| e.to_string())?;
+            EngineConfig::sharded(decomposition, ThreadPool::serial())
+        } else {
+            EngineConfig::inline()
+        };
+        let mut engine = Engine::with_config(config);
+        let region = engine
+            .add_region(spec.name.clone())
+            .map_err(|e| e.to_string())?;
+        let analysis = AnalysisSpec::builder()
+            .name(spec.name.clone())
+            .provider(FrameProvider)
+            .spatial(spec.spatial)
+            .temporal(spec.temporal)
+            .layout(spec.layout)
+            .feature(spec.feature)
+            .lag(spec.lag)
+            .batch_capacity(spec.batch_capacity)
+            .trainer(spec.trainer)
+            .retention(spec.retention)
+            .build()
+            .map_err(|e| e.to_string())?;
+        engine
+            .add_analysis(region, analysis)
+            .map_err(|e| e.to_string())?;
+        Ok(Self {
+            engine,
+            region,
+            frame: SampleFrame::new(),
+            last_samples: 0,
+        })
+    }
+
+    /// Ingests one step's columns and runs the pipeline. Returns
+    /// `(samples recorded by this step, cumulative batches trained)` for
+    /// the `StepAck`; errors are client mistakes (mismatched columns).
+    pub fn step(
+        &mut self,
+        iteration: u64,
+        locations: &[u64],
+        values: &[f64],
+    ) -> Result<(u64, u64), String> {
+        self.frame
+            .ingest(locations, values)
+            .map_err(|e| e.to_string())?;
+        let report = self.engine.step(iteration).complete(&self.frame);
+        let status = report.region(self.region).expect("session region exists");
+        let total = status.samples_collected as u64;
+        let delta = total - self.last_samples;
+        self.last_samples = total;
+        Ok((delta, status.batches_trained as u64))
+    }
+
+    /// Finishes all deferred training (bit-identical to having trained
+    /// inline), forces extraction from everything collected so far, and
+    /// returns the features.
+    pub fn extract(&mut self) -> Vec<(String, FeatureValue)> {
+        self.engine.drain();
+        self.engine
+            .extract_now(self.region)
+            .expect("session region exists");
+        self.features()
+    }
+
+    /// The features extracted so far, without forcing anything.
+    pub fn features(&self) -> Vec<(String, FeatureValue)> {
+        self.status_ref().features.clone()
+    }
+
+    /// A wire snapshot of the region status.
+    pub fn poll(&self) -> SessionStatus {
+        let status = self.status_ref();
+        SessionStatus {
+            iteration: status.iteration,
+            samples_collected: status.samples_collected as u64,
+            batches_trained: status.batches_trained as u64,
+            last_loss: status.last_loss,
+            converged: status.converged,
+            should_terminate: status.should_terminate,
+            front_location: status.front_location.map(|l| l as u64),
+            predicted_value: status.predicted_value,
+        }
+    }
+
+    fn status_ref(&self) -> &insitu::region::RegionStatus {
+        self.engine
+            .status(self.region)
+            .expect("session region exists")
+    }
+}
+
+// Dropping a Session drops its Engine, whose `Drop` runs `shutdown()`:
+// in-flight training jobs are joined and queued batches recycled, so
+// evicting a session (CloseSession, or a connection dying) never orphans
+// pool work.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu::IterParam;
+
+    fn spec() -> SessionSpec {
+        let mut spec = SessionSpec::new(
+            "wave",
+            IterParam::new(1, 8, 1).unwrap(),
+            IterParam::new(0, 200, 1).unwrap(),
+        );
+        spec.lag = 10;
+        spec
+    }
+
+    fn drive(session: &mut Session, steps: u64) {
+        let locations: Vec<u64> = (1..=8).collect();
+        for it in 0..steps {
+            let values: Vec<f64> = locations
+                .iter()
+                .map(|&l| ((it as f64) * 0.1 - l as f64).tanh() + 1.0)
+                .collect();
+            session.step(it, &locations, &values).unwrap();
+        }
+    }
+
+    #[test]
+    fn session_matches_the_in_process_engine_bit_for_bit() {
+        let mut session = Session::open(&spec()).unwrap();
+        drive(&mut session, 120);
+        let served = session.extract();
+
+        // The same stream through the in-process API, same provider path.
+        let mut engine: Engine<SampleFrame> = Engine::with_config(EngineConfig::inline());
+        let region = engine.add_region("wave").unwrap();
+        let s = spec();
+        engine
+            .add_analysis(
+                region,
+                AnalysisSpec::builder()
+                    .name(s.name.clone())
+                    .provider(FrameProvider)
+                    .spatial(s.spatial)
+                    .temporal(s.temporal)
+                    .layout(s.layout)
+                    .feature(s.feature)
+                    .lag(s.lag)
+                    .batch_capacity(s.batch_capacity)
+                    .trainer(s.trainer)
+                    .retention(s.retention)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut frame = SampleFrame::new();
+        let locations: Vec<u64> = (1..=8).collect();
+        for it in 0..120 {
+            let values: Vec<f64> = locations
+                .iter()
+                .map(|&l| ((it as f64) * 0.1 - l as f64).tanh() + 1.0)
+                .collect();
+            frame.ingest(&locations, &values).unwrap();
+            engine.step(it).complete(&frame);
+        }
+        engine.drain();
+        engine.extract_now(region).unwrap();
+        let reference = engine.status(region).unwrap().features.clone();
+
+        assert_eq!(served, reference);
+        assert!(!served.is_empty(), "the workload extracts a feature");
+    }
+
+    #[test]
+    fn sharded_session_matches_the_unsharded_one() {
+        let mut plain = Session::open(&spec()).unwrap();
+        let mut sharded_spec = spec();
+        sharded_spec.shards = 3;
+        let mut sharded = Session::open(&sharded_spec).unwrap();
+        drive(&mut plain, 90);
+        drive(&mut sharded, 90);
+        assert_eq!(plain.extract(), sharded.extract());
+        assert_eq!(plain.poll(), sharded.poll());
+    }
+
+    #[test]
+    fn step_acks_report_per_step_sample_deltas() {
+        let mut session = Session::open(&spec()).unwrap();
+        let locations: Vec<u64> = (1..=8).collect();
+        let values = vec![1.0; 8];
+        let (delta, _) = session.step(0, &locations, &values).unwrap();
+        assert_eq!(delta, 8);
+        let (delta, _) = session.step(1, &locations, &values).unwrap();
+        assert_eq!(delta, 8);
+        // Mismatched columns are a client error, not a panic.
+        assert!(session.step(2, &locations, &values[..4]).is_err());
+    }
+
+    #[test]
+    fn bad_specs_are_reported_not_panicked() {
+        let mut bad = spec();
+        bad.trainer.epochs_per_batch = 0;
+        assert!(Session::open(&bad).is_err());
+    }
+}

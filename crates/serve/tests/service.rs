@@ -1,0 +1,293 @@
+//! End-to-end tests of the serve runtime: wire-served features must be
+//! bit-identical to the in-process engine under concurrent multi-session
+//! load (over TCP **and** Unix sockets), backpressure must shed rather
+//! than stall, protocol errors must come back as error replies, and
+//! shutdown must wind every session down without hanging.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use insitu::collect::Retention;
+use insitu::IterParam;
+use parsim::{ParallelConfig, ThreadPool};
+use serve::loadgen::{self, LoadgenConfig, Target};
+use serve::wire::{ErrorCode, Frame, SessionSpec};
+use serve::{Client, Server, ServerConfig};
+
+fn pool(workers: usize) -> ThreadPool {
+    ThreadPool::new(ParallelConfig::new(workers, 1).expect("valid config"))
+}
+
+fn unique_socket_path(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "insitu-serve-test-{}-{tag}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+/// The acceptance property: many concurrent sessions over real sockets,
+/// every session's served features equal the in-process engine's, bit for
+/// bit. Runs the same loadgen the benchmark uses, in verify mode.
+#[test]
+fn tcp_served_features_are_bit_identical_under_concurrent_load() {
+    let server =
+        Server::bind_tcp("127.0.0.1:0", pool(4), ServerConfig::default()).expect("bind tcp");
+    let target = Target::Tcp(server.tcp_addr().expect("tcp addr"));
+    let config = LoadgenConfig {
+        sessions: 48,
+        steps: 80,
+        connections: 4,
+        distinct: 12,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&target, &config).expect("load run");
+    assert_eq!(report.verified, config.sessions);
+    server.shutdown();
+}
+
+#[test]
+fn unix_served_features_are_bit_identical_under_concurrent_load() {
+    let path = unique_socket_path("identity");
+    let server = Server::bind_unix(&path, pool(4), ServerConfig::default()).expect("bind unix");
+    let config = LoadgenConfig {
+        sessions: 24,
+        steps: 80,
+        connections: 3,
+        distinct: 8,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&Target::Unix(path.clone()), &config).expect("load run");
+    assert_eq!(report.verified, config.sessions);
+    server.shutdown();
+    assert!(!path.exists(), "socket file unlinked on shutdown");
+}
+
+/// Backpressure is shed-don't-stall: with the inflight limit at 1 and a
+/// deliberately expensive session, a pipelined burst of steps must bounce
+/// with `Busy` instead of queueing without bound — and every bounced step
+/// can be retried to completion.
+#[test]
+fn overdriven_session_sheds_steps_with_busy() {
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        pool(2),
+        ServerConfig {
+            workers: 2,
+            inflight_limit: 1,
+        },
+    )
+    .expect("bind tcp");
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+
+    // An expensive session: wide spatial range and a busy trainer, so one
+    // step takes long enough for the burst to pile onto the gauge.
+    let mut spec = SessionSpec::new(
+        "heavy",
+        IterParam::new(1, 2048, 1).unwrap(),
+        IterParam::new(0, 200, 1).unwrap(),
+    );
+    spec.lag = 5;
+    spec.batch_capacity = 64;
+    spec.trainer.order = 8;
+    spec.trainer.epochs_per_batch = 8;
+    let session = client.open_session(spec).expect("open");
+
+    let locations: Vec<u64> = (1..=2048).collect();
+    let values: Vec<f64> = locations.iter().map(|&l| (l as f64).sin()).collect();
+    const BURST: u64 = 24;
+    for it in 0..BURST {
+        client
+            .send(&Frame::StepSamples {
+                session,
+                iteration: it,
+                locations: locations.clone(),
+                values: values.clone(),
+            })
+            .expect("send");
+    }
+    let mut acked = Vec::new();
+    let mut bounced = Vec::new();
+    for _ in 0..BURST {
+        match client.recv().expect("reply") {
+            Frame::StepAck { iteration, .. } => acked.push(iteration),
+            Frame::Busy { session: s, depth } => {
+                assert_eq!(s, session);
+                assert_eq!(depth, 1);
+                bounced.push(());
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert_eq!(acked.len() + bounced.len(), BURST as usize);
+    assert!(
+        !bounced.is_empty(),
+        "a 24-step pipelined burst at inflight_limit=1 must shed at least once"
+    );
+    // Shed steps are retryable: the lock-step path waits out the Busy.
+    for it in BURST..BURST + 4 {
+        client
+            .step(session, it, &locations, &values)
+            .expect("retry");
+    }
+    client.close_session(session).expect("close");
+    server.shutdown();
+}
+
+/// Protocol-level error paths: unknown sessions, bad specs, and malformed
+/// frames each produce their error reply (and a malformed frame hangs up
+/// the connection, since the stream can no longer be framed).
+#[test]
+fn error_paths_reply_with_typed_errors() {
+    let server =
+        Server::bind_tcp("127.0.0.1:0", pool(2), ServerConfig::default()).expect("bind tcp");
+    let addr = server.tcp_addr().unwrap();
+
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    // Unknown session.
+    client.send(&Frame::Poll { session: 999 }).expect("send");
+    match client.recv().expect("reply") {
+        Frame::ErrorReply { session, code, .. } => {
+            assert_eq!(session, 999);
+            assert_eq!(code, ErrorCode::UnknownSession);
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    // A spec the core library rejects (zero epochs per batch).
+    let mut bad = SessionSpec::new(
+        "bad",
+        IterParam::new(1, 4, 1).unwrap(),
+        IterParam::new(0, 10, 1).unwrap(),
+    );
+    bad.trainer.epochs_per_batch = 0;
+    assert!(client.open_session(bad).is_err());
+    // Mismatched columns are caught at decode time (the frame encodes one
+    // count for both columns, so a mismatch leaves the body inconsistent
+    // with itself): protocol error, but the stream is still framed — the
+    // connection and the session both live on.
+    let spec = SessionSpec::new(
+        "ok",
+        IterParam::new(1, 4, 1).unwrap(),
+        IterParam::new(0, 10, 1).unwrap(),
+    );
+    let session = client.open_session(spec).expect("open");
+    client
+        .send(&Frame::StepSamples {
+            session,
+            iteration: 0,
+            locations: vec![1, 2, 3],
+            values: vec![0.5],
+        })
+        .expect("send");
+    match client.recv().expect("reply") {
+        Frame::ErrorReply {
+            session: s, code, ..
+        } => {
+            assert_eq!(s, 0, "decode-level errors cannot name a session");
+            assert_eq!(code, ErrorCode::Protocol);
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    assert!(
+        client.poll(session).is_ok(),
+        "session survived the bad step"
+    );
+    // Closing twice: the second close is an unknown session.
+    client.close_session(session).expect("close");
+    assert!(client.close_session(session).is_err());
+    server.shutdown();
+}
+
+/// Dropping the server with sessions still open must not hang: readers
+/// are woken, lanes drain, engines shut down.
+#[test]
+fn shutdown_with_open_sessions_does_not_hang() {
+    let server =
+        Server::bind_tcp("127.0.0.1:0", pool(2), ServerConfig::default()).expect("bind tcp");
+    let addr = server.tcp_addr().unwrap();
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let spec = SessionSpec::new(
+        "abandoned",
+        IterParam::new(1, 8, 1).unwrap(),
+        IterParam::new(0, 100, 1).unwrap(),
+    );
+    let session = client.open_session(spec).expect("open");
+    let locations: Vec<u64> = (1..=8).collect();
+    let values = vec![1.0; 8];
+    client.step(session, 0, &locations, &values).expect("step");
+    drop(server); // Drop, not shutdown(): the Drop path must also wind down.
+                  // The connection is now dead; the next request errors instead of
+                  // blocking forever.
+    assert!(client.poll(session).is_err());
+}
+
+/// Sessions opened on a connection die with it: a second connection can
+/// never address them, and the server stays healthy for new work.
+#[test]
+fn connection_death_evicts_its_sessions() {
+    let server =
+        Server::bind_tcp("127.0.0.1:0", pool(2), ServerConfig::default()).expect("bind tcp");
+    let addr = server.tcp_addr().unwrap();
+    let orphan = {
+        let mut dying = Client::connect_tcp(addr).expect("connect");
+        let spec = SessionSpec::new(
+            "dying",
+            IterParam::new(1, 4, 1).unwrap(),
+            IterParam::new(0, 10, 1).unwrap(),
+        );
+        dying.open_session(spec).expect("open")
+        // `dying` drops here, closing the socket.
+    };
+    // Give the reader thread a moment to evict.
+    let mut other = Client::connect_tcp(addr).expect("connect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match other.poll(orphan) {
+            Err(_) => break, // evicted
+            Ok(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Ok(_) => panic!("orphaned session still addressable after 5s"),
+        }
+    }
+    // The server still serves new sessions.
+    let spec = SessionSpec::new(
+        "fresh",
+        IterParam::new(1, 4, 1).unwrap(),
+        IterParam::new(0, 10, 1).unwrap(),
+    );
+    let fresh = other.open_session(spec).expect("open");
+    other.close_session(fresh).expect("close");
+    server.shutdown();
+}
+
+/// Session ids are per-server-lifetime unique, and a windowed retention
+/// session streams far past its window with bounded history — the
+/// memory-bound claim behind thousand-session runs.
+#[test]
+fn windowed_sessions_stream_far_past_their_window() {
+    let server =
+        Server::bind_tcp("127.0.0.1:0", pool(2), ServerConfig::default()).expect("bind tcp");
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+    let mut spec = SessionSpec::new(
+        "windowed",
+        IterParam::new(1, 8, 1).unwrap(),
+        IterParam::new(0, 5000, 1).unwrap(),
+    );
+    spec.retention = Retention::Window(32);
+    spec.lag = 10;
+    let session = client.open_session(spec).expect("open");
+    let locations: Vec<u64> = (1..=8).collect();
+    for it in 0..2000u64 {
+        let values: Vec<f64> = locations
+            .iter()
+            .map(|&l| loadgen::pulse_value(3, it, l))
+            .collect();
+        client.step(session, it, &locations, &values).expect("step");
+    }
+    let status = client.poll(session).expect("poll");
+    assert_eq!(status.iteration, 1999);
+    assert_eq!(status.samples_collected, 2000 * 8);
+    client.close_session(session).expect("close");
+    server.shutdown();
+}
