@@ -1,18 +1,22 @@
 //! Regenerates `BENCH_columnar.json`: wall-clock comparison of the
 //! row-oriented (pre-refactor) and columnar (struct-of-arrays, recycled
-//! buffers) assemble+train pipelines over the same workload.
+//! buffers) assemble+train pipelines over the same workload, plus the
+//! scalar-vs-dispatched rows for the training kernels themselves
+//! (`"kernel_speedup"`, see [`bench::kernelbench`]).
 //!
-//! The two paths are arithmetically identical (`bench::rowref`'s tests
-//! prove bit-identical losses), so the speedup is purely the memory
-//! layout: contiguous predictors, zero per-row allocations, reusable
-//! trainer scratch. Run from the workspace root:
+//! The layout comparison runs both paths on the **scalar** kernels so the
+//! row reflects memory layout alone; the two paths are arithmetically
+//! identical (`bench::rowref`'s tests prove bit-identical losses). The
+//! kernel rows then isolate the instruction-level win of the dispatched
+//! SIMD kernels over the same scalar baseline. Run from the workspace
+//! root:
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_columnar
 //! ```
 
 use bench::report::{JsonObj, JsonReport};
-use bench::{median_ns, rowref};
+use bench::{kernelbench, median_ns, rowref};
 
 struct Measurement {
     locations: u64,
@@ -62,7 +66,9 @@ fn main() {
                 .uint("batch_capacity", rowref::WORKLOAD_BATCH as u64)
                 .uint("epochs_per_batch", rowref::WORKLOAD_EPOCHS as u64),
         )
-        .uint("timed_runs_per_case", runs as u64);
+        .uint("timed_runs_per_case", runs as u64)
+        .available_parallelism()
+        .kernels();
     for m in &measurements {
         report.case(
             JsonObj::new()
@@ -71,6 +77,16 @@ fn main() {
                 .ns("row_ns", m.row_ns_per_run)
                 .ns("columnar_ns", m.columnar_ns_per_run)
                 .ratio("speedup", m.row_ns_per_run / m.columnar_ns_per_run),
+        );
+    }
+    let kernel_cases = kernelbench::measure_training_kernels(runs);
+    for case in &kernel_cases {
+        report.case(
+            JsonObj::new()
+                .string("kernel", case.name)
+                .ns("scalar_ns", case.scalar_ns)
+                .ns("dispatched_ns", case.dispatched_ns)
+                .ratio("kernel_speedup", case.speedup()),
         );
     }
     let json = report.write("BENCH_columnar.json");
@@ -82,6 +98,15 @@ fn main() {
             m.row_ns_per_run,
             m.columnar_ns_per_run,
             m.row_ns_per_run / m.columnar_ns_per_run
+        );
+    }
+    for case in &kernel_cases {
+        println!(
+            "kernel {:<26}: scalar {:>8.1} ns, dispatched {:>8.1} ns, speedup {:.2}x",
+            case.name,
+            case.scalar_ns,
+            case.dispatched_ns,
+            case.speedup()
         );
     }
 }

@@ -8,14 +8,16 @@
 //! speedup is purely the storage layout: O(1) slot-addressed records
 //! instead of tree walks, contiguous value columns instead of interleaved
 //! pairs, and incrementally maintained peak/latest profiles instead of
-//! per-extraction rescans. Run from the workspace root:
+//! per-extraction rescans. The artifact also carries the store-side
+//! scalar-vs-dispatched kernel row (`"kernel_speedup"`, the windowed peak
+//! re-scan — see [`bench::kernelbench`]). Run from the workspace root:
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_history
 //! ```
 
 use bench::report::{JsonObj, JsonReport};
-use bench::{histref, median_ns};
+use bench::{histref, kernelbench, median_ns};
 
 struct Measurement {
     locations: u64,
@@ -59,7 +61,9 @@ fn main() {
                 .uint("lag", histref::WORKLOAD_LAG)
                 .ratio("breakpoint_threshold", histref::WORKLOAD_THRESHOLD),
         )
-        .uint("timed_runs_per_case", runs as u64);
+        .uint("timed_runs_per_case", runs as u64)
+        .available_parallelism()
+        .kernels();
     for m in &measurements {
         report.case(
             JsonObj::new()
@@ -68,6 +72,16 @@ fn main() {
                 .ns("map_ns", m.map_ns_per_run)
                 .ns("slot_ns", m.slot_ns_per_run)
                 .ratio("speedup", m.map_ns_per_run / m.slot_ns_per_run),
+        );
+    }
+    let kernel_cases = kernelbench::measure_history_kernels(runs);
+    for case in &kernel_cases {
+        report.case(
+            JsonObj::new()
+                .string("kernel", case.name)
+                .ns("scalar_ns", case.scalar_ns)
+                .ns("dispatched_ns", case.dispatched_ns)
+                .ratio("kernel_speedup", case.speedup()),
         );
     }
     let json = report.write("BENCH_history.json");
@@ -79,6 +93,15 @@ fn main() {
             m.map_ns_per_run,
             m.slot_ns_per_run,
             m.map_ns_per_run / m.slot_ns_per_run
+        );
+    }
+    for case in &kernel_cases {
+        println!(
+            "kernel {:<20}: scalar {:>8.1} ns, dispatched {:>8.1} ns, speedup {:.2}x",
+            case.name,
+            case.scalar_ns,
+            case.dispatched_ns,
+            case.speedup()
         );
     }
 }

@@ -58,6 +58,7 @@ fn main() {
         )
         .uint("timed_runs_per_case", runs as u64)
         .available_parallelism()
+        .kernels()
         .uint("samples", digest.samples as u64)
         .uint("batches", digest.batches as u64)
         .ns("unsharded_ns", unsharded_ns);

@@ -2,10 +2,17 @@
 //! benchmarks at reduced sizes and fails if any measured number drops below
 //! **50 % of the value committed** in the corresponding `BENCH_*.json`:
 //!
-//! * `BENCH_history.json` — map-based vs slot-indexed sample store,
-//! * `BENCH_columnar.json` — row-oriented vs columnar mini-batches,
+//! * `BENCH_history.json` — map-based vs slot-indexed sample store, plus
+//!   the store-side `"kernel_speedup"` row (windowed peak re-scan),
+//! * `BENCH_columnar.json` — row-oriented vs columnar mini-batches, plus
+//!   the training-side `"kernel_speedup"` rows (scalar vs dispatched
+//!   `insitu::kernels`),
 //! * `BENCH_shard.json` — sharded collection scaling vs one shard,
 //! * `BENCH_service.json` — wire-served session throughput (steps/sec).
+//!
+//! Kernel floors are only enforced when this host's dispatch matches the
+//! recorded `"kernels"` string — a scalar or NEON host cannot be held to
+//! an AVX2 recording (same skip idiom as the core-count guards below).
 //!
 //! The floor is derived from the committed artifact (geometric mean of its
 //! per-case speedups, or the matching rung's throughput), not hard-coded,
@@ -18,7 +25,7 @@
 //! cargo run --release -p bench --bin perf_smoke
 //! ```
 
-use bench::{histref, median_ns, rowref, service, shard};
+use bench::{histref, kernelbench, median_ns, rowref, service, shard};
 use parsim::{ParallelConfig, ThreadPool};
 
 /// Fraction of the committed speedup a reduced-size re-measurement must
@@ -78,6 +85,24 @@ fn committed_parallelism(path: &str) -> usize {
         .trim()
         .parse()
         .unwrap_or_else(|e| panic!("{path}: malformed available_parallelism ({e})"))
+}
+
+/// Extracts the `"kernels": "<dispatch>"` string an artifact records.
+/// Kernel speedups are instruction-set-relative: a floor recorded under
+/// `"avx2"` says nothing about a host that dispatches `"scalar"`, so the
+/// caller skips the check when the strings differ.
+fn committed_kernels(path: &str) -> String {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path}: not readable ({e}); run the benchmark bin first"));
+    let needle = "\"kernels\": \"";
+    let pos = text
+        .find(needle)
+        .unwrap_or_else(|| panic!("{path}: no kernels entry; re-record the artifact"));
+    let rest = &text[pos + needle.len()..];
+    let end = rest
+        .find('"')
+        .unwrap_or_else(|| panic!("{path}: unterminated kernels entry"));
+    rest[..end].to_string()
 }
 
 struct Check {
@@ -175,6 +200,39 @@ fn main() {
             unit: "x",
         },
     ];
+    // Kernel floors: only comparable when this host resolves the same
+    // dispatch the artifact was recorded under (an AVX2 speedup is not a
+    // bound for a scalar or NEON host). The committed geomean spans the
+    // training rows (columnar artifact) and the store row (history
+    // artifact), re-measured on the same shapes via `bench::kernelbench`.
+    let active = insitu::kernels::active();
+    for (artifact, measure) in [
+        (
+            "BENCH_columnar.json",
+            kernelbench::measure_training_kernels as fn(usize) -> Vec<kernelbench::KernelCase>,
+        ),
+        ("BENCH_history.json", kernelbench::measure_history_kernels),
+    ] {
+        let recorded = committed_kernels(artifact);
+        if recorded == active {
+            let speedups: Vec<f64> = measure(RUNS).iter().map(|c| c.speedup()).collect();
+            checks.push(Check {
+                name: match artifact {
+                    "BENCH_columnar.json" => "kernels/train (BENCH_columnar.json)",
+                    _ => "kernels/store (BENCH_history.json)",
+                },
+                committed: geomean(&committed_values(artifact, "kernel_speedup")),
+                measured: geomean(&speedups),
+                unit: "x",
+            });
+        } else {
+            println!(
+                "kernels ({artifact})   skipped: this host dispatches \"{active}\" \
+                 vs \"{recorded}\" when recorded — kernel floor not comparable; \
+                 re-record the artifact on matching hardware to re-arm it"
+            );
+        }
+    }
     // The shard floor is core-count-dependent: committed ratios recorded on
     // an N-core host are structurally unreachable on a smaller machine (the
     // fan-out jobs just queue), so only enforce the floor when this host

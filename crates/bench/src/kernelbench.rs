@@ -1,0 +1,183 @@
+//! Shared scalar-vs-dispatched kernel measurement.
+//!
+//! One fixed shape ladder per kernel, timed once against the canonical
+//! scalar reference and once against the host's best dispatch
+//! ([`insitu::kernels::select`]). `bench_columnar` and `bench_history`
+//! record these rows into their committed `BENCH_*.json` artifacts (keyed
+//! `"kernel_speedup"`, deliberately not a substring hit for the pipeline
+//! `"speedup":` scans), and `perf_smoke` re-measures the same shapes to
+//! enforce the committed geomean at its floor.
+//!
+//! Because scalar and SIMD are bit-identical under the default feature
+//! set, every measurement first asserts the two paths agree on its actual
+//! inputs — a timing row for diverging arithmetic would be meaningless.
+
+use insitu::kernels::{self, Kernels};
+
+use crate::median_ns;
+
+/// One scalar-vs-dispatched timing row.
+#[derive(Debug)]
+pub struct KernelCase {
+    /// Stable row name, recorded in the artifact.
+    pub name: &'static str,
+    /// Per-op nanoseconds through the canonical scalar kernels.
+    pub scalar_ns: f64,
+    /// Per-op nanoseconds through [`insitu::kernels::select`].
+    pub dispatched_ns: f64,
+}
+
+impl KernelCase {
+    /// Scalar time over dispatched time (>1 means the dispatch wins).
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns / self.dispatched_ns
+    }
+}
+
+/// Deterministic xorshift64* fill in roughly [-1, 1).
+fn fill(seed: u64, buf: &mut [f64]) {
+    let mut x = seed | 1;
+    for v in buf.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *v = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+    }
+}
+
+/// Times `op` through both kernel sets, amortizing `reps` calls per timer
+/// read so sub-microsecond kernels are measured above clock resolution.
+fn time_pair(
+    name: &'static str,
+    runs: usize,
+    reps: usize,
+    mut op: impl FnMut(&'static Kernels),
+) -> KernelCase {
+    let scalar_ns = median_ns(runs, || {
+        for _ in 0..reps {
+            op(kernels::scalar());
+        }
+    }) / reps as f64;
+    let dispatched_ns = median_ns(runs, || {
+        for _ in 0..reps {
+            op(kernels::select());
+        }
+    }) / reps as f64;
+    KernelCase {
+        name,
+        scalar_ns,
+        dispatched_ns,
+    }
+}
+
+/// Asserts the dispatched kernel agrees with scalar on this input (bitwise
+/// under the default features; the `fma` build is pinned by its own
+/// tolerance goldens, so here it only has to stay finite and close).
+fn assert_agree(scalar: f64, dispatched: f64, what: &str) {
+    let tol = 1e-9 * scalar.abs().max(dispatched.abs()).max(1.0);
+    assert!(
+        scalar.to_bits() == dispatched.to_bits() || (scalar - dispatched).abs() <= tol,
+        "{what}: dispatched kernel diverged from scalar ({scalar:e} vs {dispatched:e})"
+    );
+}
+
+/// The training-side kernel rows recorded in `BENCH_columnar.json`:
+/// bulk z-score transform, input-energy reduction, gradient epoch, loss
+/// reduction, and the order-3 affine predict (the extraction path's shape;
+/// too short to vectorize well — committed as an honest ~1× row).
+pub fn measure_training_kernels(runs: usize) -> Vec<KernelCase> {
+    let n = 3072;
+    let rows = 256;
+    let order = 3;
+    let mut values = vec![0.0; n];
+    fill(1, &mut values);
+    let mut inputs = vec![0.0; rows * order];
+    let mut targets = vec![0.0; rows];
+    let mut coeffs = vec![0.0; order];
+    fill(2, &mut inputs);
+    fill(3, &mut targets);
+    fill(4, &mut coeffs);
+    let intercept = 0.125;
+
+    assert_agree(
+        kernels::scalar().sum_squares(&values),
+        kernels::select().sum_squares(&values),
+        "sum_squares",
+    );
+    assert_agree(
+        kernels::scalar().loss_sum(&inputs, &targets, intercept, &coeffs),
+        kernels::select().loss_sum(&inputs, &targets, intercept, &coeffs),
+        "loss_sum",
+    );
+    assert_agree(
+        kernels::scalar().affine(intercept, &coeffs, &inputs[..order]),
+        kernels::select().affine(intercept, &coeffs, &inputs[..order]),
+        "affine",
+    );
+
+    let mut cases = Vec::new();
+    let mut buf = values.clone();
+    cases.push(time_pair("transform_n3072", runs, 64, |k| {
+        k.transform(&mut buf, 0.37, 2.25);
+    }));
+    cases.push(time_pair("sum_squares_n3072", runs, 64, |k| {
+        std::hint::black_box(k.sum_squares(&values));
+    }));
+    let mut grads = vec![0.0; order + 1];
+    let mut lanes = vec![0.0; 4 * (order + 1)];
+    cases.push(time_pair("grad_epoch_rows256_order3", runs, 64, |k| {
+        k.grad_epoch(
+            &inputs, &targets, intercept, &coeffs, &mut grads, &mut lanes,
+        );
+    }));
+    cases.push(time_pair("loss_sum_rows256_order3", runs, 64, |k| {
+        std::hint::black_box(k.loss_sum(&inputs, &targets, intercept, &coeffs));
+    }));
+    cases.push(time_pair("affine_order3", runs, 4096, |k| {
+        std::hint::black_box(k.affine(intercept, &coeffs, &inputs[..order]));
+    }));
+    cases
+}
+
+/// The store-side kernel row recorded in `BENCH_history.json`: the
+/// windowed peak re-scan (`max_seeded`) over a 4096-value column.
+pub fn measure_history_kernels(runs: usize) -> Vec<KernelCase> {
+    let n = 4096;
+    let mut values = vec![0.0; n];
+    fill(5, &mut values);
+    assert_agree(
+        kernels::scalar().max_seeded(f64::NEG_INFINITY, &values),
+        kernels::select().max_seeded(f64::NEG_INFINITY, &values),
+        "max_seeded",
+    );
+    vec![time_pair("peak_rescan_n4096", runs, 64, |k| {
+        std::hint::black_box(k.max_seeded(f64::NEG_INFINITY, &values));
+    })]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_carry_positive_times_and_stable_names() {
+        let cases = measure_training_kernels(3);
+        let names: Vec<&str> = cases.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            [
+                "transform_n3072",
+                "sum_squares_n3072",
+                "grad_epoch_rows256_order3",
+                "loss_sum_rows256_order3",
+                "affine_order3",
+            ]
+        );
+        for c in &cases {
+            assert!(c.scalar_ns > 0.0 && c.dispatched_ns > 0.0, "{}", c.name);
+            assert!(c.speedup().is_finite());
+        }
+        let history = measure_history_kernels(3);
+        assert_eq!(history[0].name, "peak_rescan_n4096");
+    }
+}

@@ -27,6 +27,7 @@
 pub mod ablation;
 pub mod fitting;
 pub mod histref;
+pub mod kernelbench;
 pub mod lulesh_exp;
 pub mod report;
 pub mod rowref;

@@ -50,6 +50,14 @@ impl JsonObj {
         self
     }
 
+    /// A string field (the value must not need JSON escaping — artifact
+    /// strings are fixed identifiers like kernel-case names).
+    #[must_use]
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.parts.push(format!("\"{key}\": \"{value}\""));
+        self
+    }
+
     /// Renders the object on one line.
     pub fn render(&self) -> String {
         format!("{{{}}}", self.parts.join(", "))
@@ -94,12 +102,29 @@ impl JsonReport {
         self
     }
 
+    /// A string header field (same no-escaping convention as
+    /// [`JsonObj::string`]).
+    #[must_use]
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), format!("\"{value}\"")));
+        self
+    }
+
     /// Records the host's `available_parallelism` — the field `perf_smoke`
     /// checks before holding a parallelism-sensitive number to its floor.
     #[must_use]
     pub fn available_parallelism(self) -> Self {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         self.uint("available_parallelism", cores as u64)
+    }
+
+    /// Records which `insitu::kernels` dispatch produced the numbers — the
+    /// field `perf_smoke` compares against its own host's dispatch before
+    /// holding kernel speedups to their floor (a scalar host cannot be
+    /// measured against an AVX2 recording).
+    #[must_use]
+    pub fn kernels(self) -> Self {
+        self.string("kernels", insitu::kernels::active())
     }
 
     /// Appends one case row.

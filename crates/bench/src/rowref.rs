@@ -14,6 +14,7 @@
 //! what the refactor bought (recorded in `BENCH_columnar.json`).
 
 use insitu::collect::{BatchAssembler, PredictorLayout, Sample, SampleHistory};
+use insitu::kernels::{self, hsum4, Kernels};
 use insitu::model::{Optimizer, OptimizerKind};
 use insitu::IterParam;
 
@@ -110,17 +111,15 @@ impl RowTrainer {
     }
 
     fn predict_scaled(&self, inputs: &[f64]) -> f64 {
-        self.intercept
-            + self
-                .coefficients
-                .iter()
-                .zip(inputs)
-                .map(|(c, x)| c * x)
-                .sum::<f64>()
+        kernels::scalar().affine(self.intercept, &self.coefficients, inputs)
     }
 
     /// One gradient-descent update over a row-oriented batch — the
-    /// pre-refactor kernel, allocations included.
+    /// pre-refactor memory layout (per-row `Vec`s, per-epoch allocations),
+    /// on the library's canonical 4-lane reduction tree (element `i` of a
+    /// reduction accumulates into lane `i & 3`, rows into lane `row & 3`,
+    /// lanes combine as [`hsum4`]) so the losses stay bit-identical to the
+    /// columnar trainer's kernel path.
     pub fn train_batch(&mut self, rows: &[BatchRow]) -> f64 {
         for row in rows {
             for &x in &row.inputs {
@@ -143,27 +142,47 @@ impl RowTrainer {
 
         let dim = self.order + 1;
         const MAX_GRADIENT_NORM: f64 = 2.0;
-        let input_energy = 1.0
-            + scaled
-                .iter()
-                .map(|(inputs, _)| inputs.iter().map(|x| x * x).sum::<f64>())
-                .sum::<f64>()
-                / scaled.len() as f64;
+        // Input energy: the flat sum-of-squares over the concatenated
+        // predictors, element index running across row boundaries exactly
+        // like the columnar kernel's contiguous column (zero-padded tail
+        // group included).
+        let mut energy_lanes = [0.0f64; 4];
+        let mut flat_index = 0usize;
+        for (inputs, _) in &scaled {
+            for &x in inputs {
+                energy_lanes[flat_index & 3] += x * x;
+                flat_index += 1;
+            }
+        }
+        if !flat_index.is_multiple_of(4) {
+            for lane in energy_lanes.iter_mut().skip(flat_index % 4) {
+                *lane += 0.0 * 0.0;
+            }
+        }
+        let input_energy = 1.0 + hsum4(energy_lanes) / scaled.len() as f64;
         for _ in 0..self.epochs_per_batch {
-            let mut grads = vec![0.0; dim];
+            // Lane-major gradient scratch: component k's four row lanes at
+            // [4k .. 4k+4], mirroring the kernel's layout.
+            let mut lanes = vec![0.0f64; 4 * dim];
             let mut params = Vec::with_capacity(dim);
             params.push(self.intercept);
             params.extend_from_slice(&self.coefficients);
-            for (inputs, target) in &scaled {
+            for (r, (inputs, target)) in scaled.iter().enumerate() {
                 let residual = self.predict_scaled(inputs) - target;
-                grads[0] += 2.0 * residual;
-                for (g, x) in grads[1..].iter_mut().zip(inputs) {
-                    *g += 2.0 * residual * x;
+                let r2 = 2.0 * residual;
+                let lane = r & 3;
+                lanes[lane] += r2;
+                for (k, &x) in inputs.iter().enumerate() {
+                    lanes[4 * (k + 1) + lane] += r2 * x;
                 }
+            }
+            let mut grads = vec![0.0; dim];
+            for (k, grad) in grads.iter_mut().enumerate() {
+                *grad = hsum4(lanes[4 * k..4 * k + 4].try_into().expect("lane group"));
             }
             let scale = 1.0 / (scaled.len() as f64 * input_energy);
             grads.iter_mut().for_each(|g| *g *= scale);
-            let norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+            let norm = kernels::scalar().sum_squares(&grads).sqrt();
             if norm > MAX_GRADIENT_NORM {
                 let shrink = MAX_GRADIENT_NORM / norm;
                 grads.iter_mut().for_each(|g| *g *= shrink);
@@ -173,14 +192,12 @@ impl RowTrainer {
             self.coefficients.copy_from_slice(&params[1..]);
         }
 
-        let loss = scaled
-            .iter()
-            .map(|(inputs, target)| {
-                let p = self.predict_scaled(inputs);
-                (p - target) * (p - target)
-            })
-            .sum::<f64>()
-            / scaled.len() as f64;
+        let mut loss_lanes = [0.0f64; 4];
+        for (r, (inputs, target)) in scaled.iter().enumerate() {
+            let d = self.predict_scaled(inputs) - target;
+            loss_lanes[r & 3] += d * d;
+        }
+        let loss = hsum4(loss_lanes) / scaled.len() as f64;
         self.batches += 1;
         self.last_loss = loss;
         loss
@@ -280,19 +297,36 @@ pub fn run_row_pipeline(w: &LayoutWorkload) -> (usize, f64) {
 /// Drives the same workload through the **columnar** pipeline: predictors
 /// written straight into the recycled
 /// [`MiniBatch`](insitu::collect::MiniBatch), contiguous-slice trainer.
-/// Returns `(batches, last_loss)`.
+/// Pinned to the scalar kernels so the row-vs-columnar rows measure the
+/// memory layout alone (and stay bit-comparable under the `fma` feature,
+/// whose fused kernels are only reachable through dispatch). Returns
+/// `(batches, last_loss)`.
 pub fn run_columnar_pipeline(w: &LayoutWorkload) -> (usize, f64) {
+    run_columnar_pipeline_with(w, kernels::scalar())
+}
+
+/// The columnar pipeline on the host's dispatched SIMD kernels —
+/// `bench_columnar`'s end-to-end scalar-vs-dispatched comparison.
+pub fn run_columnar_pipeline_dispatched(w: &LayoutWorkload) -> (usize, f64) {
+    run_columnar_pipeline_with(w, kernels::select())
+}
+
+/// The columnar pipeline on an explicit kernel set.
+pub fn run_columnar_pipeline_with(w: &LayoutWorkload, kernels: &'static Kernels) -> (usize, f64) {
     use insitu::collect::BatchPool;
     use insitu::model::{ConvergenceCriteria, IncrementalTrainer, TrainerConfig};
 
-    let mut trainer = IncrementalTrainer::new(TrainerConfig {
-        order: w.order,
-        optimizer: OptimizerKind::Sgd {
-            learning_rate: 0.05,
+    let mut trainer = IncrementalTrainer::with_kernels(
+        TrainerConfig {
+            order: w.order,
+            optimizer: OptimizerKind::Sgd {
+                learning_rate: 0.05,
+            },
+            epochs_per_batch: WORKLOAD_EPOCHS,
+            convergence: ConvergenceCriteria::default(),
         },
-        epochs_per_batch: WORKLOAD_EPOCHS,
-        convergence: ConvergenceCriteria::default(),
-    })
+        kernels,
+    )
     .expect("valid trainer configuration");
     let mut pool = BatchPool::new(w.order, w.batch_capacity);
     let mut batch = pool.acquire();
@@ -312,6 +346,30 @@ pub fn run_columnar_pipeline(w: &LayoutWorkload) -> (usize, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dispatched_pipeline_matches_the_scalar_pipeline() {
+        let w = workload(20, 200);
+        let (scalar_batches, scalar_loss) = run_columnar_pipeline(&w);
+        let (simd_batches, simd_loss) = run_columnar_pipeline_dispatched(&w);
+        assert_eq!(scalar_batches, simd_batches, "batch cadence must agree");
+        if kernels::select().dispatch() == insitu::kernels::Dispatch::Avx2Fma {
+            // Fused multiply-add rounds once per multiply-add: tolerance,
+            // not bit-identity (the contract documented on the kernels
+            // module).
+            let tol = 1e-9 * scalar_loss.abs().max(1.0);
+            assert!(
+                (scalar_loss - simd_loss).abs() <= tol,
+                "fma loss {simd_loss:e} drifted past tolerance from {scalar_loss:e}"
+            );
+        } else {
+            assert_eq!(
+                scalar_loss.to_bits(),
+                simd_loss.to_bits(),
+                "dispatched loss {simd_loss:e} != scalar loss {scalar_loss:e}"
+            );
+        }
+    }
 
     #[test]
     fn row_reference_is_bit_identical_to_the_columnar_trainer() {

@@ -214,12 +214,13 @@ impl Slot {
                     value != old
                 } else if old >= self.peak {
                     // The overwritten value was the peak and the new one is
-                    // smaller: rescan the survivors (cold path).
-                    let rescanned = self
-                        .visible_values()
-                        .iter()
-                        .copied()
-                        .fold(self.evicted_peak, f64::max);
+                    // smaller: rescan the survivors (cold path, vectorized
+                    // max over the contiguous value column; the store is
+                    // serializable so it cannot pin a vtable — the global
+                    // selection is one atomic load, resolved well outside
+                    // any per-sample loop).
+                    let rescanned = crate::kernels::select()
+                        .max_seeded(self.evicted_peak, self.visible_values());
                     let changed = rescanned != self.peak;
                     self.peak = rescanned;
                     changed

@@ -1,0 +1,165 @@
+//! NEON (aarch64) implementations of the kernel vtable, emulating the
+//! canonical 4-lane convention with two `float64x2_t` halves: the low
+//! register holds lanes `{0, 1}`, the high register lanes `{2, 3}`, so
+//! spilling yields the exact lane array the scalar combine expects.
+//!
+//! The elementwise and flat-reduction kernels (`transform`,
+//! `sum_squares`, `affine`, `max_seeded`) are vectorized; the row-blocked
+//! kernels (`grad_epoch`, `loss_sum`) delegate to the scalar reference —
+//! sound because every dispatch is bit-identical under default features,
+//! so mixing paths can never change a result. Max uses a
+//! compare-and-select (`vcgtq` + `vbslq`) rather than `vmaxq`, whose
+//! NaN/±0 semantics differ from the x86 `vmaxpd` contract the scalar
+//! `vmax` encodes.
+//!
+//! Safety model: NEON is a baseline feature of every aarch64 target, so
+//! the intrinsics' target-feature precondition always holds; the only
+//! remaining obligation is the in-bounds pointer arithmetic of the loops.
+
+use super::{hsum4, Dispatch, Kernels};
+use core::arch::aarch64::*;
+
+/// `vmaxpd`-semantics lane max: `a` only when strictly greater, else `b`.
+#[inline]
+unsafe fn vmax_sel(a: float64x2_t, b: float64x2_t) -> float64x2_t {
+    vbslq_f64(vcgtq_f64(a, b), a, b)
+}
+
+#[inline]
+unsafe fn spill(lo: float64x2_t, hi: float64x2_t) -> [f64; 4] {
+    [
+        vgetq_lane_f64::<0>(lo),
+        vgetq_lane_f64::<1>(lo),
+        vgetq_lane_f64::<0>(hi),
+        vgetq_lane_f64::<1>(hi),
+    ]
+}
+
+fn transform(values: &mut [f64], mean: f64, std_dev: f64) {
+    // SAFETY: NEON is baseline on aarch64; loop bounds keep pointers in
+    // range.
+    unsafe {
+        let n = values.len();
+        let p = values.as_mut_ptr();
+        let m = vdupq_n_f64(mean);
+        let s = vdupq_n_f64(std_dev);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v0 = vld1q_f64(p.add(i));
+            let v1 = vld1q_f64(p.add(i + 2));
+            vst1q_f64(p.add(i), vdivq_f64(vsubq_f64(v0, m), s));
+            vst1q_f64(p.add(i + 2), vdivq_f64(vsubq_f64(v1, m), s));
+            i += 4;
+        }
+        for v in values[i..].iter_mut() {
+            *v = (*v - mean) / std_dev;
+        }
+    }
+}
+
+fn sum_squares(values: &[f64]) -> f64 {
+    // SAFETY: NEON is baseline on aarch64; loop bounds keep pointers in
+    // range.
+    unsafe {
+        let n = values.len();
+        let p = values.as_ptr();
+        let mut acc_lo = vdupq_n_f64(0.0);
+        let mut acc_hi = vdupq_n_f64(0.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v0 = vld1q_f64(p.add(i));
+            let v1 = vld1q_f64(p.add(i + 2));
+            acc_lo = vaddq_f64(acc_lo, vmulq_f64(v0, v0));
+            acc_hi = vaddq_f64(acc_hi, vmulq_f64(v1, v1));
+            i += 4;
+        }
+        let mut lanes = spill(acc_lo, acc_hi);
+        if i < n {
+            // Zero-padded tail, padding multiplies included — the same
+            // group the scalar path performs.
+            let mut pad = [0.0f64; 4];
+            pad[..n - i].copy_from_slice(&values[i..]);
+            for (lane, &v) in lanes.iter_mut().zip(&pad) {
+                *lane += v * v;
+            }
+        }
+        hsum4(lanes)
+    }
+}
+
+fn affine(intercept: f64, coeffs: &[f64], inputs: &[f64]) -> f64 {
+    // SAFETY: NEON is baseline on aarch64; loop bounds keep pointers in
+    // range.
+    unsafe {
+        let order = coeffs.len();
+        let c_ptr = coeffs.as_ptr();
+        let x_ptr = inputs.as_ptr();
+        let mut acc_lo = vdupq_n_f64(0.0);
+        let mut acc_hi = vdupq_n_f64(0.0);
+        let mut k = 0;
+        while k + 4 <= order {
+            let c0 = vld1q_f64(c_ptr.add(k));
+            let c1 = vld1q_f64(c_ptr.add(k + 2));
+            let x0 = vld1q_f64(x_ptr.add(k));
+            let x1 = vld1q_f64(x_ptr.add(k + 2));
+            acc_lo = vaddq_f64(acc_lo, vmulq_f64(c0, x0));
+            acc_hi = vaddq_f64(acc_hi, vmulq_f64(c1, x1));
+            k += 4;
+        }
+        let mut lanes = spill(acc_lo, acc_hi);
+        if k < order {
+            let mut pc = [0.0f64; 4];
+            let mut px = [0.0f64; 4];
+            pc[..order - k].copy_from_slice(&coeffs[k..]);
+            px[..order - k].copy_from_slice(&inputs[k..]);
+            for (j, lane) in lanes.iter_mut().enumerate() {
+                *lane += pc[j] * px[j];
+            }
+        }
+        intercept + hsum4(lanes)
+    }
+}
+
+fn grad_epoch(
+    inputs: &[f64],
+    targets: &[f64],
+    intercept: f64,
+    coeffs: &[f64],
+    grads: &mut [f64],
+    lanes: &mut [f64],
+) {
+    super::scalar::grad_epoch(inputs, targets, intercept, coeffs, grads, lanes);
+}
+
+fn loss_sum(inputs: &[f64], targets: &[f64], intercept: f64, coeffs: &[f64]) -> f64 {
+    super::scalar::loss_sum(inputs, targets, intercept, coeffs)
+}
+
+fn max_seeded(seed: f64, values: &[f64]) -> f64 {
+    // SAFETY: NEON is baseline on aarch64; loop bounds keep pointers in
+    // range.
+    unsafe {
+        let n = values.len();
+        let p = values.as_ptr();
+        let mut acc_lo = vdupq_n_f64(seed);
+        let mut acc_hi = vdupq_n_f64(seed);
+        let mut i = 0;
+        while i + 4 <= n {
+            acc_lo = vmax_sel(acc_lo, vld1q_f64(p.add(i)));
+            acc_hi = vmax_sel(acc_hi, vld1q_f64(p.add(i + 2)));
+            i += 4;
+        }
+        super::scalar::max_finish(spill(acc_lo, acc_hi), &values[i..])
+    }
+}
+
+/// The NEON vtable (bit-identical to scalar).
+pub(super) static NEON: Kernels = Kernels {
+    dispatch: Dispatch::Neon,
+    transform,
+    sum_squares,
+    affine,
+    grad_epoch,
+    loss_sum,
+    max_seeded,
+};

@@ -72,6 +72,7 @@ pub mod compat;
 pub mod engine;
 pub mod error;
 pub mod extract;
+pub mod kernels;
 pub mod model;
 pub mod params;
 pub mod provider;

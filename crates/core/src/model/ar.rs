@@ -143,10 +143,12 @@ impl ArModel {
     }
 
     /// The affine prediction kernel over one stride of a columnar batch:
-    /// `b0 + Σ bi·xi`, no arity or trained checks. This is the inner loop
-    /// of the trainer's gradient kernel, called once per row per epoch over
-    /// `inputs.chunks_exact(order)` of a contiguous
-    /// [`MiniBatch`](crate::collect::MiniBatch) predictor array.
+    /// `b0 + Σ bi·xi`, no arity or trained checks, dispatched through
+    /// [`crate::kernels`] (the model is serializable, so it cannot pin a
+    /// vtable; after the first call the selection is one atomic load).
+    /// The trainer's batched hot loops no longer come through here — they
+    /// hand whole batches to the block kernels — so this serves the
+    /// forecast/extraction path.
     ///
     /// # Panics
     ///
@@ -154,13 +156,7 @@ impl ArModel {
     #[inline]
     pub(crate) fn predict_unchecked(&self, inputs: &[f64]) -> f64 {
         debug_assert_eq!(inputs.len(), self.order(), "stride must match order");
-        self.intercept
-            + self
-                .coefficients
-                .iter()
-                .zip(inputs)
-                .map(|(c, x)| c * x)
-                .sum::<f64>()
+        crate::kernels::select().affine(self.intercept, &self.coefficients, inputs)
     }
 
     /// Rolls the model forward `steps` times starting from `seed` (the most

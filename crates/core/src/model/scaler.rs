@@ -84,13 +84,18 @@ impl OnlineScaler {
 
     /// Maps every value in the slice into z-score space in place — the
     /// allocation-free bulk transform the trainer's columnar kernel uses on
-    /// a whole mini-batch of predictors at once.
+    /// a whole mini-batch of predictors at once, dispatched through the
+    /// host's best [`crate::kernels`] set. Purely elementwise, so every
+    /// dispatch produces bits identical to [`OnlineScaler::transform`].
     pub fn transform_in_place(&self, values: &mut [f64]) {
-        let mean = self.mean;
-        let std_dev = self.std_dev();
-        for v in values {
-            *v = (*v - mean) / std_dev;
-        }
+        self.transform_in_place_with(crate::kernels::select(), values);
+    }
+
+    /// [`OnlineScaler::transform_in_place`] on an explicit kernel set (the
+    /// trainer passes its per-instance vtable so the whole batch path uses
+    /// one dispatch decision).
+    pub fn transform_in_place_with(&self, kernels: &crate::kernels::Kernels, values: &mut [f64]) {
+        kernels.transform(values, self.mean, self.std_dev());
     }
 
     /// Maps a z-score back into raw space.

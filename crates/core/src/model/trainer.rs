@@ -8,12 +8,15 @@
 //! paper reports — and tracks the running loss for convergence detection
 //! (the trigger for early termination of the simulation).
 //!
-//! The gradient kernel is **columnar**: it walks the
-//! [`MiniBatch`](crate::collect::MiniBatch)'s contiguous predictor array
-//! with `chunks_exact(order)` (the stride convention documented on
-//! `MiniBatch`), standardizes it in bulk, and accumulates gradients over
-//! plain `f64` slices. All intermediate buffers (scaled predictors/targets,
-//! gradient, flat parameters) are owned by the trainer and reused across
+//! The gradient kernel is **columnar and dispatched**: the batch's
+//! contiguous predictor array (the stride convention documented on
+//! [`MiniBatch`](crate::collect::MiniBatch)) is standardized in bulk and
+//! handed whole to the [`crate::kernels`] vtable the trainer resolved at
+//! construction — gradient accumulation, the input-energy/loss reductions
+//! and the norm clip all run as explicit-width SIMD kernels (or their
+//! bit-identical scalar twins) with no per-row dispatch branch. All
+//! intermediate buffers (scaled predictors/targets, gradient, lane
+//! scratch, flat parameters) are owned by the trainer and reused across
 //! batches, so a steady-state training step performs zero per-row heap
 //! allocations.
 
@@ -24,6 +27,7 @@ use super::optimizer::{Optimizer, OptimizerKind};
 use super::scaler::OnlineScaler;
 use crate::collect::MiniBatch;
 use crate::error::{Error, Result};
+use crate::kernels::{self, Kernels};
 
 /// Convergence rule: the model is considered "well trained" once the running
 /// batch loss stays below `loss_threshold` for `patience` consecutive
@@ -121,6 +125,9 @@ pub struct IncrementalTrainer {
     loss_history: Vec<f64>,
     below_threshold_streak: usize,
     rows_seen: usize,
+    /// The kernel set resolved at construction: every per-batch loop calls
+    /// through this vtable, so dispatch never branches per row.
+    kernels: &'static Kernels,
     /// Reusable kernel scratch: the batch's predictors in z-score space
     /// (stride = order, mirroring the batch layout).
     scaled_inputs: Vec<f64>,
@@ -128,17 +135,32 @@ pub struct IncrementalTrainer {
     scaled_targets: Vec<f64>,
     /// Reusable kernel scratch: the loss gradient (`order + 1` entries).
     grads: Vec<f64>,
+    /// Reusable kernel scratch: the gradient kernel's 4-lane accumulators
+    /// (`4 * (order + 1)` entries).
+    grad_lanes: Vec<f64>,
     /// Reusable kernel scratch: the flat parameter vector for the optimizer.
     params: Vec<f64>,
 }
 
 impl IncrementalTrainer {
-    /// Creates a trainer from a validated configuration.
+    /// Creates a trainer from a validated configuration, on the kernel set
+    /// [`kernels::select`] resolved for this host.
     ///
     /// # Errors
     ///
     /// Returns the validation error of [`TrainerConfig::validate`].
     pub fn new(config: TrainerConfig) -> Result<Self> {
+        Self::with_kernels(config, kernels::select())
+    }
+
+    /// Creates a trainer pinned to an explicit kernel set — the benchmarks
+    /// use this to time the scalar reference against the dispatched SIMD
+    /// path on identical workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of [`TrainerConfig::validate`].
+    pub fn with_kernels(config: TrainerConfig, kernels: &'static Kernels) -> Result<Self> {
         config.validate()?;
         let mut model = ArModel::new(config.order);
         model.init_persistence();
@@ -151,9 +173,11 @@ impl IncrementalTrainer {
             loss_history: Vec::new(),
             below_threshold_streak: 0,
             rows_seen: 0,
+            kernels,
             scaled_inputs: Vec::new(),
             scaled_targets: Vec::new(),
             grads: vec![0.0; config.order + 1],
+            grad_lanes: vec![0.0; 4 * (config.order + 1)],
             params: Vec::with_capacity(config.order + 1),
         })
     }
@@ -161,6 +185,11 @@ impl IncrementalTrainer {
     /// The trainer configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.config
+    }
+
+    /// The kernel set this trainer dispatches to.
+    pub fn kernels(&self) -> &'static Kernels {
+        self.kernels
     }
 
     /// The underlying model (read-only).
@@ -195,8 +224,9 @@ impl IncrementalTrainer {
     /// Performs gradient-descent epochs over one columnar mini-batch and
     /// returns the post-update loss (z-score-space MSE over the batch).
     ///
-    /// The kernel iterates the batch's contiguous predictor array with
-    /// `chunks_exact(order)` — no per-row indirection — and reuses the
+    /// The batch's contiguous predictor array is processed whole by the
+    /// trainer's resolved [`crate::kernels`] vtable — no per-row
+    /// indirection or dispatch branch — and every intermediate lives in
     /// trainer-owned scratch buffers, so steady-state training allocates
     /// nothing.
     ///
@@ -222,7 +252,6 @@ impl IncrementalTrainer {
                 ),
             });
         }
-        let order = self.config.order;
         let rows = batch.len();
         self.input_scaler.update_all(batch.inputs());
         self.target_scaler.update_all(batch.targets());
@@ -233,44 +262,35 @@ impl IncrementalTrainer {
         self.scaled_inputs.clear();
         self.scaled_inputs.extend_from_slice(batch.inputs());
         self.input_scaler
-            .transform_in_place(&mut self.scaled_inputs);
+            .transform_in_place_with(self.kernels, &mut self.scaled_inputs);
         self.scaled_targets.clear();
         self.scaled_targets.extend_from_slice(batch.targets());
         self.target_scaler
-            .transform_in_place(&mut self.scaled_targets);
+            .transform_in_place_with(self.kernels, &mut self.scaled_targets);
 
         // Two stabilizers keep the online fit well behaved when the variable
         // changes regime faster than the running scaler can adapt (the
         // arrival of a shock, a detonation transient): the gradient is
         // normalized by the batch's input energy (the normalized-LMS rule,
         // which keeps the update stable regardless of how large the z-scores
-        // momentarily become), and its norm is clipped.
+        // momentarily become), and its norm is clipped. The per-row energy
+        // chunking collapses into one flat sum-of-squares over the whole
+        // predictor column — same values, one kernel call.
         const MAX_GRADIENT_NORM: f64 = 2.0;
-        let input_energy = 1.0
-            + self
-                .scaled_inputs
-                .chunks_exact(order)
-                .map(|inputs| inputs.iter().map(|x| x * x).sum::<f64>())
-                .sum::<f64>()
-                / rows as f64;
+        let input_energy = 1.0 + self.kernels.sum_squares(&self.scaled_inputs) / rows as f64;
         for _ in 0..self.config.epochs_per_batch {
-            self.grads.fill(0.0);
             self.model.write_parameters(&mut self.params);
-            for (inputs, target) in self
-                .scaled_inputs
-                .chunks_exact(order)
-                .zip(&self.scaled_targets)
-            {
-                let prediction = self.model.predict_unchecked(inputs);
-                let residual = prediction - target;
-                self.grads[0] += 2.0 * residual;
-                for (g, x) in self.grads[1..].iter_mut().zip(inputs) {
-                    *g += 2.0 * residual * x;
-                }
-            }
+            self.kernels.grad_epoch(
+                &self.scaled_inputs,
+                &self.scaled_targets,
+                self.model.intercept(),
+                self.model.coefficients(),
+                &mut self.grads,
+                &mut self.grad_lanes,
+            );
             let scale = 1.0 / (rows as f64 * input_energy);
             self.grads.iter_mut().for_each(|g| *g *= scale);
-            let norm = self.grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+            let norm = self.kernels.sum_squares(&self.grads).sqrt();
             if norm > MAX_GRADIENT_NORM {
                 let shrink = MAX_GRADIENT_NORM / norm;
                 self.grads.iter_mut().for_each(|g| *g *= shrink);
@@ -279,16 +299,12 @@ impl IncrementalTrainer {
             self.model.apply_parameters(&self.params);
         }
 
-        let loss = self
-            .scaled_inputs
-            .chunks_exact(order)
-            .zip(&self.scaled_targets)
-            .map(|(inputs, target)| {
-                let p = self.model.predict_unchecked(inputs);
-                (p - target) * (p - target)
-            })
-            .sum::<f64>()
-            / rows as f64;
+        let loss = self.kernels.loss_sum(
+            &self.scaled_inputs,
+            &self.scaled_targets,
+            self.model.intercept(),
+            self.model.coefficients(),
+        ) / rows as f64;
 
         self.rows_seen += rows;
         self.loss_history.push(loss);

@@ -148,6 +148,10 @@ pub fn render_json(workload: &LoadgenConfig, reports: &[LoadgenReport]) -> Strin
         workload.steps, workload.locations, workload.window, workload.distinct, workload.verify
     ));
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"kernels\": \"{}\",\n",
+        insitu::kernels::active()
+    ));
     json.push_str("  \"cases\": [\n");
     for (i, r) in reports.iter().enumerate() {
         json.push_str(&format!(
