@@ -82,9 +82,10 @@ fn assert_agree(scalar: f64, dispatched: f64, what: &str) {
 }
 
 /// The training-side kernel rows recorded in `BENCH_columnar.json`:
-/// bulk z-score transform, input-energy reduction, gradient epoch, loss
-/// reduction, and the order-3 affine predict (the extraction path's shape;
-/// too short to vectorize well — committed as an honest ~1× row).
+/// bulk z-score transform (divide and reciprocal-multiply variants),
+/// input-energy reduction, gradient epoch, loss reduction, and the order-3
+/// affine predict (the extraction path's shape; too short to vectorize
+/// well — committed as an honest ~1× row).
 pub fn measure_training_kernels(runs: usize) -> Vec<KernelCase> {
     let n = 3072;
     let rows = 256;
@@ -119,6 +120,14 @@ pub fn measure_training_kernels(runs: usize) -> Vec<KernelCase> {
     let mut buf = values.clone();
     cases.push(time_pair("transform_n3072", runs, 64, |k| {
         k.transform(&mut buf, 0.37, 2.25);
+    }));
+    // The reciprocal-multiply z-score variant (1/σ precomputed, `mul`
+    // instead of `div`) — the kernel the scaler routes through in the
+    // `fma`/tolerance tier. Elementwise mul, so scalar and dispatched are
+    // bit-identical under every feature set.
+    let mut recip_buf = values.clone();
+    cases.push(time_pair("transform_recip_n3072", runs, 64, |k| {
+        k.transform_recip(&mut recip_buf, 0.37, 1.0 / 2.25);
     }));
     cases.push(time_pair("sum_squares_n3072", runs, 64, |k| {
         std::hint::black_box(k.sum_squares(&values));
@@ -167,6 +176,7 @@ mod tests {
             names,
             [
                 "transform_n3072",
+                "transform_recip_n3072",
                 "sum_squares_n3072",
                 "grad_epoch_rows256_order3",
                 "loss_sum_rows256_order3",

@@ -22,6 +22,17 @@ pub const LADDER: [usize; 3] = [64, 256, 1024];
 /// The quick ladder (`BENCH_QUICK=1`) for CI smoke runs.
 pub const QUICK_LADDER: [usize; 2] = [16, 64];
 
+/// The connections ≫ threads rung appended after the ladder: this many
+/// sessions, each on its **own connection**, multiplexed onto the
+/// reactor's fixed event threads and driven by [`MUX_CLIENT_THREADS`]
+/// client threads. The rung exists to price connection multiplexing
+/// itself — thousands of sockets must not mean thousands of server
+/// threads, nor a throughput collapse.
+pub const MUX_SESSIONS: usize = 4096;
+
+/// Client threads driving the multiplexed rung's connections.
+pub const MUX_CLIENT_THREADS: usize = 32;
+
 /// The workload every rung replays (sessions count varies per rung).
 pub fn workload() -> LoadgenConfig {
     LoadgenConfig {
@@ -44,13 +55,31 @@ pub fn run_rung(sessions: usize) -> Result<LoadgenReport, String> {
     loadgen::run_self_hosted(&config, ServerConfig::default())
 }
 
-/// Runs the full ladder (or the quick one) and returns the rendered
-/// artifact alongside the reports.
+/// Runs the connections ≫ threads rung: one connection per session,
+/// multiplexed onto the default (two) event threads. `sessions` is
+/// scaled down for quick runs.
+pub fn run_mux_rung(sessions: usize, client_threads: usize) -> Result<LoadgenReport, String> {
+    let config = LoadgenConfig {
+        sessions,
+        connections: sessions,
+        client_threads,
+        ..workload()
+    };
+    loadgen::run_self_hosted(&config, ServerConfig::default())
+}
+
+/// Runs the full ladder (or the quick one) plus the multiplexed rung,
+/// and returns the rendered artifact alongside the reports.
 pub fn run_ladder(quick: bool) -> Result<(String, Vec<LoadgenReport>), String> {
     let rungs: &[usize] = if quick { &QUICK_LADDER } else { &LADDER };
-    let mut reports = Vec::with_capacity(rungs.len());
+    let mut reports = Vec::with_capacity(rungs.len() + 1);
     for &sessions in rungs {
         reports.push(run_rung(sessions)?);
+    }
+    if quick {
+        reports.push(run_mux_rung(128, 8)?);
+    } else {
+        reports.push(run_mux_rung(MUX_SESSIONS, MUX_CLIENT_THREADS)?);
     }
     Ok((loadgen::render_json(&workload(), &reports), reports))
 }
@@ -82,11 +111,14 @@ mod tests {
             .iter()
             .map(|&sessions| LoadgenReport {
                 sessions,
+                connections: workload.connections,
+                client_threads: workload.connections,
                 steps: workload.steps,
                 elapsed_ns: 1_000_000,
                 session_steps_per_sec: 1000.0,
                 busy_bounces: 0,
                 verified: sessions,
+                feature_events: 0,
             })
             .collect();
         let json = loadgen::render_json(&workload, &reports);

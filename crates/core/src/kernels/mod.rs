@@ -9,7 +9,9 @@
 //! directly (`core::arch::x86_64` AVX2, NEON on aarch64). The kernels are
 //!
 //! * [`Kernels::transform`] — the bulk z-score transform
-//!   (`OnlineScaler::transform_in_place`),
+//!   (`OnlineScaler::transform_in_place`); [`Kernels::transform_recip`]
+//!   is its reciprocal-multiply variant (`1/σ` precomputed, `mul` instead
+//!   of `div`), used by the scaler only in the `fma`/tolerance tier,
 //! * [`Kernels::sum_squares`] — the trainer's input-energy and
 //!   gradient-norm reductions,
 //! * [`Kernels::affine`] — the affine predict (`b0 + Σ bi·xi`,
@@ -119,6 +121,7 @@ type GradEpochFn = fn(&[f64], &[f64], f64, &[f64], &mut [f64], &mut [f64]);
 pub struct Kernels {
     dispatch: Dispatch,
     transform: fn(&mut [f64], f64, f64),
+    transform_recip: fn(&mut [f64], f64, f64),
     sum_squares: fn(&[f64]) -> f64,
     affine: fn(f64, &[f64], &[f64]) -> f64,
     grad_epoch: GradEpochFn,
@@ -143,6 +146,18 @@ impl Kernels {
     #[inline]
     pub fn transform(&self, values: &mut [f64], mean: f64, std_dev: f64) {
         (self.transform)(values, mean, std_dev);
+    }
+
+    /// Reciprocal-multiply z-score transform: `v = (v - mean) * inv_std`
+    /// with `inv_std = 1/σ` precomputed once by the caller, trading the
+    /// per-element divide for a multiply. Elementwise, so every dispatch
+    /// produces identical bits for the *same* `inv_std`; relative to
+    /// [`Kernels::transform`] the single rounding of `1/σ` makes this the
+    /// tolerance-tier variant — the scaler only routes through it under
+    /// the `fma` feature.
+    #[inline]
+    pub fn transform_recip(&self, values: &mut [f64], mean: f64, inv_std: f64) {
+        (self.transform_recip)(values, mean, inv_std);
     }
 
     /// `Σ v[i]²` over the canonical 4-lane tree (lane `i & 3`, zero-padded
@@ -252,6 +267,7 @@ pub fn hsum4(lanes: [f64; 4]) -> f64 {
 static SCALAR: Kernels = Kernels {
     dispatch: Dispatch::Scalar,
     transform: scalar::transform,
+    transform_recip: scalar::transform_recip,
     sum_squares: scalar::sum_squares,
     affine: scalar::affine,
     grad_epoch: scalar::grad_epoch,

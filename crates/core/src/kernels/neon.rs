@@ -57,6 +57,28 @@ fn transform(values: &mut [f64], mean: f64, std_dev: f64) {
     }
 }
 
+fn transform_recip(values: &mut [f64], mean: f64, inv_std: f64) {
+    // SAFETY: NEON is baseline on aarch64; loop bounds keep pointers in
+    // range.
+    unsafe {
+        let n = values.len();
+        let p = values.as_mut_ptr();
+        let m = vdupq_n_f64(mean);
+        let r = vdupq_n_f64(inv_std);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v0 = vld1q_f64(p.add(i));
+            let v1 = vld1q_f64(p.add(i + 2));
+            vst1q_f64(p.add(i), vmulq_f64(vsubq_f64(v0, m), r));
+            vst1q_f64(p.add(i + 2), vmulq_f64(vsubq_f64(v1, m), r));
+            i += 4;
+        }
+        for v in values[i..].iter_mut() {
+            *v = (*v - mean) * inv_std;
+        }
+    }
+}
+
 fn sum_squares(values: &[f64]) -> f64 {
     // SAFETY: NEON is baseline on aarch64; loop bounds keep pointers in
     // range.
@@ -157,6 +179,7 @@ fn max_seeded(seed: f64, values: &[f64]) -> f64 {
 pub(super) static NEON: Kernels = Kernels {
     dispatch: Dispatch::Neon,
     transform,
+    transform_recip,
     sum_squares,
     affine,
     grad_epoch,

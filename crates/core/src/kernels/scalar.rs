@@ -42,6 +42,16 @@ pub(super) fn transform(values: &mut [f64], mean: f64, std_dev: f64) {
     }
 }
 
+/// Reciprocal-multiply z-score: the caller precomputes `1/σ` once so the
+/// per-element divide becomes a multiply. Elementwise, so every dispatch
+/// reproduces it bit for bit; relative to [`transform`] the rounding of
+/// `1/σ` makes it a tolerance-tier variant.
+pub(super) fn transform_recip(values: &mut [f64], mean: f64, inv_std: f64) {
+    for v in values {
+        *v = (*v - mean) * inv_std;
+    }
+}
+
 pub(super) fn sum_squares(values: &[f64]) -> f64 {
     let mut lanes = [0.0f64; 4];
     let mut chunks = values.chunks_exact(4);

@@ -145,6 +145,28 @@ macro_rules! avx2_module {
                 }
             }
 
+            pub(in crate::kernels) fn transform_recip(values: &mut [f64], mean: f64, inv_std: f64) {
+                // SAFETY: vtable constructed only after AVX2 detection.
+                unsafe { transform_recip_impl(values, mean, inv_std) }
+            }
+
+            #[target_feature(enable = $feat)]
+            unsafe fn transform_recip_impl(values: &mut [f64], mean: f64, inv_std: f64) {
+                let n = values.len();
+                let p = values.as_mut_ptr();
+                let m = _mm256_set1_pd(mean);
+                let r = _mm256_set1_pd(inv_std);
+                let mut i = 0;
+                while i + 4 <= n {
+                    let v = _mm256_loadu_pd(p.add(i));
+                    _mm256_storeu_pd(p.add(i), _mm256_mul_pd(_mm256_sub_pd(v, m), r));
+                    i += 4;
+                }
+                for v in values[i..].iter_mut() {
+                    *v = (*v - mean) * inv_std;
+                }
+            }
+
             pub(in crate::kernels) fn sum_squares(values: &[f64]) -> f64 {
                 // SAFETY: vtable constructed only after AVX2 detection.
                 unsafe { sum_squares_impl(values) }
@@ -325,6 +347,7 @@ avx2_module!(avx2_fma, "avx2,fma", fused);
 pub(super) static AVX2: Kernels = Kernels {
     dispatch: Dispatch::Avx2,
     transform: avx2::transform,
+    transform_recip: avx2::transform_recip,
     sum_squares: avx2::sum_squares,
     affine: avx2::affine,
     grad_epoch: avx2::grad_epoch,
@@ -338,6 +361,7 @@ pub(super) static AVX2: Kernels = Kernels {
 pub(super) static AVX2_FMA: Kernels = Kernels {
     dispatch: Dispatch::Avx2Fma,
     transform: avx2_fma::transform,
+    transform_recip: avx2_fma::transform_recip,
     sum_squares: avx2_fma::sum_squares,
     affine: avx2_fma::affine,
     grad_epoch: avx2_fma::grad_epoch,

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! insitu-serve [--tcp ADDR] [--unix PATH] [--workers N] [--inflight N]
+//!              [--event-threads N] [--idle-timeout-ms N]
+//!              [--rebalance-depth N] [--rebalance-cooldown N]
 //! ```
 //!
 //! Listens on TCP (default `127.0.0.1:7407`) or a Unix socket and serves
-//! analysis sessions until killed. `--workers` caps the worker lanes
-//! (further clamped to the machine's cores), `--inflight` sets the
-//! per-session backpressure limit.
+//! analysis sessions until killed. `--workers` sets the worker lane
+//! count (each lane is a dedicated thread), `--inflight` sets the
+//! per-session backpressure limit, `--event-threads` sizes the reactor
+//! that multiplexes every connection, `--idle-timeout-ms` bounds how
+//! long a connection may stall mid-frame (0 disables the sweep), and the
+//! `--rebalance-*` knobs tune dynamic lane rebalancing
+//! (`--rebalance-depth 0` disables it).
 
 use serve::{Server, ServerConfig};
 
@@ -27,9 +33,27 @@ fn main() {
             "--unix" => unix = Some(value("--unix").into()),
             "--workers" => config.workers = parse(&value("--workers"), "--workers"),
             "--inflight" => config.inflight_limit = parse(&value("--inflight"), "--inflight"),
+            "--event-threads" => {
+                config.event_threads = parse(&value("--event-threads"), "--event-threads")
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(parse(
+                    &value("--idle-timeout-ms"),
+                    "--idle-timeout-ms",
+                ) as u64)
+            }
+            "--rebalance-depth" => {
+                config.rebalance_depth = parse(&value("--rebalance-depth"), "--rebalance-depth")
+            }
+            "--rebalance-cooldown" => {
+                config.rebalance_cooldown =
+                    parse(&value("--rebalance-cooldown"), "--rebalance-cooldown") as u64
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: insitu-serve [--tcp ADDR] [--unix PATH] [--workers N] [--inflight N]"
+                    "usage: insitu-serve [--tcp ADDR] [--unix PATH] [--workers N] [--inflight N] \
+                     [--event-threads N] [--idle-timeout-ms N] [--rebalance-depth N] \
+                     [--rebalance-cooldown N]"
                 );
                 return;
             }
@@ -37,15 +61,12 @@ fn main() {
         }
     }
 
-    let pool = parsim::ThreadPool::new(
-        parsim::ParallelConfig::new(config.workers.max(1), 1).expect("valid worker count"),
-    );
     let server = match (&tcp, &unix) {
         (Some(_), Some(_)) => fail("pass either --tcp or --unix, not both"),
-        (None, Some(path)) => Server::bind_unix(path, pool, config),
+        (None, Some(path)) => Server::bind_unix(path, config),
         (addr, None) => {
             let addr = addr.as_deref().unwrap_or("127.0.0.1:7407");
-            Server::bind_tcp(addr, pool, config)
+            Server::bind_tcp(addr, config)
         }
     }
     .unwrap_or_else(|e| fail(&format!("bind failed: {e}")));

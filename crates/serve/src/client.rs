@@ -3,13 +3,19 @@
 //! [`Client`] drives one connection over TCP or a Unix socket. Every
 //! request method sends one frame and reads one reply, except the
 //! pipelined [`Client::step_burst`], which keeps
-//! [`Frame::Busy`]-aware retry and reply collection out of callers
-//! (the load generator and the integration tests).
+//! [`Frame::Busy`]-aware retry, bounded backoff, and reply collection
+//! out of callers (the load generator and the integration tests).
+//!
+//! Server-pushed [`Frame::FeatureEvent`] frames can interleave with
+//! replies once a session is subscribed; every reply-reading path stashes
+//! them as they arrive, and [`Client::take_events`] drains the stash.
 
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 use insitu::region::FeatureValue;
 
@@ -32,6 +38,18 @@ impl Stream {
     }
 }
 
+/// A server-pushed feature report, received out-of-band on a subscribed
+/// connection and stashed until [`Client::take_events`] drains it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureEvent {
+    /// The subscribed session the event reports on.
+    pub session: u64,
+    /// The ingested iteration whose step produced these features.
+    pub iteration: u64,
+    /// The features, bit-identical to in-process extraction.
+    pub features: Vec<(String, FeatureValue)>,
+}
+
 /// One connection to an analysis server, able to multiplex any number of
 /// sessions.
 pub struct Client {
@@ -39,7 +57,13 @@ pub struct Client {
     writer: BufWriter<Box<dyn Write>>,
     scratch_in: Vec<u8>,
     scratch_out: Vec<u8>,
+    events: VecDeque<FeatureEvent>,
 }
+
+/// First backoff sleep after a no-progress `step_burst` round.
+const BACKOFF_BASE: Duration = Duration::from_micros(50);
+/// Backoff ceiling: sleeps double per no-progress round up to this.
+const BACKOFF_CAP: Duration = Duration::from_millis(5);
 
 impl Client {
     /// Connects over TCP (with Nagle disabled — the protocol is
@@ -62,6 +86,7 @@ impl Client {
             writer: BufWriter::new(write),
             scratch_in: Vec::new(),
             scratch_out: Vec::new(),
+            events: VecDeque::new(),
         })
     }
 
@@ -78,9 +103,71 @@ impl Client {
         read_frame(&mut self.reader, &mut self.scratch_in)?.ok_or(WireError::Truncated)
     }
 
+    /// Reads the next *reply* frame, stashing any server-pushed
+    /// [`Frame::FeatureEvent`]s that arrive ahead of it.
+    fn recv_reply(&mut self) -> Result<Frame, WireError> {
+        loop {
+            match self.recv()? {
+                Frame::FeatureEvent {
+                    session,
+                    iteration,
+                    features,
+                } => self.events.push_back(FeatureEvent {
+                    session,
+                    iteration,
+                    features,
+                }),
+                reply => return Ok(reply),
+            }
+        }
+    }
+
     fn request(&mut self, frame: &Frame) -> Result<Frame, WireError> {
         self.send(frame)?;
-        self.recv()
+        self.recv_reply()
+    }
+
+    /// Drains every feature event received so far, in arrival order.
+    ///
+    /// Events accumulate whenever a reply-reading method runs past them;
+    /// a quiet client can force delivery with a cheap round-trip (e.g.
+    /// [`Client::poll`]) before draining.
+    pub fn take_events(&mut self) -> Vec<FeatureEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Subscribes this connection to server-push feature streaming for
+    /// the session.
+    pub fn subscribe(&mut self, session: u64) -> Result<(), WireError> {
+        match self.request(&Frame::Subscribe { session })? {
+            Frame::SubscriptionAck {
+                subscribed: true, ..
+            } => Ok(()),
+            Frame::SubscriptionAck {
+                subscribed: false, ..
+            } => Err(WireError::Invalid(
+                "subscribe was acked as unsubscribed".into(),
+            )),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Stops feature streaming for the session. Events already queued by
+    /// the server may still arrive (and be stashed) before the ack.
+    pub fn unsubscribe(&mut self, session: u64) -> Result<(), WireError> {
+        match self.request(&Frame::Unsubscribe { session })? {
+            Frame::SubscriptionAck {
+                subscribed: false, ..
+            } => Ok(()),
+            Frame::SubscriptionAck {
+                subscribed: true, ..
+            } => Err(WireError::Invalid(
+                "unsubscribe was acked as subscribed".into(),
+            )),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Opens a session, returning its server-assigned id.
@@ -123,6 +210,11 @@ impl Client {
     /// answered [`Frame::Busy`] are retried (again as a burst) until every
     /// session has acked the step. Returns the number of `Busy` bounces —
     /// the backpressure events the burst absorbed.
+    ///
+    /// Retry rounds that make no progress (every pending session bounced
+    /// again) sleep with bounded exponential backoff — 50µs doubling to a
+    /// 5ms cap — instead of hammering an overloaded lane; any acked
+    /// session resets the backoff.
     pub fn step_burst(
         &mut self,
         sessions: &[u64],
@@ -132,6 +224,7 @@ impl Client {
     ) -> Result<u64, WireError> {
         let mut pending: Vec<u64> = sessions.to_vec();
         let mut bounced = 0u64;
+        let mut backoff = BACKOFF_BASE;
         while !pending.is_empty() {
             for &session in &pending {
                 write_frame(
@@ -148,7 +241,7 @@ impl Client {
             self.writer.flush()?;
             let mut retry = Vec::new();
             for _ in 0..pending.len() {
-                match self.recv()? {
+                match self.recv_reply()? {
                     Frame::StepAck { .. } => {}
                     Frame::Busy { session, .. } => {
                         bounced += 1;
@@ -157,6 +250,14 @@ impl Client {
                     Frame::ErrorReply { message, .. } => return Err(WireError::Invalid(message)),
                     other => return Err(unexpected(other)),
                 }
+            }
+            if retry.len() == pending.len() {
+                // Nothing acked: the lane is saturated — back off before
+                // re-bursting so retries don't become the load.
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            } else {
+                backoff = BACKOFF_BASE;
             }
             pending = retry;
         }

@@ -27,6 +27,8 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod poll;
+pub mod reactor;
 pub mod server;
 pub mod session;
 pub mod wire;

@@ -64,6 +64,16 @@ pub struct LoadgenConfig {
     /// Compare every session's served features against an in-process
     /// engine fed the identical stream.
     pub verify: bool,
+    /// Threads driving the connections; `0` means one thread per
+    /// connection. With fewer threads than connections each thread
+    /// drives its group of connections round-robin within every
+    /// iteration — how a handful of client threads exercises thousands
+    /// of server connections (the connections ≫ threads rung).
+    pub client_threads: usize,
+    /// Subscribe every session and (in verify mode) check the
+    /// server-pushed [`FeatureEvent`](crate::client::FeatureEvent)
+    /// change-log against the in-process engine's, event for event.
+    pub subscribe: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -76,6 +86,8 @@ impl Default for LoadgenConfig {
             distinct: 16,
             window: 64,
             verify: true,
+            client_threads: 0,
+            subscribe: false,
         }
     }
 }
@@ -100,6 +112,11 @@ impl LoadgenConfig {
 pub struct LoadgenReport {
     /// Sessions that ran.
     pub sessions: usize,
+    /// Connections the sessions were spread over (after clamping).
+    pub connections: usize,
+    /// Client threads that drove the connections (after resolving the
+    /// `0 = thread-per-connection` default).
+    pub client_threads: usize,
     /// Steps streamed into each session.
     pub steps: u64,
     /// Wall-clock nanoseconds of the stepping phase (opens, extraction
@@ -112,6 +129,9 @@ pub struct LoadgenReport {
     /// Sessions whose served features matched the in-process reference
     /// exactly (only populated in verify mode).
     pub verified: usize,
+    /// Server-pushed feature events received (only populated when
+    /// [`LoadgenConfig::subscribe`] is set).
+    pub feature_events: u64,
 }
 
 /// Runs the workload against a server hosted **in this process** on an
@@ -122,13 +142,30 @@ pub fn run_self_hosted(
     config: &LoadgenConfig,
     server: crate::server::ServerConfig,
 ) -> Result<LoadgenReport, String> {
-    let pool = parsim::ThreadPool::new(
-        parsim::ParallelConfig::new(server.workers.max(1), 1).map_err(|e| e.to_string())?,
-    );
     let hosted =
-        crate::server::Server::bind_tcp("127.0.0.1:0", pool, server).map_err(|e| e.to_string())?;
+        crate::server::Server::bind_tcp("127.0.0.1:0", server).map_err(|e| e.to_string())?;
     let addr = hosted.tcp_addr().ok_or("server has no TCP address")?;
     let report = run(&Target::Tcp(addr), config);
+    hosted.shutdown();
+    report
+}
+
+/// Like [`run_self_hosted`], but over a Unix-domain socket on a fresh
+/// temp path — the CI smoke uses both entry points so each transport's
+/// accept/register/teardown path stays exercised.
+pub fn run_self_hosted_unix(
+    config: &LoadgenConfig,
+    server: crate::server::ServerConfig,
+) -> Result<LoadgenReport, String> {
+    let path = std::env::temp_dir().join(format!(
+        "insitu-loadgen-{}-{:x}.sock",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos())
+    ));
+    let hosted = crate::server::Server::bind_unix(&path, server).map_err(|e| e.to_string())?;
+    let report = run(&Target::Unix(path), config);
     hosted.shutdown();
     report
 }
@@ -155,8 +192,10 @@ pub fn render_json(workload: &LoadgenConfig, reports: &[LoadgenReport]) -> Strin
     json.push_str("  \"cases\": [\n");
     for (i, r) in reports.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"sessions\": {}, \"elapsed_ns\": {}, \"busy_bounces\": {}, \"verified\": {}, \"steps_per_sec\": {:.1}}}{}\n",
+            "    {{\"sessions\": {}, \"connections\": {}, \"client_threads\": {}, \"elapsed_ns\": {}, \"busy_bounces\": {}, \"verified\": {}, \"steps_per_sec\": {:.1}}}{}\n",
             r.sessions,
+            r.connections,
+            r.client_threads,
             r.elapsed_ns,
             r.busy_bounces,
             r.verified,
@@ -182,20 +221,26 @@ pub fn pulse_value(seed: u64, iteration: u64, location: u64) -> f64 {
 /// for process exit on connection or protocol failures.
 ///
 /// Three barrier-separated phases keep the measurement honest: every
-/// connection first opens its sessions, then all connections step in
+/// connection first opens (and, in subscribe mode, subscribes) its
+/// sessions, then all client threads step their connections in
 /// lockstep-started (but individually free-running) bursts — only this
 /// phase is timed — then features are extracted, verified and the
 /// sessions closed.
 pub fn run(target: &Target, config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     assert!(config.sessions > 0 && config.steps > 0);
     let connections = config.connections.clamp(1, config.sessions);
+    let threads = if config.client_threads == 0 {
+        connections
+    } else {
+        config.client_threads.clamp(1, connections)
+    };
     let distinct = config.distinct.clamp(1, config.sessions);
 
     // In-process references, one per distinct seed, computed up front so
     // the timed phase measures only the wire path.
-    let references: Vec<Vec<(String, FeatureValue)>> = if config.verify {
+    let references: Vec<Reference> = if config.verify {
         (0..distinct as u64)
-            .map(|seed| reference_features(config, seed))
+            .map(|seed| reference_run(config, seed))
             .collect::<Result<_, _>>()?
     } else {
         Vec::new()
@@ -203,20 +248,30 @@ pub fn run(target: &Target, config: &LoadgenConfig) -> Result<LoadgenReport, Str
 
     // One extra party: the main thread, which brackets the stepping phase
     // with the two barriers to time it.
-    let opened = Barrier::new(connections + 1);
-    let stepped = Barrier::new(connections + 1);
+    let opened = Barrier::new(threads + 1);
+    let stepped = Barrier::new(threads + 1);
     let mut elapsed_ns = 0u128;
 
-    let results: Vec<Result<(u64, usize), String>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(connections);
-        for conn_index in 0..connections {
-            let count = config.sessions / connections
-                + usize::from(conn_index < config.sessions % connections);
+    let results: Vec<Result<(u64, usize, u64), String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for thread_index in 0..threads {
+            let conn_lo =
+                thread_index * (connections / threads) + thread_index.min(connections % threads);
+            let conn_count =
+                connections / threads + usize::from(thread_index < connections % threads);
             let (target, references) = (&*target, &references);
             let (opened, stepped) = (&opened, &stepped);
             handles.push(scope.spawn(move || {
-                drive_connection(
-                    target, config, conn_index, count, distinct, references, opened, stepped,
+                drive_group(
+                    target,
+                    config,
+                    conn_lo,
+                    conn_count,
+                    connections,
+                    distinct,
+                    references,
+                    opened,
+                    stepped,
                 )
             }));
         }
@@ -232,64 +287,117 @@ pub fn run(target: &Target, config: &LoadgenConfig) -> Result<LoadgenReport, Str
 
     let mut busy_bounces = 0;
     let mut verified = 0;
+    let mut feature_events = 0;
     for result in results {
-        let (bounced, ok) = result?;
+        let (bounced, ok, events) = result?;
         busy_bounces += bounced;
         verified += ok;
+        feature_events += events;
     }
     let session_steps = (config.sessions as u64 * config.steps) as f64;
     Ok(LoadgenReport {
         sessions: config.sessions,
+        connections,
+        client_threads: threads,
         steps: config.steps,
         elapsed_ns,
         session_steps_per_sec: session_steps / (elapsed_ns.max(1) as f64 / 1e9),
         busy_bounces,
         verified,
+        feature_events,
     })
 }
 
-fn reference_features(
-    config: &LoadgenConfig,
-    seed: u64,
-) -> Result<Vec<(String, FeatureValue)>, String> {
+/// Everything a seed's wire sessions are checked against: the final
+/// extracted features, and — in subscribe mode — the change-log of
+/// feature events a subscribed connection must observe (one entry per
+/// step whose non-forcing features differed from the last entry, which
+/// is exactly the server's push condition).
+struct Reference {
+    features: Vec<(String, FeatureValue)>,
+    events: Vec<(u64, Vec<(String, FeatureValue)>)>,
+}
+
+fn reference_run(config: &LoadgenConfig, seed: u64) -> Result<Reference, String> {
     let mut session = Session::open(&config.session_spec())?;
     let locations: Vec<u64> = (1..=config.locations as u64).collect();
     let mut values = vec![0.0; locations.len()];
+    let mut events: Vec<(u64, Vec<(String, FeatureValue)>)> = Vec::new();
     for it in 0..config.steps {
         for (slot, &l) in values.iter_mut().zip(&locations) {
             *slot = pulse_value(seed, it, l);
         }
         session.step(it, &locations, &values)?;
+        if config.subscribe {
+            let now = session.features();
+            if !now.is_empty() && events.last().is_none_or(|(_, last)| last != &now) {
+                events.push((it, now));
+            }
+        }
     }
-    Ok(session.extract())
+    Ok(Reference {
+        features: session.extract(),
+        events,
+    })
+}
+
+/// One connection a client thread drives, with its sessions and their
+/// global workload indices (which determine the seeds).
+struct Conn {
+    client: Client,
+    sessions: Vec<u64>,
+    seeds: Vec<u64>,
 }
 
 #[allow(clippy::too_many_arguments)]
-fn drive_connection(
+fn drive_group(
     target: &Target,
     config: &LoadgenConfig,
-    conn_index: usize,
-    count: usize,
+    conn_lo: usize,
+    conn_count: usize,
+    connections: usize,
     distinct: usize,
-    references: &[Vec<(String, FeatureValue)>],
+    references: &[Reference],
     opened: &Barrier,
     stepped: &Barrier,
-) -> Result<(u64, usize), String> {
+) -> Result<(u64, usize, u64), String> {
+    // The session count and global base index of connection `c`: sessions
+    // are dealt out as evenly as possible, in connection order, so the
+    // seed mix is stable whatever the connection and thread counts.
+    let sessions_of =
+        |c: usize| config.sessions / connections + usize::from(c < config.sessions % connections);
+    let base_of =
+        |c: usize| c * (config.sessions / connections) + c.min(config.sessions % connections);
+
     // Whatever happens, both barriers must be reached or the other
-    // connections (and the timing thread) would deadlock.
-    let setup = (|| -> Result<(Client, Vec<u64>), String> {
-        let mut client = target.connect().map_err(|e| e.to_string())?;
-        let mut sessions = Vec::with_capacity(count);
-        for _ in 0..count {
-            let id = client
-                .open_session(config.session_spec())
-                .map_err(|e| e.to_string())?;
-            sessions.push(id);
+    // threads (and the timing thread) would deadlock.
+    let setup = (|| -> Result<Vec<Conn>, String> {
+        let mut conns = Vec::with_capacity(conn_count);
+        for c in conn_lo..conn_lo + conn_count {
+            let mut client = target.connect().map_err(|e| e.to_string())?;
+            let count = sessions_of(c);
+            let mut sessions = Vec::with_capacity(count);
+            let mut seeds = Vec::with_capacity(count);
+            for i in 0..count {
+                let id = client
+                    .open_session(config.session_spec())
+                    .map_err(|e| e.to_string())?;
+                if config.subscribe {
+                    client.subscribe(id).map_err(|e| e.to_string())?;
+                }
+                sessions.push(id);
+                seeds.push(((base_of(c) + i) % distinct) as u64);
+            }
+            conns.push(Conn {
+                client,
+                sessions,
+                seeds,
+            });
         }
-        Ok((client, sessions))
+        Ok(conns)
     })();
     opened.wait();
-    let (mut client, sessions) = match setup {
+    let mut conns = match setup {
         Ok(ready) => ready,
         Err(e) => {
             stepped.wait();
@@ -297,25 +405,24 @@ fn drive_connection(
         }
     };
 
-    // The seed of a session is derived from its order across the whole
-    // run, so the seed mix is stable whatever the connection count.
-    let seed_of = |session: u64| -> u64 {
-        let global = sessions.iter().position(|&s| s == session).unwrap_or(0) + conn_index * count;
-        (global % distinct) as u64
-    };
     let locations: Vec<u64> = (1..=config.locations as u64).collect();
     let stepping = (|| -> Result<u64, String> {
         let mut bounced = 0;
         for it in 0..config.steps {
-            bounced += client
-                .step_burst(&sessions, it, &locations, |session| {
-                    let seed = seed_of(session);
-                    locations
-                        .iter()
-                        .map(|&l| pulse_value(seed, it, l))
-                        .collect()
-                })
-                .map_err(|e| e.to_string())?;
+            for conn in &mut conns {
+                let (sessions, seeds) = (&conn.sessions, &conn.seeds);
+                bounced += conn
+                    .client
+                    .step_burst(sessions, it, &locations, |session| {
+                        let at = sessions.iter().position(|&s| s == session).unwrap_or(0);
+                        let seed = seeds[at];
+                        locations
+                            .iter()
+                            .map(|&l| pulse_value(seed, it, l))
+                            .collect()
+                    })
+                    .map_err(|e| e.to_string())?;
+            }
         }
         Ok(bounced)
     })();
@@ -323,19 +430,50 @@ fn drive_connection(
     let bounced = stepping?;
 
     let mut verified = 0;
-    for &session in &sessions {
-        let features = client.extract(session).map_err(|e| e.to_string())?;
-        if config.verify {
-            let seed = seed_of(session) as usize;
-            if features == references[seed] {
-                verified += 1;
-            } else {
-                return Err(format!(
-                    "session {session} (seed {seed}) diverged from the in-process reference"
-                ));
+    let mut feature_events = 0u64;
+    for conn in &mut conns {
+        for (at, &session) in conn.sessions.iter().enumerate() {
+            let features = conn.client.extract(session).map_err(|e| e.to_string())?;
+            if config.verify {
+                let seed = conn.seeds[at] as usize;
+                if features == references[seed].features {
+                    verified += 1;
+                } else {
+                    return Err(format!(
+                        "session {session} (seed {seed}) diverged from the in-process reference"
+                    ));
+                }
+            }
+            conn.client
+                .close_session(session)
+                .map_err(|e| e.to_string())?;
+        }
+        if config.subscribe {
+            // Every step's push precedes that session's extract reply on
+            // the wire, so by now the stash holds the complete event
+            // stream for each of this connection's sessions.
+            let events = conn.client.take_events();
+            feature_events += events.len() as u64;
+            if config.verify {
+                for (at, &session) in conn.sessions.iter().enumerate() {
+                    let observed: Vec<(u64, Vec<(String, FeatureValue)>)> = events
+                        .iter()
+                        .filter(|e| e.session == session)
+                        .map(|e| (e.iteration, e.features.clone()))
+                        .collect();
+                    let expected = &references[conn.seeds[at] as usize].events;
+                    if &observed != expected {
+                        return Err(format!(
+                            "session {session} (seed {}) pushed {} feature events, expected {} — \
+                             the server-push change-log diverged from the in-process engine",
+                            conn.seeds[at],
+                            observed.len(),
+                            expected.len(),
+                        ));
+                    }
+                }
             }
         }
-        client.close_session(session).map_err(|e| e.to_string())?;
     }
-    Ok((bounced, verified))
+    Ok((bounced, verified, feature_events))
 }

@@ -1,0 +1,839 @@
+//! A readiness-based connection reactor with a fixed thread budget.
+//!
+//! The server used to spawn one blocking reader thread per connection:
+//! fine at tens of sockets, hopeless at thousands. The reactor replaces
+//! that with **N event threads** (N fixed at startup), each owning a
+//! disjoint set of non-blocking connections in a slab and multiplexing
+//! them over one [`Poller`] wait. Thread count is
+//! `O(event_threads)`, independent of connection count.
+//!
+//! ```text
+//!  accept thread ──intake──► event thread 0 ── slab of ConnState
+//!                └─intake──► event thread 1 ── slab of ConnState
+//!                                 │ readable: read → FrameAssembler → on_frame
+//!                                 │ writable: drain ConnHandle outbuf
+//!                                 ▼
+//!                          ConnEvents handler (the server's router)
+//! ```
+//!
+//! Per connection the reactor keeps a [`FrameAssembler`] — incremental
+//! reassembly of `[len][kind][payload]` frames across arbitrary read
+//! boundaries, with the frame-size cap enforced on the length prefix
+//! *before* any body is buffered — and a [`ConnHandle`] whose outbuf any
+//! thread may append replies to. Writes are opportunistic: a reply is
+//! pushed straight into the socket while it accepts bytes, and only the
+//! unflushed remainder parks in the outbuf, waking the owning event
+//! thread (via a self-pipe) to arm write interest and finish the flush
+//! when the peer drains. A peer that stops reading past the outbuf cap is
+//! torn down rather than buffered without bound; a peer that stalls
+//! *mid-frame* past the idle timeout is torn down by the sweep (frame-
+//! aligned idle connections are left alone — idling is not a protocol
+//! violation).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::poll::{PollEvent, Poller};
+use crate::wire::{Frame, WireError, MAX_FRAME_LEN};
+
+/// Token reserved for each event thread's self-pipe waker.
+const WAKER_TOKEN: usize = usize::MAX;
+
+/// Bound on consecutive reads serviced per readiness event, so one
+/// firehose connection cannot starve its slab-mates. Level-triggered
+/// polling re-fires for whatever is left.
+const MAX_READS_PER_EVENT: usize = 8;
+
+/// A socket stream of either supported transport.
+pub enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix domain socket connection.
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Duplicates the descriptor (shared file description, so readiness
+    /// and shutdown state are common to both halves).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Switches the descriptor's non-blocking flag.
+    pub fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(on),
+            Stream::Unix(s) => s.set_nonblocking(on),
+        }
+    }
+
+    /// Shuts the socket down in both directions.
+    pub fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+/// Incremental reassembly of wire frames from arbitrary byte chunks.
+///
+/// The stream format is `[len:u32le][body]` where the body's first byte
+/// is the frame kind. `feed` consumes a chunk of bytes wherever the
+/// transport happened to split them — mid-prefix, mid-body, many frames
+/// at once — and invokes the sink once per completed body with the
+/// decode result.
+///
+/// Error discipline mirrors the blocking reader it replaces: a length
+/// prefix outside `1..=`[`MAX_FRAME_LEN`] leaves the stream unframeable
+/// and is returned as a **fatal** `Err` (checked before one body byte is
+/// buffered, so an attacker's 4-byte prefix cannot reserve memory); a
+/// body that decodes to `Err` (malformed, unknown kind) is delivered
+/// through the sink as a **recoverable** per-frame error — the length
+/// prefix was good, the stream is still framed.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    prefix: [u8; 4],
+    prefix_filled: usize,
+    body: Vec<u8>,
+    /// Body length decoded from the prefix; 0 while reading the prefix.
+    need: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler, positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when some bytes of an unfinished frame have been buffered —
+    /// the state in which a silent peer is *stalled* rather than idle.
+    pub fn mid_frame(&self) -> bool {
+        self.prefix_filled > 0 || self.need > 0
+    }
+
+    /// Consumes one chunk, invoking `sink` per completed frame body.
+    /// Returns `Err` only for the fatal unframeable-prefix case; the
+    /// connection should be torn down and no further bytes fed.
+    pub fn feed(
+        &mut self,
+        mut chunk: &[u8],
+        mut sink: impl FnMut(Result<Frame, WireError>),
+    ) -> Result<(), WireError> {
+        while !chunk.is_empty() {
+            if self.need == 0 {
+                let take = (4 - self.prefix_filled).min(chunk.len());
+                self.prefix[self.prefix_filled..self.prefix_filled + take]
+                    .copy_from_slice(&chunk[..take]);
+                self.prefix_filled += take;
+                chunk = &chunk[take..];
+                if self.prefix_filled < 4 {
+                    return Ok(());
+                }
+                let len = u32::from_le_bytes(self.prefix);
+                if len == 0 || len > MAX_FRAME_LEN {
+                    return Err(WireError::Oversized { len });
+                }
+                self.need = len as usize;
+                self.body.clear();
+                self.body.reserve(self.need);
+                continue;
+            }
+            let take = (self.need - self.body.len()).min(chunk.len());
+            self.body.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+            if self.body.len() == self.need {
+                sink(Frame::decode(&self.body));
+                self.need = 0;
+                self.prefix_filled = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How the reactor hands connection activity to the application.
+///
+/// All three callbacks run on the event thread owning the connection;
+/// they must not block for long (route to a worker, reply via
+/// [`ConnHandle::send`], return).
+pub trait ConnEvents: Send + Sync + 'static {
+    /// A complete frame arrived.
+    fn on_frame(&self, conn: &Arc<ConnHandle>, frame: Frame);
+    /// A frame failed to decode. `fatal` distinguishes the unframeable
+    /// length prefix (the connection is torn down right after this call;
+    /// a best-effort flush delivers any reply queued here) from a bad
+    /// body on a still-framed stream (the connection keeps serving).
+    fn on_decode_error(&self, conn: &Arc<ConnHandle>, err: WireError, fatal: bool);
+    /// The connection is gone — peer hang-up, I/O error, overflow, stall
+    /// eviction, or server shutdown. Called exactly once per connection.
+    fn on_close(&self, conn: &Arc<ConnHandle>);
+}
+
+/// Buffered output for one connection: bytes encoded but not yet
+/// accepted by the socket.
+struct OutBuf {
+    /// Write-half clone of the socket; `None` once the connection is
+    /// torn down (late sends become no-ops).
+    sock: Option<Stream>,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket.
+    sent: usize,
+    /// Set on write error, overflow, or close request: the event thread
+    /// tears the connection down at the next opportunity.
+    broken: bool,
+    cap: usize,
+}
+
+impl OutBuf {
+    /// Pushes buffered bytes into the socket until done or `WouldBlock`.
+    /// `Ok(true)` means fully drained.
+    fn drain(&mut self) -> io::Result<bool> {
+        let Some(sock) = self.sock.as_mut() else {
+            return Ok(true);
+        };
+        while self.sent < self.buf.len() {
+            match sock.write(&self.buf[self.sent..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.sent = 0;
+        // Keep moderate capacity for reuse, but give a spike's worth of
+        // memory back rather than pinning it per connection.
+        if self.buf.capacity() > (1 << 18) {
+            self.buf = Vec::new();
+        } else {
+            self.buf.clear();
+        }
+        Ok(true)
+    }
+
+    fn pending(&self) -> usize {
+        self.buf.len() - self.sent
+    }
+}
+
+/// The shareable half of a connection: any thread (worker lanes, the
+/// event thread, the accept path) may queue replies on it or request a
+/// close. Cheap to clone via `Arc`; stays valid after the connection
+/// dies (operations become no-ops).
+pub struct ConnHandle {
+    token: usize,
+    shard: Arc<ShardShared>,
+    out: Mutex<OutBuf>,
+    /// Coalesces wakeups: set while a flush request for this connection
+    /// is already queued on the shard's dirty list.
+    dirty: AtomicBool,
+    /// Session ids opened over this connection, for eviction when it
+    /// dies. Maintained by the application through
+    /// [`ConnHandle::attach_session`] / [`ConnHandle::detach_session`].
+    sessions: Mutex<Vec<u64>>,
+}
+
+impl ConnHandle {
+    /// Encodes `frame` onto the connection. While the socket accepts
+    /// bytes the write completes inline; a blocked remainder parks in
+    /// the outbuf and the owning event thread finishes it under write
+    /// readiness. Returns `false` if the connection is already gone.
+    pub fn send(&self, frame: &Frame) -> bool {
+        let mut out = self.out.lock().expect("conn outbuf");
+        if out.sock.is_none() || out.broken {
+            return false;
+        }
+        let was_empty = out.pending() == 0;
+        frame.encode(&mut out.buf);
+        if was_empty {
+            match out.drain() {
+                Ok(_) => {}
+                Err(_) => out.broken = true,
+            }
+        }
+        if out.pending() > out.cap {
+            // The peer has stopped reading: shed it rather than buffer
+            // without bound.
+            out.broken = true;
+        }
+        let needs_event_thread = out.broken || out.pending() > 0;
+        drop(out);
+        if needs_event_thread {
+            self.mark_dirty();
+        }
+        true
+    }
+
+    /// Requests teardown: best-effort flush of anything buffered (so a
+    /// final error reply usually makes it out), then the owning event
+    /// thread closes the connection.
+    pub fn close(&self) {
+        let mut out = self.out.lock().expect("conn outbuf");
+        let _ = out.drain();
+        out.broken = true;
+        drop(out);
+        self.mark_dirty();
+    }
+
+    /// Records a session as owned by this connection.
+    pub fn attach_session(&self, session: u64) {
+        self.sessions.lock().expect("conn sessions").push(session);
+    }
+
+    /// Forgets a session (closed explicitly by the client).
+    pub fn detach_session(&self, session: u64) {
+        self.sessions
+            .lock()
+            .expect("conn sessions")
+            .retain(|&id| id != session);
+    }
+
+    /// Drains the owned-session list (used by the close handler to evict
+    /// everything the dead connection still owned).
+    pub fn take_sessions(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.sessions.lock().expect("conn sessions"))
+    }
+
+    fn mark_dirty(&self) {
+        if !self.dirty.swap(true, Ordering::AcqRel) {
+            self.shard.push_dirty(self.token);
+        }
+    }
+}
+
+/// State shared between a shard's event thread and everyone holding one
+/// of its connection handles.
+struct ShardShared {
+    /// Freshly accepted sockets awaiting admission into the slab.
+    intake: Mutex<Vec<Stream>>,
+    /// Tokens whose outbufs want event-thread attention. May contain
+    /// stale tokens (connection died, token reused); processing is
+    /// idempotent against current slab state, so stale entries are at
+    /// worst a spurious flush.
+    dirty: Mutex<Vec<usize>>,
+    /// Write end of the self-pipe; one byte unblocks the poll wait.
+    waker: UnixStream,
+}
+
+impl ShardShared {
+    fn push_dirty(&self, token: usize) {
+        self.dirty.lock().expect("dirty list").push(token);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        // Nonblocking: if the pipe is full the thread is already awake.
+        let _ = (&self.waker).write(&[1]);
+    }
+}
+
+/// Configuration for [`Reactor::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReactorConfig {
+    /// Number of event threads; connections are distributed round-robin.
+    pub event_threads: usize,
+    /// Tear down a connection stalled **mid-frame** for this long.
+    /// Frame-aligned idle connections are never timed out. Zero disables
+    /// the sweep.
+    pub idle_timeout: Duration,
+    /// Per-connection cap on buffered unsent reply bytes; a peer that
+    /// falls further behind is disconnected.
+    pub outbuf_cap: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            event_threads: 2,
+            idle_timeout: Duration::from_secs(10),
+            outbuf_cap: 16 << 20,
+        }
+    }
+}
+
+/// The running reactor: a fixed pool of event threads multiplexing every
+/// registered connection. Dropping it (or [`Reactor::shutdown`]) tears
+/// down all connections and joins the threads.
+pub struct Reactor {
+    shards: Vec<Arc<ShardShared>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    running: Arc<AtomicBool>,
+    next: AtomicUsize,
+}
+
+impl Reactor {
+    /// Spawns the event threads and returns the handle used to register
+    /// connections. Poller construction errors surface here, not later.
+    pub fn start(config: ReactorConfig, events: Arc<dyn ConnEvents>) -> io::Result<Self> {
+        let threads_wanted = config.event_threads.max(1);
+        let running = Arc::new(AtomicBool::new(true));
+        let mut shards = Vec::with_capacity(threads_wanted);
+        let mut threads = Vec::with_capacity(threads_wanted);
+        for i in 0..threads_wanted {
+            let (wake_tx, wake_rx) = UnixStream::pair()?;
+            wake_tx.set_nonblocking(true)?;
+            wake_rx.set_nonblocking(true)?;
+            let mut poller = Poller::new()?;
+            poller.register(wake_rx.as_raw_fd(), WAKER_TOKEN, false)?;
+            let shard = Arc::new(ShardShared {
+                intake: Mutex::new(Vec::new()),
+                dirty: Mutex::new(Vec::new()),
+                waker: wake_tx,
+            });
+            shards.push(Arc::clone(&shard));
+            let events = Arc::clone(&events);
+            let running = Arc::clone(&running);
+            let cfg = config;
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-event-{i}"))
+                .spawn(move || event_loop(shard, poller, wake_rx, events, running, cfg))?;
+            threads.push(handle);
+        }
+        Ok(Self {
+            shards,
+            threads: Mutex::new(threads),
+            running,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Hands a freshly accepted connection to the least recently used
+    /// shard. The socket is switched to non-blocking here.
+    pub fn register(&self, sock: Stream) -> io::Result<()> {
+        sock.set_nonblocking(true)?;
+        let at = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[at]
+            .intake
+            .lock()
+            .expect("intake list")
+            .push(sock);
+        self.shards[at].wake();
+        Ok(())
+    }
+
+    /// Stops the event threads, tearing down every connection (each gets
+    /// its `on_close`) and joining the threads. Idempotent.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        for shard in &self.shards {
+            shard.wake();
+        }
+        let handles = std::mem::take(&mut *self.threads.lock().expect("event threads"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-connection state owned by its event thread.
+struct ConnState {
+    /// Read half (the registered descriptor).
+    sock: Stream,
+    asm: FrameAssembler,
+    handle: Arc<ConnHandle>,
+    /// Whether write interest is currently armed with the poller.
+    want_write: bool,
+    /// When the connection first went quiet mid-frame; `None` while at a
+    /// frame boundary.
+    stalled_since: Option<Instant>,
+}
+
+struct EventThread {
+    slab: Vec<Option<ConnState>>,
+    free: Vec<usize>,
+    poller: Poller,
+    events: Arc<dyn ConnEvents>,
+    cfg: ReactorConfig,
+}
+
+impl EventThread {
+    fn admit(&mut self, sock: Stream, shard: &Arc<ShardShared>) {
+        let Ok(write_half) = sock.try_clone() else {
+            return;
+        };
+        let token = match self.free.pop() {
+            Some(t) => t,
+            None => {
+                self.slab.push(None);
+                self.slab.len() - 1
+            }
+        };
+        if self
+            .poller
+            .register(sock.as_raw_fd(), token, false)
+            .is_err()
+        {
+            self.free.push(token);
+            return;
+        }
+        let handle = Arc::new(ConnHandle {
+            token,
+            shard: Arc::clone(shard),
+            out: Mutex::new(OutBuf {
+                sock: Some(write_half),
+                buf: Vec::new(),
+                sent: 0,
+                broken: false,
+                cap: self.cfg.outbuf_cap,
+            }),
+            dirty: AtomicBool::new(false),
+            sessions: Mutex::new(Vec::new()),
+        });
+        self.slab[token] = Some(ConnState {
+            sock,
+            asm: FrameAssembler::new(),
+            handle,
+            want_write: false,
+            stalled_since: None,
+        });
+    }
+
+    /// Removes a connection: deregisters, best-effort flushes and drops
+    /// the write half, fires `on_close`, recycles the token.
+    fn teardown(&mut self, token: usize) {
+        let Some(state) = self.slab.get_mut(token).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.poller.deregister(state.sock.as_raw_fd());
+        {
+            let mut out = state.handle.out.lock().expect("conn outbuf");
+            if !out.broken {
+                let _ = out.drain();
+            }
+            out.sock = None;
+            out.broken = true;
+            out.buf = Vec::new();
+            out.sent = 0;
+        }
+        self.events.on_close(&state.handle);
+        self.free.push(token);
+    }
+
+    /// Services read readiness: bounded reads, incremental reassembly,
+    /// frame dispatch, stall-clock upkeep.
+    fn readable(&mut self, token: usize, scratch: &mut [u8]) {
+        let Some(state) = self.slab.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        let mut dead = false;
+        let mut fatal = None;
+        for _ in 0..MAX_READS_PER_EVENT {
+            match state.sock.read(scratch) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    let handle = &state.handle;
+                    let events = &self.events;
+                    let fed = state.asm.feed(&scratch[..n], |result| match result {
+                        Ok(frame) => events.on_frame(handle, frame),
+                        Err(err) => events.on_decode_error(handle, err, false),
+                    });
+                    if let Err(err) = fed {
+                        fatal = Some(err);
+                        break;
+                    }
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        state.stalled_since = if state.asm.mid_frame() {
+            state.stalled_since.or_else(|| Some(Instant::now()))
+        } else {
+            None
+        };
+        if let Some(err) = fatal {
+            let handle = Arc::clone(&state.handle);
+            self.events.on_decode_error(&handle, err, true);
+            self.teardown(token);
+        } else if dead {
+            self.teardown(token);
+        }
+    }
+
+    /// Services write readiness / dirty requests: drains the outbuf and
+    /// keeps poller write interest in sync with whether bytes remain.
+    fn flush(&mut self, token: usize) {
+        let Some(state) = self.slab.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        state.handle.dirty.store(false, Ordering::Release);
+        let fd = state.sock.as_raw_fd();
+        let outcome = {
+            let mut out = state.handle.out.lock().expect("conn outbuf");
+            if out.broken {
+                Err(io::ErrorKind::ConnectionAborted.into())
+            } else {
+                out.drain()
+            }
+        };
+        match outcome {
+            Ok(true) => {
+                if state.want_write && self.poller.modify(fd, token, false).is_ok() {
+                    state.want_write = false;
+                }
+            }
+            Ok(false) => {
+                if !state.want_write && self.poller.modify(fd, token, true).is_ok() {
+                    state.want_write = true;
+                }
+            }
+            Err(_) => self.teardown(token),
+        }
+    }
+
+    /// Evicts connections stalled mid-frame past the idle timeout.
+    fn sweep(&mut self, now: Instant) {
+        if self.cfg.idle_timeout.is_zero() {
+            return;
+        }
+        let mut expired = Vec::new();
+        for (token, slot) in self.slab.iter().enumerate() {
+            if let Some(state) = slot {
+                if let Some(since) = state.stalled_since {
+                    if now.duration_since(since) >= self.cfg.idle_timeout {
+                        expired.push(token);
+                    }
+                }
+            }
+        }
+        for token in expired {
+            self.teardown(token);
+        }
+    }
+
+    fn live_tokens(&self) -> Vec<usize> {
+        self.slab
+            .iter()
+            .enumerate()
+            .filter_map(|(t, s)| s.as_ref().map(|_| t))
+            .collect()
+    }
+}
+
+fn event_loop(
+    shard: Arc<ShardShared>,
+    poller: Poller,
+    wake_rx: UnixStream,
+    events: Arc<dyn ConnEvents>,
+    running: Arc<AtomicBool>,
+    cfg: ReactorConfig,
+) {
+    let mut et = EventThread {
+        slab: Vec::new(),
+        free: Vec::new(),
+        poller,
+        events,
+        cfg,
+    };
+    let mut ready: Vec<PollEvent> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    let tick = if cfg.idle_timeout.is_zero() {
+        Duration::from_millis(500)
+    } else {
+        (cfg.idle_timeout / 4).clamp(Duration::from_millis(10), Duration::from_millis(500))
+    };
+    let mut last_sweep = Instant::now();
+    let mut wake_rx = wake_rx;
+    // Work queue reused across iterations to order reads before writes.
+    let mut flush_queue: VecDeque<usize> = VecDeque::new();
+    loop {
+        if et.poller.wait(&mut ready, Some(tick)).is_err() {
+            break;
+        }
+        if !running.load(Ordering::SeqCst) {
+            break;
+        }
+        // Drain the self-pipe so it can signal again.
+        if ready.iter().any(|ev| ev.token == WAKER_TOKEN) {
+            let mut sink = [0u8; 64];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        // Admit new connections.
+        let incoming = std::mem::take(&mut *shard.intake.lock().expect("intake list"));
+        for sock in incoming {
+            et.admit(sock, &shard);
+        }
+        // Dirty outbufs queued by writer threads.
+        let dirty = std::mem::take(&mut *shard.dirty.lock().expect("dirty list"));
+        flush_queue.extend(dirty);
+        // Socket readiness.
+        for ev in &ready {
+            if ev.token == WAKER_TOKEN {
+                continue;
+            }
+            if ev.readable {
+                et.readable(ev.token, &mut scratch);
+            }
+            if ev.writable {
+                flush_queue.push_back(ev.token);
+            }
+        }
+        while let Some(token) = flush_queue.pop_front() {
+            et.flush(token);
+        }
+        let now = Instant::now();
+        if now.duration_since(last_sweep) >= tick {
+            et.sweep(now);
+            last_sweep = now;
+        }
+    }
+    // Shutdown (or poller failure): tear everything down so each
+    // connection gets its on_close exactly once.
+    for token in et.live_tokens() {
+        et.teardown(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::SessionSpec;
+
+    fn frame_bytes(frame: &Frame) -> Vec<u8> {
+        let mut buf = Vec::new();
+        frame.encode(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn assembler_handles_frames_split_anywhere() {
+        let frames = vec![
+            Frame::Poll { session: 42 },
+            Frame::OpenSession(SessionSpec::new(
+                "region",
+                insitu::IterParam::new(1, 8, 1).unwrap(),
+                insitu::IterParam::new(0, 4, 1).unwrap(),
+            )),
+            Frame::Closed { session: 7 },
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&frame_bytes(f));
+        }
+        // Feed in every fixed chunk size, including 1 byte at a time.
+        for chunk in [1usize, 2, 3, 5, 7, bytes.len()] {
+            let mut asm = FrameAssembler::new();
+            let mut got = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                asm.feed(piece, |r| got.push(r.expect("decode")))
+                    .expect("framed stream");
+            }
+            assert_eq!(got.len(), frames.len(), "chunk size {chunk}");
+            assert!(!asm.mid_frame());
+            assert!(matches!(got[0], Frame::Poll { session: 42 }));
+            assert!(matches!(got[2], Frame::Closed { session: 7 }));
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_unframeable_prefixes_before_buffering() {
+        for bad in [0u32, MAX_FRAME_LEN + 1, u32::MAX] {
+            let mut asm = FrameAssembler::new();
+            let mut calls = 0;
+            let err = asm
+                .feed(&bad.to_le_bytes(), |_| calls += 1)
+                .expect_err("unframeable prefix");
+            assert!(matches!(err, WireError::Oversized { .. }), "{bad}");
+            assert_eq!(calls, 0);
+        }
+    }
+
+    #[test]
+    fn assembler_reports_bad_bodies_recoverably() {
+        // A framed body with an unknown kind byte, followed by a good
+        // frame: the sink sees the error, then the good frame decodes.
+        let mut bytes = 2u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0x7F, 0x00]);
+        bytes.extend_from_slice(&frame_bytes(&Frame::Poll { session: 9 }));
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        asm.feed(&bytes, |r| got.push(r)).expect("still framed");
+        assert_eq!(got.len(), 2);
+        assert!(got[0].is_err());
+        assert!(matches!(got[1], Ok(Frame::Poll { session: 9 })));
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_tracks_mid_frame_state() {
+        let bytes = frame_bytes(&Frame::Poll { session: 1 });
+        let mut asm = FrameAssembler::new();
+        assert!(!asm.mid_frame());
+        asm.feed(&bytes[..2], |_| panic!("no frame yet"))
+            .expect("framed");
+        assert!(asm.mid_frame(), "mid-prefix is mid-frame");
+        asm.feed(&bytes[2..6], |_| panic!("no frame yet"))
+            .expect("framed");
+        assert!(asm.mid_frame(), "mid-body is mid-frame");
+        let mut done = 0;
+        asm.feed(&bytes[6..], |r| {
+            r.expect("decode");
+            done += 1;
+        })
+        .expect("framed");
+        assert_eq!(done, 1);
+        assert!(!asm.mid_frame());
+    }
+}

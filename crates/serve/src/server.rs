@@ -3,62 +3,105 @@
 //! # Architecture
 //!
 //! ```text
-//!  accept thread ──► connection reader threads (one per socket)
-//!                        │  decode, route, enforce backpressure
+//!  accept thread ──► reactor event threads (fixed count)
+//!                        │  epoll/poll readiness, frame reassembly,
+//!                        │  routing, backpressure  [crate::reactor]
 //!                        ▼
-//!                 worker lanes (pool jobs, one per lane)
-//!                        │  own the sessions, run the engines
+//!                 worker lanes (dedicated threads, one per lane)
+//!                        │  own the sessions, run the engines,
+//!                        │  push subscription events
 //!                        ▼
-//!                 replies through the shared connection writer
+//!                 replies through each connection's outbuf
 //! ```
 //!
-//! Each **connection reader** decodes frames off its socket and routes
-//! them to a **worker lane** — a long-lived job on the server's
-//! [`ThreadPool`] owning a disjoint set of sessions (assigned round-robin
-//! by session id). The number of lanes adapts to the pool:
-//! `pool.workers().min(config.workers)`, never more loops than the pool
-//! has job threads, so a lane can never be queued behind another lane and
-//! starve its sessions.
+//! Connections are **multiplexed, not threaded**: a fixed pool of
+//! [`Reactor`] event threads owns every socket, so the server's thread
+//! count is `O(event_threads + lanes)` whether ten connections are open
+//! or ten thousand. Each decoded frame is routed by the router (running
+//! on the event thread) to a **worker lane** — a dedicated thread owning
+//! a disjoint set of sessions. Lanes spend their idle time blocked on
+//! their command channel, so [`ServerConfig::workers`] is honored as
+//! given: a small host still gets the configured lane structure (and
+//! with it testable rebalancing), it just timeslices the lanes.
 //!
 //! **Backpressure is shed-don't-stall**: every session carries an
 //! inflight gauge counting `StepSamples` frames queued to its lane but
 //! not yet processed. A step arriving with the gauge at
 //! [`ServerConfig::inflight_limit`] is answered [`Frame::Busy`] straight
-//! from the reader thread and dropped — the reader never blocks, the
-//! lane's queue stays bounded per session, and a slow session cannot
-//! starve the connection it shares with fast ones. Control frames
-//! (`Extract`/`Features`/`Poll`/`CloseSession`) bypass the gauge so a
-//! client can always drain state from a busy session.
+//! from the event thread and dropped — routing never blocks, the lane's
+//! queue stays bounded per session, and a slow session cannot starve the
+//! connection it shares with fast ones. Control frames
+//! (`Extract`/`Features`/`Poll`/`CloseSession`/`Subscribe`/
+//! `Unsubscribe`) bypass the gauge so a client can always drain state
+//! from a busy session.
+//!
+//! **Lanes rebalance dynamically**: sessions are placed round-robin at
+//! open, but workloads skew — one hot session can back its lane up while
+//! others idle. The router tracks per-lane queue depth and a per-session
+//! service-time EWMA; when a step finds its lane's backlog at least
+//! [`ServerConfig::rebalance_depth`] deeper than the lightest lane's
+//! (hysteresis, so balanced load never thrashes) and the session is past
+//! its migration cooldown, the session's engine is handed to the lighter
+//! lane at that step boundary. Migration is a `Migrate` → `Adopt`
+//! command handoff between the lanes; commands routed to the new lane
+//! before the state arrives are parked and drained in order, so
+//! per-session FIFO — and therefore bit-identical extraction — is
+//! preserved. [`Server::migrations`] counts completed handoffs.
+//!
+//! **Subscriptions stream features**: a client that sends
+//! [`Frame::Subscribe`] gets a [`Frame::FeatureEvent`] pushed whenever a
+//! processed step changes the session's extracted features (the engine
+//! extracts at convergence mid-stream), instead of polling with
+//! `Features` round-trips.
 //!
 //! Sessions die cleanly by construction: `CloseSession` (or the owning
-//! connection dying) unregisters the session and its lane drops the
-//! [`Session`], whose engine `Drop` joins any
-//! in-flight training work.
+//! connection dying) winds the session down on its lane and the
+//! [`Session`]'s engine `Drop` joins any in-flight training work.
 
-use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parsim::{JobHandle, ThreadPool};
+use insitu::region::FeatureValue;
 
+use crate::reactor::{ConnEvents, ConnHandle, Reactor, ReactorConfig, Stream};
 use crate::session::Session;
-use crate::wire::{read_frame, write_frame, ErrorCode, Frame, SessionSpec, WireError};
+use crate::wire::{ErrorCode, Frame, SessionSpec, WireError};
 
 /// Tuning knobs for [`Server`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Desired number of worker lanes. Clamped to the pool's job-thread
-    /// count (`pool.workers()`) so lanes never queue behind each other.
+    /// Number of worker lanes, each a dedicated thread owning a disjoint
+    /// set of sessions. Honored as given (minimum one): lanes block on
+    /// their channel when idle, so more lanes than cores timeslice
+    /// instead of deadlocking.
     pub workers: usize,
     /// Per-session cap on `StepSamples` frames queued but not yet
     /// processed; steps beyond it are shed with [`Frame::Busy`].
     pub inflight_limit: usize,
+    /// Number of reactor event threads multiplexing the connections.
+    pub event_threads: usize,
+    /// Tear down a connection stalled **mid-frame** for this long
+    /// (frame-aligned idle connections are never timed out; zero
+    /// disables the sweep).
+    pub idle_timeout: Duration,
+    /// Per-connection cap on buffered unsent reply bytes; a peer that
+    /// stops reading past it is disconnected instead of buffered
+    /// without bound.
+    pub outbuf_cap: usize,
+    /// Lane-rebalancing hysteresis: migrate a stepping session when its
+    /// lane's queue is at least this much deeper than the lightest
+    /// lane's (and at least this deep in absolute terms). Zero disables
+    /// rebalancing.
+    pub rebalance_depth: usize,
+    /// Minimum routed steps between two migrations of the same session,
+    /// so a borderline session does not ping-pong between lanes.
+    pub rebalance_cooldown: u64,
 }
 
 impl Default for ServerConfig {
@@ -66,75 +109,11 @@ impl Default for ServerConfig {
         Self {
             workers: 4,
             inflight_limit: 32,
-        }
-    }
-}
-
-/// A socket stream of either supported transport.
-enum RawConn {
-    Tcp(TcpStream),
-    Unix(UnixStream),
-}
-
-impl RawConn {
-    fn try_clone(&self) -> std::io::Result<RawConn> {
-        Ok(match self {
-            RawConn::Tcp(s) => RawConn::Tcp(s.try_clone()?),
-            RawConn::Unix(s) => RawConn::Unix(s.try_clone()?),
-        })
-    }
-
-    /// Shuts the socket down in both directions, waking any blocked read
-    /// on any clone of the same descriptor with EOF.
-    fn force_close(&self) {
-        let _ = match self {
-            RawConn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
-            RawConn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
-        };
-    }
-}
-
-impl Read for RawConn {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            RawConn::Tcp(s) => s.read(buf),
-            RawConn::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for RawConn {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            RawConn::Tcp(s) => s.write(buf),
-            RawConn::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            RawConn::Tcp(s) => s.flush(),
-            RawConn::Unix(s) => s.flush(),
-        }
-    }
-}
-
-/// The write half of a connection, shared between the reader thread (for
-/// `Busy` and routing errors) and the worker lanes (for replies). One
-/// mutex per connection keeps frames from interleaving mid-write.
-#[derive(Clone)]
-struct ConnWriter {
-    inner: Arc<Mutex<RawConn>>,
-}
-
-impl ConnWriter {
-    /// Writes and flushes one frame; errors are ignored (a dead peer is
-    /// detected and cleaned up by its reader thread).
-    fn send(&self, frame: &Frame, scratch: &mut Vec<u8>) {
-        if let Ok(mut conn) = self.inner.lock() {
-            if write_frame(&mut *conn, frame, scratch).is_ok() {
-                let _ = conn.flush();
-            }
+            event_threads: 2,
+            idle_timeout: Duration::from_secs(10),
+            outbuf_cap: 16 << 20,
+            rebalance_depth: 16,
+            rebalance_cooldown: 64,
         }
     }
 }
@@ -144,7 +123,7 @@ enum Command {
     Open {
         session: u64,
         spec: Box<SessionSpec>,
-        conn: ConnWriter,
+        conn: Arc<ConnHandle>,
     },
     Step {
         session: u64,
@@ -152,42 +131,114 @@ enum Command {
         locations: Vec<u64>,
         values: Vec<f64>,
         inflight: Arc<AtomicUsize>,
-        conn: ConnWriter,
+        /// The session's service-time EWMA, updated by the lane.
+        service_ns: Arc<AtomicU64>,
+        conn: Arc<ConnHandle>,
     },
     Extract {
         session: u64,
-        conn: ConnWriter,
+        conn: Arc<ConnHandle>,
     },
     Features {
         session: u64,
-        conn: ConnWriter,
+        conn: Arc<ConnHandle>,
     },
     Poll {
         session: u64,
-        conn: ConnWriter,
+        conn: Arc<ConnHandle>,
     },
     Close {
         session: u64,
         /// `None` when the owning connection died: drop silently.
-        conn: Option<ConnWriter>,
+        conn: Option<Arc<ConnHandle>>,
     },
+    Subscribe {
+        session: u64,
+        conn: Arc<ConnHandle>,
+    },
+    Unsubscribe {
+        session: u64,
+        conn: Arc<ConnHandle>,
+    },
+    /// Rebalancing: the receiving lane owns `session` and must hand its
+    /// state to the lane behind `to` (as a [`Command::Adopt`]).
+    Migrate {
+        session: u64,
+        to: Sender<Command>,
+    },
+    /// Rebalancing: the migrated session state, arriving at its new
+    /// lane. Lane-to-lane, never produced by the router.
+    Adopt {
+        session: u64,
+        state: Box<LaneSession>,
+    },
+}
+
+impl Command {
+    /// The session a command addresses, for the migration parking gate.
+    fn session_id(&self) -> u64 {
+        match self {
+            Command::Open { session, .. }
+            | Command::Step { session, .. }
+            | Command::Extract { session, .. }
+            | Command::Features { session, .. }
+            | Command::Poll { session, .. }
+            | Command::Close { session, .. }
+            | Command::Subscribe { session, .. }
+            | Command::Unsubscribe { session, .. }
+            | Command::Migrate { session, .. }
+            | Command::Adopt { session, .. } => *session,
+        }
+    }
+}
+
+/// A session as owned by its worker lane, with streaming state. Boxed
+/// through [`Command::Adopt`] when it migrates between lanes.
+struct LaneSession {
+    session: Session,
+    /// Connection receiving [`Frame::FeatureEvent`] pushes, if any.
+    subscriber: Option<Arc<ConnHandle>>,
+    /// The feature set last pushed, so only changes generate events.
+    pushed: Vec<(String, FeatureValue)>,
 }
 
 /// Routing record for one open session.
 struct Entry {
     lane: usize,
     inflight: Arc<AtomicUsize>,
+    /// EWMA of per-step service time in nanoseconds (0 = no step
+    /// measured yet; such sessions are never migrated).
+    service_ns: Arc<AtomicU64>,
+    /// Steps routed so far, the clock for the migration cooldown.
+    steps_routed: u64,
+    /// `steps_routed` at the last migration decision.
+    last_migrated: u64,
+    /// A `Migrate`/`Adopt` handoff is in flight: the new lane parks this
+    /// session's commands until the state arrives.
+    migrating: bool,
+    /// `CloseSession` has been routed: no further migrations.
+    closing: bool,
 }
 
-/// State shared by the accept thread, readers, and worker lanes.
+/// State shared by the accept thread, the router, and the worker lanes.
 struct Shared {
     sessions: Mutex<HashMap<u64, Entry>>,
     next_session: AtomicU64,
     running: AtomicBool,
     inflight_limit: usize,
-    /// Clones of every live connection, kept so shutdown can wake the
-    /// blocked reader threads.
-    conns: Mutex<Vec<RawConn>>,
+    /// Commands queued to each lane but not yet processed.
+    lane_depth: Vec<AtomicUsize>,
+    /// Completed lane migrations (observable via [`Server::migrations`]).
+    migrations: AtomicU64,
+    rebalance_depth: usize,
+    rebalance_cooldown: u64,
+}
+
+/// The reactor-facing frame router: decoded frames arrive here (on the
+/// event threads) and leave as lane commands or immediate replies.
+struct Router {
+    shared: Arc<Shared>,
+    lanes: Vec<Sender<Command>>,
 }
 
 /// A running analysis server. Dropping it (or calling
@@ -195,10 +246,10 @@ struct Shared {
 /// down every session, and joins all of its threads.
 pub struct Server {
     shared: Arc<Shared>,
-    lanes: Arc<Vec<Sender<Command>>>,
+    router: Option<Arc<Router>>,
+    reactor: Option<Arc<Reactor>>,
     accept: Option<std::thread::JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-    workers: Vec<JobHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
 }
@@ -211,31 +262,24 @@ enum Listener {
 impl Server {
     /// Starts a server listening on a TCP address (use port 0 to let the
     /// OS pick; read it back with [`Server::tcp_addr`]).
-    pub fn bind_tcp(addr: &str, pool: ThreadPool, config: ServerConfig) -> std::io::Result<Self> {
+    pub fn bind_tcp(addr: &str, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let tcp_addr = listener.local_addr().ok();
-        Ok(Self::start(
-            Listener::Tcp(listener),
-            tcp_addr,
-            None,
-            pool,
-            config,
-        ))
+        Self::start(Listener::Tcp(listener), tcp_addr, None, config)
     }
 
     /// Starts a server listening on a Unix domain socket. The socket file
     /// is unlinked when the server shuts down.
-    pub fn bind_unix(path: &Path, pool: ThreadPool, config: ServerConfig) -> std::io::Result<Self> {
+    pub fn bind_unix(path: &Path, config: ServerConfig) -> std::io::Result<Self> {
         let listener = UnixListener::bind(path)?;
         listener.set_nonblocking(true)?;
-        Ok(Self::start(
+        Self::start(
             Listener::Unix(listener),
             None,
             Some(path.to_path_buf()),
-            pool,
             config,
-        ))
+        )
     }
 
     /// The TCP address actually bound, when listening on TCP.
@@ -243,52 +287,72 @@ impl Server {
         self.tcp_addr
     }
 
+    /// Completed session-to-lighter-lane migrations since startup.
+    pub fn migrations(&self) -> u64 {
+        self.shared.migrations.load(Ordering::Relaxed)
+    }
+
     fn start(
         listener: Listener,
         tcp_addr: Option<SocketAddr>,
         unix_path: Option<PathBuf>,
-        pool: ThreadPool,
         config: ServerConfig,
-    ) -> Self {
+    ) -> std::io::Result<Self> {
+        let lane_count = config.workers.max(1);
+
         let shared = Arc::new(Shared {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             running: AtomicBool::new(true),
             inflight_limit: config.inflight_limit.max(1),
-            conns: Mutex::new(Vec::new()),
+            lane_depth: (0..lane_count).map(|_| AtomicUsize::new(0)).collect(),
+            migrations: AtomicU64::new(0),
+            rebalance_depth: config.rebalance_depth,
+            rebalance_cooldown: config.rebalance_cooldown.max(1),
         });
 
-        // Never more lanes than the pool has job threads: a lane is a
-        // long-lived job, and an over-subscribed lane would queue behind
-        // the others forever, deadlocking its sessions.
-        let lane_count = pool.workers().min(config.workers).max(1);
         let mut senders = Vec::with_capacity(lane_count);
         let mut workers = Vec::with_capacity(lane_count);
-        for _ in 0..lane_count {
+        for me in 0..lane_count {
             let (tx, rx) = mpsc::channel::<Command>();
             senders.push(tx);
             let shared_for_lane = Arc::clone(&shared);
-            workers.push(pool.spawn_job(move || lane_loop(rx, shared_for_lane)));
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-lane-{me}"))
+                    .spawn(move || lane_loop(rx, shared_for_lane, me))?,
+            );
         }
-        let lanes = Arc::new(senders);
 
-        let readers = Arc::new(Mutex::new(Vec::new()));
+        let router = Arc::new(Router {
+            shared: Arc::clone(&shared),
+            lanes: senders,
+        });
+
+        let reactor = Arc::new(Reactor::start(
+            ReactorConfig {
+                event_threads: config.event_threads,
+                idle_timeout: config.idle_timeout,
+                outbuf_cap: config.outbuf_cap.max(1 << 16),
+            },
+            Arc::clone(&router) as Arc<dyn ConnEvents>,
+        )?);
+
         let accept = {
             let shared = Arc::clone(&shared);
-            let lanes = Arc::clone(&lanes);
-            let readers = Arc::clone(&readers);
-            std::thread::spawn(move || accept_loop(listener, shared, lanes, readers))
+            let reactor = Arc::clone(&reactor);
+            std::thread::spawn(move || accept_loop(listener, shared, reactor))
         };
 
-        Self {
+        Ok(Self {
             shared,
-            lanes,
+            router: Some(router),
+            reactor: Some(reactor),
             accept: Some(accept),
-            readers,
             workers,
             tcp_addr,
             unix_path,
-        }
+        })
     }
 
     /// Stops the server: no new connections, every live connection is
@@ -302,25 +366,23 @@ impl Server {
         if !self.shared.running.swap(false, Ordering::SeqCst) {
             return;
         }
-        // Wake every blocked reader with EOF.
-        if let Ok(conns) = self.shared.conns.lock() {
-            for conn in conns.iter() {
-                conn.force_close();
-            }
-        }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        let readers = std::mem::take(&mut *self.readers.lock().expect("reader registry"));
-        for reader in readers {
-            let _ = reader.join();
+        // Tearing the reactor down closes every connection; each close
+        // routes eviction for the sessions it owned while the lanes are
+        // still alive to process them.
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
-        // With accept and all readers gone, this Arc is the last holder of
-        // the lane senders: dropping it disconnects the channels and the
-        // lanes exit, dropping their sessions (which joins training work).
-        self.lanes = Arc::new(Vec::new());
+        // The router is now the last holder of the lane senders:
+        // dropping it disconnects the channels and the lanes exit,
+        // dropping their sessions (which joins training work). A
+        // `Migrate` still queued holds a sender to its target lane, but
+        // only until the owning lane drains it — the cascade terminates.
+        self.router = None;
         for worker in self.workers.drain(..) {
-            worker.join();
+            let _ = worker.join();
         }
         if let Some(path) = self.unix_path.take() {
             let _ = std::fs::remove_file(path);
@@ -334,49 +396,20 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: Listener,
-    shared: Arc<Shared>,
-    lanes: Arc<Vec<Sender<Command>>>,
-    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
+fn accept_loop(listener: Listener, shared: Arc<Shared>, reactor: Arc<Reactor>) {
     while shared.running.load(Ordering::SeqCst) {
         let accepted = match &listener {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| RawConn::Tcp(s)),
-            Listener::Unix(l) => l.accept().map(|(s, _)| RawConn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Nagle off: frames are small and request/reply latency
+                // dominates throughput.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
         };
         match accepted {
             Ok(conn) => {
-                // A reply write that cannot complete within the timeout is
-                // dropped rather than wedging the writing lane behind a
-                // stuck client. Nagle is disabled: frames are small and
-                // request/reply latency dominates throughput.
-                let _ = match &conn {
-                    RawConn::Tcp(s) => {
-                        let _ = s.set_nodelay(true);
-                        s.set_write_timeout(Some(Duration::from_secs(10)))
-                    }
-                    RawConn::Unix(s) => s.set_write_timeout(Some(Duration::from_secs(10))),
-                };
-                let read_half = match conn.try_clone() {
-                    Ok(clone) => clone,
-                    Err(_) => continue,
-                };
-                if let Ok(mut conns) = shared.conns.lock() {
-                    match conn.try_clone() {
-                        Ok(clone) => conns.push(clone),
-                        Err(_) => continue,
-                    }
-                }
-                let writer = ConnWriter {
-                    inner: Arc::new(Mutex::new(conn)),
-                };
-                let shared_for_reader = Arc::clone(&shared);
-                let lanes_for_reader = Arc::clone(&lanes);
-                let handle = std::thread::spawn(move || {
-                    reader_loop(read_half, writer, shared_for_reader, lanes_for_reader)
-                });
-                readers.lock().expect("reader registry").push(handle);
+                let _ = reactor.register(conn);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -386,78 +419,162 @@ fn accept_loop(
     }
 }
 
-/// Decodes frames off one connection and routes them to the worker lanes.
-fn reader_loop(
-    mut conn: RawConn,
-    writer: ConnWriter,
-    shared: Arc<Shared>,
-    lanes: Arc<Vec<Sender<Command>>>,
-) {
-    // The accepted socket inherited the listener's non-blocking flag on
-    // some platforms; readers want plain blocking reads.
-    match &conn {
-        RawConn::Tcp(s) => {
-            let _ = s.set_nonblocking(false);
+impl Router {
+    /// Queues a command to a lane, keeping the depth gauge consistent.
+    /// `false` means the lane is gone (server stopping).
+    fn dispatch(&self, lane: usize, cmd: Command) -> bool {
+        self.shared.lane_depth[lane].fetch_add(1, Ordering::AcqRel);
+        if self.lanes[lane].send(cmd).is_ok() {
+            return true;
         }
-        RawConn::Unix(s) => {
-            let _ = s.set_nonblocking(false);
-        }
+        self.shared.lane_depth[lane].fetch_sub(1, Ordering::AcqRel);
+        false
     }
-    let mut scratch = Vec::new();
-    let mut out = Vec::new();
-    // Sessions opened over this connection; evicted if the peer vanishes.
-    let mut owned: Vec<u64> = Vec::new();
-    loop {
-        let frame = match read_frame(&mut conn, &mut scratch) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break,
-            Err(WireError::Io(_) | WireError::Truncated) => break,
-            Err(e @ WireError::Oversized { .. }) => {
-                // A bad length prefix leaves the stream unframeable;
-                // report and hang up rather than guess at a resync point.
-                writer.send(
-                    &Frame::ErrorReply {
-                        session: 0,
-                        code: ErrorCode::Protocol,
-                        message: e.to_string(),
-                    },
-                    &mut out,
-                );
-                break;
-            }
-            Err(e) => {
-                // Malformed/unknown/invalid body: the length prefix was
-                // good and the full body was consumed, so the stream is
-                // still framed — report and keep serving the connection.
-                writer.send(
-                    &Frame::ErrorReply {
-                        session: 0,
-                        code: ErrorCode::Protocol,
-                        message: e.to_string(),
-                    },
-                    &mut out,
-                );
-                continue;
+
+    /// Routes a session-addressed control command (gauge-exempt).
+    fn route_control(
+        &self,
+        conn: &Arc<ConnHandle>,
+        session: u64,
+        make: impl FnOnce(Arc<ConnHandle>) -> Command,
+    ) {
+        let lane = {
+            let table = self.shared.sessions.lock().expect("session table");
+            match table.get(&session) {
+                Some(entry) => entry.lane,
+                None => {
+                    reply_unknown(conn, session);
+                    return;
+                }
             }
         };
+        if !self.dispatch(lane, make(Arc::clone(conn))) {
+            reply_error(conn, session, ErrorCode::Internal, "server stopping");
+        }
+    }
+
+    /// The step-boundary rebalance check. Runs with the session table
+    /// locked and the entry mutably borrowed; returns the lane that must
+    /// receive a `Migrate` command when the decision fires (the entry is
+    /// already retargeted at that point).
+    fn rebalance(&self, entry: &mut Entry) -> Option<usize> {
+        let depth_gate = self.shared.rebalance_depth;
+        if depth_gate == 0
+            || entry.migrating
+            || entry.closing
+            || entry.service_ns.load(Ordering::Relaxed) == 0
+            || entry.steps_routed.wrapping_sub(entry.last_migrated) < self.shared.rebalance_cooldown
+        {
+            return None;
+        }
+        let here = self.shared.lane_depth[entry.lane].load(Ordering::Relaxed);
+        if here < depth_gate {
+            return None;
+        }
+        let (best, best_depth) = self
+            .shared
+            .lane_depth
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i, d.load(Ordering::Relaxed)))
+            .min_by_key(|&(_, depth)| depth)?;
+        // Hysteresis: only migrate across a real imbalance, so lanes
+        // under uniformly heavy load never shuffle sessions around.
+        if best == entry.lane || here < best_depth + depth_gate {
+            return None;
+        }
+        let from = entry.lane;
+        entry.lane = best;
+        entry.migrating = true;
+        entry.last_migrated = entry.steps_routed;
+        Some(from)
+    }
+
+    fn handle_step(
+        &self,
+        conn: &Arc<ConnHandle>,
+        session: u64,
+        iteration: u64,
+        locations: Vec<u64>,
+        values: Vec<f64>,
+    ) {
+        let (target, inflight, service_ns, migrate_from) = {
+            let mut table = self.shared.sessions.lock().expect("session table");
+            let Some(entry) = table.get_mut(&session) else {
+                drop(table);
+                reply_unknown(conn, session);
+                return;
+            };
+            entry.steps_routed += 1;
+            let migrate_from = self.rebalance(entry);
+            (
+                entry.lane,
+                Arc::clone(&entry.inflight),
+                Arc::clone(&entry.service_ns),
+                migrate_from,
+            )
+        };
+        if let Some(from) = migrate_from {
+            self.shared.migrations.fetch_add(1, Ordering::Relaxed);
+            let to = self.lanes[target].clone();
+            self.dispatch(from, Command::Migrate { session, to });
+        }
+        // Shed-don't-stall: reserve an inflight slot or bounce.
+        if !try_acquire(&inflight, self.shared.inflight_limit) {
+            conn.send(&Frame::Busy {
+                session,
+                depth: self.shared.inflight_limit as u32,
+            });
+            return;
+        }
+        let cmd = Command::Step {
+            session,
+            iteration,
+            locations,
+            values,
+            inflight: Arc::clone(&inflight),
+            service_ns,
+            conn: Arc::clone(conn),
+        };
+        if !self.dispatch(target, cmd) {
+            inflight.fetch_sub(1, Ordering::AcqRel);
+            reply_error(conn, session, ErrorCode::Internal, "server stopping");
+        }
+    }
+}
+
+impl ConnEvents for Router {
+    fn on_frame(&self, conn: &Arc<ConnHandle>, frame: Frame) {
         match frame {
             Frame::OpenSession(spec) => {
-                let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-                let lane = (session as usize) % lanes.len();
-                let inflight = Arc::new(AtomicUsize::new(0));
-                shared
-                    .sessions
-                    .lock()
-                    .expect("session table")
-                    .insert(session, Entry { lane, inflight });
-                owned.push(session);
+                let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+                let lane = (session as usize) % self.lanes.len();
+                self.shared.sessions.lock().expect("session table").insert(
+                    session,
+                    Entry {
+                        lane,
+                        inflight: Arc::new(AtomicUsize::new(0)),
+                        service_ns: Arc::new(AtomicU64::new(0)),
+                        steps_routed: 0,
+                        last_migrated: 0,
+                        migrating: false,
+                        closing: false,
+                    },
+                );
+                conn.attach_session(session);
                 let cmd = Command::Open {
                     session,
                     spec: Box::new(spec),
-                    conn: writer.clone(),
+                    conn: Arc::clone(conn),
                 };
-                if lanes[lane].send(cmd).is_err() {
-                    reply_error(&writer, &mut out, 0, ErrorCode::Internal, "server stopping");
+                if !self.dispatch(lane, cmd) {
+                    self.shared
+                        .sessions
+                        .lock()
+                        .expect("session table")
+                        .remove(&session);
+                    conn.detach_session(session);
+                    reply_error(conn, 0, ErrorCode::Internal, "server stopping");
                 }
             }
             Frame::StepSamples {
@@ -465,104 +582,91 @@ fn reader_loop(
                 iteration,
                 locations,
                 values,
-            } => {
-                let Some((lane, inflight)) = lookup(&shared, session) else {
-                    reply_unknown(&writer, &mut out, session);
-                    continue;
-                };
-                // Shed-don't-stall: reserve an inflight slot or bounce.
-                if !try_acquire(&inflight, shared.inflight_limit) {
-                    writer.send(
-                        &Frame::Busy {
-                            session,
-                            depth: shared.inflight_limit as u32,
-                        },
-                        &mut out,
-                    );
-                    continue;
-                }
-                let cmd = Command::Step {
-                    session,
-                    iteration,
-                    locations,
-                    values,
-                    inflight: Arc::clone(&inflight),
-                    conn: writer.clone(),
-                };
-                if lanes[lane].send(cmd).is_err() {
-                    inflight.fetch_sub(1, Ordering::AcqRel);
-                    reply_error(
-                        &writer,
-                        &mut out,
-                        session,
-                        ErrorCode::Internal,
-                        "server stopping",
-                    );
-                }
-            }
+            } => self.handle_step(conn, session, iteration, locations, values),
             Frame::Extract { session } => {
-                route_control(&shared, &lanes, &writer, &mut out, session, |conn| {
-                    Command::Extract { session, conn }
-                });
+                self.route_control(conn, session, |conn| Command::Extract { session, conn });
             }
             Frame::Features { session } => {
-                route_control(&shared, &lanes, &writer, &mut out, session, |conn| {
-                    Command::Features { session, conn }
-                });
+                self.route_control(conn, session, |conn| Command::Features { session, conn });
             }
             Frame::Poll { session } => {
-                route_control(&shared, &lanes, &writer, &mut out, session, |conn| {
-                    Command::Poll { session, conn }
-                });
+                self.route_control(conn, session, |conn| Command::Poll { session, conn });
+            }
+            Frame::Subscribe { session } => {
+                self.route_control(conn, session, |conn| Command::Subscribe { session, conn });
+            }
+            Frame::Unsubscribe { session } => {
+                self.route_control(conn, session, |conn| Command::Unsubscribe { session, conn });
             }
             Frame::CloseSession { session } => {
-                let removed = shared
-                    .sessions
-                    .lock()
-                    .expect("session table")
-                    .remove(&session);
-                match removed {
-                    Some(entry) => {
-                        owned.retain(|&id| id != session);
-                        let cmd = Command::Close {
-                            session,
-                            conn: Some(writer.clone()),
-                        };
-                        let _ = lanes[entry.lane].send(cmd);
+                // The entry stays in the table (marked closing) until the
+                // lane has dropped the session: commands racing the close
+                // keep routing to the owner and resolve there, in order.
+                let lane = {
+                    let mut table = self.shared.sessions.lock().expect("session table");
+                    match table.get_mut(&session) {
+                        Some(entry) => {
+                            entry.closing = true;
+                            entry.lane
+                        }
+                        None => {
+                            drop(table);
+                            reply_unknown(conn, session);
+                            return;
+                        }
                     }
-                    None => reply_unknown(&writer, &mut out, session),
+                };
+                conn.detach_session(session);
+                let cmd = Command::Close {
+                    session,
+                    conn: Some(Arc::clone(conn)),
+                };
+                if !self.dispatch(lane, cmd) {
+                    reply_error(conn, session, ErrorCode::Internal, "server stopping");
                 }
             }
             // Response frames arriving at the server are a peer bug.
             _ => {
                 reply_error(
-                    &writer,
-                    &mut out,
+                    conn,
                     0,
                     ErrorCode::Protocol,
                     "response frame sent to server",
                 );
-                break;
+                conn.close();
             }
         }
     }
-    // The connection is gone: evict every session it still owned.
-    let mut table = shared.sessions.lock().expect("session table");
-    for session in owned {
-        if let Some(entry) = table.remove(&session) {
-            let _ = lanes[entry.lane].send(Command::Close {
-                session,
-                conn: None,
-            });
+
+    fn on_decode_error(&self, conn: &Arc<ConnHandle>, err: WireError, _fatal: bool) {
+        // Fatal (unframeable prefix) or not (bad body on a framed
+        // stream), the peer gets the diagnostic; on the fatal path the
+        // reactor tears the connection down right after this reply.
+        reply_error(conn, 0, ErrorCode::Protocol, &err.to_string());
+    }
+
+    fn on_close(&self, conn: &Arc<ConnHandle>) {
+        // The connection is gone: evict every session it still owned.
+        for session in conn.take_sessions() {
+            let lane = {
+                let mut table = self.shared.sessions.lock().expect("session table");
+                match table.get_mut(&session) {
+                    Some(entry) => {
+                        entry.closing = true;
+                        entry.lane
+                    }
+                    None => continue,
+                }
+            };
+            self.dispatch(
+                lane,
+                Command::Close {
+                    session,
+                    conn: None,
+                },
+            );
         }
     }
-}
-
-fn lookup(shared: &Shared, session: u64) -> Option<(usize, Arc<AtomicUsize>)> {
-    let table = shared.sessions.lock().expect("session table");
-    table
-        .get(&session)
-        .map(|e| (e.lane, Arc::clone(&e.inflight)))
 }
 
 /// Reserves one inflight slot unless the gauge is at the limit.
@@ -580,75 +684,150 @@ fn try_acquire(gauge: &AtomicUsize, limit: usize) -> bool {
     }
 }
 
-fn route_control(
-    shared: &Shared,
-    lanes: &[Sender<Command>],
-    writer: &ConnWriter,
-    out: &mut Vec<u8>,
-    session: u64,
-    make: impl FnOnce(ConnWriter) -> Command,
-) {
-    match lookup(shared, session) {
-        Some((lane, _)) => {
-            if lanes[lane].send(make(writer.clone())).is_err() {
-                reply_error(writer, out, session, ErrorCode::Internal, "server stopping");
-            }
-        }
-        None => reply_unknown(writer, out, session),
+fn reply_unknown(conn: &Arc<ConnHandle>, session: u64) {
+    reply_error(conn, session, ErrorCode::UnknownSession, "no such session");
+}
+
+fn reply_error(conn: &Arc<ConnHandle>, session: u64, code: ErrorCode, msg: &str) {
+    conn.send(&Frame::ErrorReply {
+        session,
+        code,
+        message: msg.to_string(),
+    });
+}
+
+fn unknown_session(session: u64) -> Frame {
+    Frame::ErrorReply {
+        session,
+        code: ErrorCode::UnknownSession,
+        message: "no such session".to_string(),
     }
 }
 
-fn reply_unknown(writer: &ConnWriter, out: &mut Vec<u8>, session: u64) {
-    reply_error(
-        writer,
-        out,
-        session,
-        ErrorCode::UnknownSession,
-        "no such session",
-    );
+/// Folds one observation into a service-time EWMA (α = 1/8), clamped
+/// away from zero so "has been measured" stays distinguishable.
+fn ewma_update(cell: &AtomicU64, sample_ns: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        sample_ns.max(1)
+    } else {
+        (old - old / 8 + sample_ns / 8).max(1)
+    };
+    cell.store(new, Ordering::Relaxed);
 }
 
-fn reply_error(writer: &ConnWriter, out: &mut Vec<u8>, session: u64, code: ErrorCode, msg: &str) {
-    writer.send(
-        &Frame::ErrorReply {
-            session,
-            code,
-            message: msg.to_string(),
-        },
-        out,
-    );
+/// One worker lane: a dedicated thread owning its sessions outright —
+/// no locking on the session hot path; the channel is the
+/// synchronization.
+struct Lane {
+    me: usize,
+    shared: Arc<Shared>,
+    sessions: HashMap<u64, LaneSession>,
+    /// Commands for sessions migrating *to* this lane whose state has
+    /// not arrived yet; drained in order on `Adopt`.
+    parked: HashMap<u64, VecDeque<Command>>,
 }
 
-/// One worker lane: a long-lived pool job owning its sessions outright —
-/// no locking on the hot path; the channel is the synchronization.
-fn lane_loop(rx: Receiver<Command>, shared: Arc<Shared>) {
-    let mut sessions: HashMap<u64, Session> = HashMap::new();
-    let mut out = Vec::new();
+fn lane_loop(rx: Receiver<Command>, shared: Arc<Shared>, me: usize) {
+    let mut lane = Lane {
+        me,
+        shared,
+        sessions: HashMap::new(),
+        parked: HashMap::new(),
+    };
     while let Ok(cmd) = rx.recv() {
+        lane.receive(cmd);
+    }
+    // Channel disconnected: the server is shutting down. Sessions drop
+    // here, joining their engines' in-flight work.
+}
+
+impl Lane {
+    fn receive(&mut self, cmd: Command) {
+        if let Command::Adopt { session, state } = cmd {
+            self.adopt(session, *state);
+            return;
+        }
+        let session = cmd.session_id();
+        if !self.sessions.contains_key(&session) && self.should_park(&cmd, session) {
+            self.parked.entry(session).or_default().push_back(cmd);
+            return;
+        }
+        self.handle(cmd);
+        self.shared.lane_depth[self.me].fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// True for session-addressed commands that outran their session's
+    /// in-flight migration to this lane: they wait for the `Adopt`.
+    /// `Open` creates the session and `Migrate` is only ever routed to
+    /// the current owner, so neither parks.
+    fn should_park(&self, cmd: &Command, session: u64) -> bool {
+        if matches!(cmd, Command::Open { .. } | Command::Migrate { .. }) {
+            return false;
+        }
+        let table = self.shared.sessions.lock().expect("session table");
+        table
+            .get(&session)
+            .is_some_and(|e| e.lane == self.me && e.migrating)
+    }
+
+    /// Installs migrated session state and replays its parked commands
+    /// in arrival order.
+    fn adopt(&mut self, session: u64, state: LaneSession) {
+        let still_open = {
+            let mut table = self.shared.sessions.lock().expect("session table");
+            match table.get_mut(&session) {
+                Some(entry) if entry.lane == self.me => {
+                    entry.migrating = false;
+                    true
+                }
+                // Closed while the state was in flight: drop it here,
+                // joining its in-flight work.
+                _ => false,
+            }
+        };
+        if still_open {
+            self.sessions.insert(session, state);
+        }
+        if let Some(queue) = self.parked.remove(&session) {
+            for cmd in queue {
+                self.handle(cmd);
+                self.shared.lane_depth[self.me].fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn handle(&mut self, cmd: Command) {
         match cmd {
+            Command::Adopt { .. } => unreachable!("Adopt is handled in receive"),
             Command::Open {
                 session,
                 spec,
                 conn,
             } => match Session::open(&spec) {
                 Ok(open) => {
-                    sessions.insert(session, open);
-                    conn.send(&Frame::SessionOpened { session }, &mut out);
+                    self.sessions.insert(
+                        session,
+                        LaneSession {
+                            session: open,
+                            subscriber: None,
+                            pushed: Vec::new(),
+                        },
+                    );
+                    conn.send(&Frame::SessionOpened { session });
                 }
                 Err(message) => {
-                    shared
+                    self.shared
                         .sessions
                         .lock()
                         .expect("session table")
                         .remove(&session);
-                    conn.send(
-                        &Frame::ErrorReply {
-                            session,
-                            code: ErrorCode::BadSpec,
-                            message,
-                        },
-                        &mut out,
-                    );
+                    conn.detach_session(session);
+                    conn.send(&Frame::ErrorReply {
+                        session,
+                        code: ErrorCode::BadSpec,
+                        message,
+                    });
                 }
             },
             Command::Step {
@@ -657,80 +836,150 @@ fn lane_loop(rx: Receiver<Command>, shared: Arc<Shared>) {
                 locations,
                 values,
                 inflight,
+                service_ns,
                 conn,
             } => {
-                let reply = match sessions.get_mut(&session) {
-                    Some(open) => match open.step(iteration, &locations, &values) {
-                        Ok((samples, batches_trained)) => Frame::StepAck {
-                            session,
-                            iteration,
-                            samples,
-                            batches_trained,
-                        },
-                        Err(message) => Frame::ErrorReply {
-                            session,
-                            code: ErrorCode::Protocol,
-                            message,
-                        },
-                    },
+                let reply = match self.sessions.get_mut(&session) {
+                    Some(owned) => {
+                        let started = Instant::now();
+                        let outcome = owned.session.step(iteration, &locations, &values);
+                        ewma_update(
+                            &service_ns,
+                            started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                        );
+                        match outcome {
+                            Ok((samples, batches_trained)) => Frame::StepAck {
+                                session,
+                                iteration,
+                                samples,
+                                batches_trained,
+                            },
+                            Err(message) => Frame::ErrorReply {
+                                session,
+                                code: ErrorCode::Protocol,
+                                message,
+                            },
+                        }
+                    }
                     None => unknown_session(session),
                 };
                 inflight.fetch_sub(1, Ordering::AcqRel);
-                conn.send(&reply, &mut out);
+                conn.send(&reply);
+                self.push_features(session, iteration);
             }
             Command::Extract { session, conn } => {
-                let reply = match sessions.get_mut(&session) {
-                    Some(open) => Frame::FeatureReport {
+                let reply = match self.sessions.get_mut(&session) {
+                    Some(owned) => Frame::FeatureReport {
                         session,
-                        features: open.extract(),
+                        features: owned.session.extract(),
                     },
                     None => unknown_session(session),
                 };
-                conn.send(&reply, &mut out);
+                conn.send(&reply);
             }
             Command::Features { session, conn } => {
-                let reply = match sessions.get(&session) {
-                    Some(open) => Frame::FeatureReport {
+                let reply = match self.sessions.get(&session) {
+                    Some(owned) => Frame::FeatureReport {
                         session,
-                        features: open.features(),
+                        features: owned.session.features(),
                     },
                     None => unknown_session(session),
                 };
-                conn.send(&reply, &mut out);
+                conn.send(&reply);
             }
             Command::Poll { session, conn } => {
-                let reply = match sessions.get(&session) {
-                    Some(open) => Frame::Status {
+                let reply = match self.sessions.get(&session) {
+                    Some(owned) => Frame::Status {
                         session,
-                        status: open.poll(),
+                        status: owned.session.poll(),
                     },
                     None => unknown_session(session),
                 };
-                conn.send(&reply, &mut out);
+                conn.send(&reply);
             }
+            Command::Subscribe { session, conn } => match self.sessions.get_mut(&session) {
+                Some(owned) => {
+                    owned.subscriber = Some(Arc::clone(&conn));
+                    // Reset the change tracker so a late subscriber gets
+                    // a catch-up event for already-converged features.
+                    owned.pushed = Vec::new();
+                    let iteration = owned.session.poll().iteration;
+                    conn.send(&Frame::SubscriptionAck {
+                        session,
+                        subscribed: true,
+                    });
+                    self.push_features(session, iteration);
+                }
+                None => {
+                    conn.send(&unknown_session(session));
+                }
+            },
+            Command::Unsubscribe { session, conn } => match self.sessions.get_mut(&session) {
+                Some(owned) => {
+                    owned.subscriber = None;
+                    conn.send(&Frame::SubscriptionAck {
+                        session,
+                        subscribed: false,
+                    });
+                }
+                None => {
+                    conn.send(&unknown_session(session));
+                }
+            },
             Command::Close { session, conn } => {
                 // Dropping the Session winds its engine down (Drop joins
                 // any in-flight training) before the reply goes out.
-                let existed = sessions.remove(&session).is_some();
+                let existed = self.sessions.remove(&session).is_some();
+                if existed {
+                    self.shared
+                        .sessions
+                        .lock()
+                        .expect("session table")
+                        .remove(&session);
+                }
                 if let Some(conn) = conn {
                     let reply = if existed {
                         Frame::Closed { session }
                     } else {
                         unknown_session(session)
                     };
-                    conn.send(&reply, &mut out);
+                    conn.send(&reply);
+                }
+            }
+            Command::Migrate { session, to } => {
+                // Hand the state over. The `to` sender travels inside
+                // the command and drops right after, so no lane ever
+                // retains a sender to another lane — shutdown stays a
+                // simple channel-disconnect cascade.
+                if let Some(state) = self.sessions.remove(&session) {
+                    let _ = to.send(Command::Adopt {
+                        session,
+                        state: Box::new(state),
+                    });
                 }
             }
         }
     }
-    // Channel disconnected: the server is shutting down. Sessions drop
-    // here, joining their engines' in-flight work.
-}
 
-fn unknown_session(session: u64) -> Frame {
-    Frame::ErrorReply {
-        session,
-        code: ErrorCode::UnknownSession,
-        message: "no such session".to_string(),
+    /// After a processed step (or a fresh subscription): push a
+    /// [`Frame::FeatureEvent`] if this session has a subscriber and its
+    /// extracted features changed since the last push.
+    fn push_features(&mut self, session: u64, iteration: u64) {
+        let Some(owned) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let Some(subscriber) = &owned.subscriber else {
+            return;
+        };
+        let features = owned.session.features();
+        if features.is_empty() || features == owned.pushed {
+            return;
+        }
+        subscriber.send(&Frame::FeatureEvent {
+            session,
+            iteration,
+            features: features.clone(),
+        });
+        owned.pushed = features;
     }
 }

@@ -25,11 +25,17 @@
 //!
 //! Requests (client → server): [`Frame::OpenSession`],
 //! [`Frame::StepSamples`], [`Frame::Extract`], [`Frame::Features`],
-//! [`Frame::Poll`], [`Frame::CloseSession`]. Responses (server → client):
+//! [`Frame::Poll`], [`Frame::CloseSession`], [`Frame::Subscribe`],
+//! [`Frame::Unsubscribe`]. Responses (server → client):
 //! [`Frame::SessionOpened`], [`Frame::StepAck`], [`Frame::FeatureReport`],
 //! [`Frame::Status`], [`Frame::Busy`], [`Frame::Closed`],
-//! [`Frame::ErrorReply`]. Every request gets exactly one response, so
+//! [`Frame::ErrorReply`], [`Frame::SubscriptionAck`],
+//! [`Frame::FeatureEvent`]. Every request gets exactly one response, so
 //! clients may pipeline requests and correlate replies by session id.
+//! [`Frame::FeatureEvent`] is the one *unsolicited* response: after a
+//! [`Frame::Subscribe`], the server pushes one whenever a step changes the
+//! session's extracted features (convergence or a later refinement),
+//! interleaved between replies on the subscribing connection.
 
 use std::io::{Read, Write};
 
@@ -241,6 +247,22 @@ pub enum Frame {
         /// Target session.
         session: u64,
     },
+    /// Subscribe this connection to server-push feature streaming for the
+    /// session: after each ingested step whose extracted features changed,
+    /// the server pushes a [`Frame::FeatureEvent`] instead of the client
+    /// burning `Poll`/`Features` round-trips. Answered by
+    /// [`Frame::SubscriptionAck`].
+    Subscribe {
+        /// Target session.
+        session: u64,
+    },
+    /// Stop feature streaming for the session; answered by
+    /// [`Frame::SubscriptionAck`]. Events already queued may still arrive
+    /// before the ack.
+    Unsubscribe {
+        /// Target session.
+        session: u64,
+    },
     /// The session is open and ready for samples.
     SessionOpened {
         /// Server-assigned session id, unique for the server's lifetime.
@@ -286,6 +308,26 @@ pub enum Frame {
         /// The closed session.
         session: u64,
     },
+    /// Server-pushed feature report for a subscribed session: emitted
+    /// after the step at `iteration` left the session's extracted features
+    /// different from the last event (the first one marks
+    /// extraction-convergence). Same payload contract as
+    /// [`Frame::FeatureReport`]: bit-identical to in-process extraction.
+    FeatureEvent {
+        /// The subscribed session.
+        session: u64,
+        /// The ingested iteration whose step produced these features.
+        iteration: u64,
+        /// The features, bit-identical to in-process extraction.
+        features: Vec<(String, FeatureValue)>,
+    },
+    /// Acknowledges [`Frame::Subscribe`] / [`Frame::Unsubscribe`].
+    SubscriptionAck {
+        /// The session addressed.
+        session: u64,
+        /// Whether the connection is now subscribed.
+        subscribed: bool,
+    },
     /// The request failed.
     ErrorReply {
         /// Session the failed request addressed (0 when not applicable).
@@ -304,6 +346,8 @@ const KIND_EXTRACT: u8 = 0x03;
 const KIND_FEATURES: u8 = 0x04;
 const KIND_POLL: u8 = 0x05;
 const KIND_CLOSE_SESSION: u8 = 0x06;
+const KIND_SUBSCRIBE: u8 = 0x07;
+const KIND_UNSUBSCRIBE: u8 = 0x08;
 const KIND_SESSION_OPENED: u8 = 0x81;
 const KIND_STEP_ACK: u8 = 0x82;
 const KIND_FEATURE_REPORT: u8 = 0x83;
@@ -311,6 +355,8 @@ const KIND_STATUS: u8 = 0x84;
 const KIND_BUSY: u8 = 0x85;
 const KIND_CLOSED: u8 = 0x86;
 const KIND_ERROR: u8 = 0x87;
+const KIND_FEATURE_EVENT: u8 = 0x88;
+const KIND_SUBSCRIPTION_ACK: u8 = 0x89;
 
 impl Frame {
     /// Appends the complete frame (length prefix included) to `buf`.
@@ -353,6 +399,14 @@ impl Frame {
             }
             Frame::CloseSession { session } => {
                 buf.push(KIND_CLOSE_SESSION);
+                put_u64(buf, *session);
+            }
+            Frame::Subscribe { session } => {
+                buf.push(KIND_SUBSCRIBE);
+                put_u64(buf, *session);
+            }
+            Frame::Unsubscribe { session } => {
+                buf.push(KIND_UNSUBSCRIBE);
                 put_u64(buf, *session);
             }
             Frame::SessionOpened { session } => {
@@ -400,6 +454,28 @@ impl Frame {
             Frame::Closed { session } => {
                 buf.push(KIND_CLOSED);
                 put_u64(buf, *session);
+            }
+            Frame::FeatureEvent {
+                session,
+                iteration,
+                features,
+            } => {
+                buf.push(KIND_FEATURE_EVENT);
+                put_u64(buf, *session);
+                put_u64(buf, *iteration);
+                put_u32(buf, features.len() as u32);
+                for (name, feature) in features {
+                    put_str(buf, name);
+                    put_feature(buf, feature);
+                }
+            }
+            Frame::SubscriptionAck {
+                session,
+                subscribed,
+            } => {
+                buf.push(KIND_SUBSCRIPTION_ACK);
+                put_u64(buf, *session);
+                buf.push(*subscribed as u8);
             }
             Frame::ErrorReply {
                 session,
@@ -472,6 +548,12 @@ impl Frame {
             KIND_CLOSE_SESSION => Frame::CloseSession {
                 session: cur.take_u64()?,
             },
+            KIND_SUBSCRIBE => Frame::Subscribe {
+                session: cur.take_u64()?,
+            },
+            KIND_UNSUBSCRIBE => Frame::Unsubscribe {
+                session: cur.take_u64()?,
+            },
             KIND_SESSION_OPENED => Frame::SessionOpened {
                 session: cur.take_u64()?,
             },
@@ -519,6 +601,27 @@ impl Frame {
                 session: cur.take_u64()?,
                 code: ErrorCode::from_u8(cur.take_u8()?)?,
                 message: cur.take_str()?,
+            },
+            KIND_FEATURE_EVENT => {
+                let session = cur.take_u64()?;
+                let iteration = cur.take_u64()?;
+                let count = cur.take_u32()? as usize;
+                cur.ensure_capacity_for(count, 8)?;
+                let mut features = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = cur.take_str()?;
+                    let feature = take_feature(&mut cur)?;
+                    features.push((name, feature));
+                }
+                Frame::FeatureEvent {
+                    session,
+                    iteration,
+                    features,
+                }
+            }
+            KIND_SUBSCRIPTION_ACK => Frame::SubscriptionAck {
+                session: cur.take_u64()?,
+                subscribed: cur.take_bool()?,
             },
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -1012,6 +1115,34 @@ mod tests {
             session: 0,
             code: ErrorCode::BadSpec,
             message: "order must be positive".into(),
+        });
+        roundtrip(Frame::Subscribe { session: 6 });
+        roundtrip(Frame::Unsubscribe { session: 6 });
+        roundtrip(Frame::SubscriptionAck {
+            session: 6,
+            subscribed: true,
+        });
+        roundtrip(Frame::SubscriptionAck {
+            session: 6,
+            subscribed: false,
+        });
+        roundtrip(Frame::FeatureEvent {
+            session: 6,
+            iteration: 77,
+            features: vec![(
+                "dt".into(),
+                FeatureValue::DelayTime(DelayTimeResult {
+                    delay_time: 31.25,
+                    index: 31,
+                    value: 2.5,
+                    gradient_drop: 0.125,
+                }),
+            )],
+        });
+        roundtrip(Frame::FeatureEvent {
+            session: 6,
+            iteration: 0,
+            features: Vec::new(),
         });
     }
 

@@ -1,0 +1,194 @@
+//! Property tests of the reactor's incremental frame reassembly: the
+//! byte stream of a mixed frame corpus must decode to the identical
+//! frame sequence **whatever the read-split boundaries** — the event
+//! loop has no say in where the kernel cuts its reads — and both error
+//! disciplines (fatal unframeable prefix, recoverable bad body) must
+//! hold at every split too.
+//!
+//! Same discipline as `wire_property.rs`: a deterministic xorshift64*
+//! PRNG with fixed seeds, so every run checks the identical case set
+//! without a `proptest` dependency.
+
+use insitu::IterParam;
+use serve::reactor::FrameAssembler;
+use serve::wire::{Frame, SessionSpec, WireError, MAX_FRAME_LEN};
+
+/// xorshift64* — deterministic, dependency-free split generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// A chunk length in `1..=max`, skewed small: half the draws land in
+    /// `1..=7`, where prefix- and body-straddling splits live.
+    fn chunk_len(&mut self, max: usize) -> usize {
+        let draw = self.next_u64();
+        let cap = if draw.is_multiple_of(2) {
+            7
+        } else {
+            max.max(1)
+        };
+        1 + (draw >> 8) as usize % cap.min(max.max(1))
+    }
+}
+
+/// A corpus spanning every traffic shape the reactor sees: tiny control
+/// frames, a spec-carrying open, mid-size sample batches, and one batch
+/// big enough that every realistic read splits it many times.
+fn corpus() -> Vec<Frame> {
+    let mut frames = vec![
+        Frame::OpenSession(SessionSpec::new(
+            "reassembly",
+            IterParam::new(1, 64, 1).unwrap(),
+            IterParam::new(0, 500, 1).unwrap(),
+        )),
+        Frame::Subscribe { session: 1 },
+        Frame::Poll { session: 1 },
+    ];
+    for it in 0..4u64 {
+        let locations: Vec<u64> = (1..=batch_width(it)).collect();
+        let values: Vec<f64> = locations.iter().map(|&l| (l as f64).cos()).collect();
+        frames.push(Frame::StepSamples {
+            session: 1,
+            iteration: it,
+            locations,
+            values,
+        });
+    }
+    frames.push(Frame::Extract { session: 1 });
+    frames.push(Frame::Unsubscribe { session: 1 });
+    frames.push(Frame::CloseSession { session: 1 });
+    frames
+}
+
+/// Location counts per corpus step: two cache-line-scale batches, one
+/// page-scale, one large enough (48 KiB of values) to straddle every
+/// chunk size many times over.
+fn batch_width(it: u64) -> u64 {
+    [3, 17, 256, 6144][it as usize % 4]
+}
+
+fn encode_all(frames: &[Frame]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for frame in frames {
+        frame.encode(&mut bytes);
+    }
+    bytes
+}
+
+/// Feeds `bytes` in xorshift-chosen chunks, collecting per-frame sink
+/// results; returns the fatal error if one stopped the stream.
+fn feed_in_chunks(
+    asm: &mut FrameAssembler,
+    bytes: &[u8],
+    rng: &mut Rng,
+    sink: &mut Vec<Result<Frame, WireError>>,
+) -> Result<(), WireError> {
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        let take = rng.chunk_len(rest.len()).min(rest.len());
+        asm.feed(&rest[..take], |frame| sink.push(frame))?;
+        rest = &rest[take..];
+    }
+    Ok(())
+}
+
+#[test]
+fn reassembly_is_split_invariant_over_a_mixed_corpus() {
+    let frames = corpus();
+    let bytes = encode_all(&frames);
+
+    // Reference decode: the whole stream in one feed.
+    let mut reference = Vec::new();
+    let mut asm = FrameAssembler::new();
+    asm.feed(&bytes, |frame| reference.push(frame.expect("corpus frame")))
+        .expect("framable corpus");
+    assert!(!asm.mid_frame());
+    assert_eq!(reference, frames);
+
+    for seed in 1..=32u64 {
+        let mut rng = Rng::new(seed);
+        let mut asm = FrameAssembler::new();
+        let mut seen = Vec::new();
+        feed_in_chunks(&mut asm, &bytes, &mut rng, &mut seen)
+            .unwrap_or_else(|e| panic!("seed {seed}: fatal error on a valid stream: {e:?}"));
+        assert!(!asm.mid_frame(), "seed {seed}: trailing partial frame");
+        let seen: Vec<Frame> = seen
+            .into_iter()
+            .map(|f| f.expect("valid corpus frame"))
+            .collect();
+        assert_eq!(seen, frames, "seed {seed}: split changed the decode");
+    }
+}
+
+#[test]
+fn fatal_prefixes_stop_the_stream_at_the_same_frame_under_any_split() {
+    let good = corpus();
+    let mut bytes = encode_all(&good);
+    // Append an unframeable prefix (beyond MAX_FRAME_LEN) plus trailing
+    // garbage that must never be interpreted.
+    bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    bytes.extend_from_slice(&[0xAB; 64]);
+
+    for seed in 1..=16u64 {
+        let mut rng = Rng::new(seed);
+        let mut asm = FrameAssembler::new();
+        let mut seen = Vec::new();
+        let fatal = feed_in_chunks(&mut asm, &bytes, &mut rng, &mut seen);
+        match fatal {
+            Err(WireError::Oversized { len }) => assert_eq!(len, MAX_FRAME_LEN + 1),
+            other => panic!("seed {seed}: expected a fatal Oversized, got {other:?}"),
+        }
+        let seen: Vec<Frame> = seen
+            .into_iter()
+            .map(|f| f.expect("valid corpus frame"))
+            .collect();
+        assert_eq!(
+            seen, good,
+            "seed {seed}: frames before the poison must all be delivered"
+        );
+    }
+}
+
+#[test]
+fn recoverable_bad_bodies_stay_framed_under_any_split() {
+    // good, bad, good, bad, good — the bad bodies carry a correct length
+    // prefix but an unknown kind byte, so the stream stays framed.
+    let first = Frame::Poll { session: 7 };
+    let second = Frame::Extract { session: 9 };
+    let third = Frame::CloseSession { session: 7 };
+    let mut bytes = Vec::new();
+    first.encode(&mut bytes);
+    bytes.extend_from_slice(&5u32.to_le_bytes());
+    bytes.extend_from_slice(&[0x7F, 1, 2, 3, 4]);
+    second.encode(&mut bytes);
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.push(0x7E);
+    third.encode(&mut bytes);
+
+    for seed in 1..=16u64 {
+        let mut rng = Rng::new(seed);
+        let mut asm = FrameAssembler::new();
+        let mut seen = Vec::new();
+        feed_in_chunks(&mut asm, &bytes, &mut rng, &mut seen)
+            .unwrap_or_else(|e| panic!("seed {seed}: bad bodies must not be fatal: {e:?}"));
+        assert!(!asm.mid_frame());
+        assert_eq!(seen.len(), 5, "seed {seed}");
+        assert_eq!(seen[0].as_ref().unwrap(), &first);
+        assert!(seen[1].is_err(), "seed {seed}: unknown kind must error");
+        assert_eq!(seen[2].as_ref().unwrap(), &second);
+        assert!(seen[3].is_err(), "seed {seed}: unknown kind must error");
+        assert_eq!(seen[4].as_ref().unwrap(), &third);
+    }
+}

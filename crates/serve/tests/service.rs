@@ -4,18 +4,16 @@
 //! than stall, protocol errors must come back as error replies, and
 //! shutdown must wind every session down without hanging.
 
+use std::io::{Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use insitu::collect::Retention;
 use insitu::IterParam;
-use parsim::{ParallelConfig, ThreadPool};
 use serve::loadgen::{self, LoadgenConfig, Target};
+use serve::session::Session;
 use serve::wire::{ErrorCode, Frame, SessionSpec};
 use serve::{Client, Server, ServerConfig};
-
-fn pool(workers: usize) -> ThreadPool {
-    ThreadPool::new(ParallelConfig::new(workers, 1).expect("valid config"))
-}
 
 fn unique_socket_path(tag: &str) -> std::path::PathBuf {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
@@ -31,8 +29,7 @@ fn unique_socket_path(tag: &str) -> std::path::PathBuf {
 /// bit. Runs the same loadgen the benchmark uses, in verify mode.
 #[test]
 fn tcp_served_features_are_bit_identical_under_concurrent_load() {
-    let server =
-        Server::bind_tcp("127.0.0.1:0", pool(4), ServerConfig::default()).expect("bind tcp");
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
     let target = Target::Tcp(server.tcp_addr().expect("tcp addr"));
     let config = LoadgenConfig {
         sessions: 48,
@@ -49,7 +46,7 @@ fn tcp_served_features_are_bit_identical_under_concurrent_load() {
 #[test]
 fn unix_served_features_are_bit_identical_under_concurrent_load() {
     let path = unique_socket_path("identity");
-    let server = Server::bind_unix(&path, pool(4), ServerConfig::default()).expect("bind unix");
+    let server = Server::bind_unix(&path, ServerConfig::default()).expect("bind unix");
     let config = LoadgenConfig {
         sessions: 24,
         steps: 80,
@@ -71,10 +68,10 @@ fn unix_served_features_are_bit_identical_under_concurrent_load() {
 fn overdriven_session_sheds_steps_with_busy() {
     let server = Server::bind_tcp(
         "127.0.0.1:0",
-        pool(2),
         ServerConfig {
             workers: 2,
             inflight_limit: 1,
+            ..ServerConfig::default()
         },
     )
     .expect("bind tcp");
@@ -139,8 +136,7 @@ fn overdriven_session_sheds_steps_with_busy() {
 /// the connection, since the stream can no longer be framed).
 #[test]
 fn error_paths_reply_with_typed_errors() {
-    let server =
-        Server::bind_tcp("127.0.0.1:0", pool(2), ServerConfig::default()).expect("bind tcp");
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
     let addr = server.tcp_addr().unwrap();
 
     let mut client = Client::connect_tcp(addr).expect("connect");
@@ -202,8 +198,7 @@ fn error_paths_reply_with_typed_errors() {
 /// are woken, lanes drain, engines shut down.
 #[test]
 fn shutdown_with_open_sessions_does_not_hang() {
-    let server =
-        Server::bind_tcp("127.0.0.1:0", pool(2), ServerConfig::default()).expect("bind tcp");
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
     let addr = server.tcp_addr().unwrap();
     let mut client = Client::connect_tcp(addr).expect("connect");
     let spec = SessionSpec::new(
@@ -225,8 +220,7 @@ fn shutdown_with_open_sessions_does_not_hang() {
 /// never address them, and the server stays healthy for new work.
 #[test]
 fn connection_death_evicts_its_sessions() {
-    let server =
-        Server::bind_tcp("127.0.0.1:0", pool(2), ServerConfig::default()).expect("bind tcp");
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
     let addr = server.tcp_addr().unwrap();
     let orphan = {
         let mut dying = Client::connect_tcp(addr).expect("connect");
@@ -261,13 +255,320 @@ fn connection_death_evicts_its_sessions() {
     server.shutdown();
 }
 
+/// A connection stalled **mid-frame** past the idle timeout is evicted;
+/// a frame-aligned idle connection — a simulation between solver phases
+/// — survives arbitrarily long.
+#[test]
+fn mid_frame_stalls_are_evicted_but_frame_aligned_idle_survives() {
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind tcp");
+    let addr = server.tcp_addr().unwrap();
+
+    // The frame-aligned idler: a healthy session that will go quiet for
+    // well past the timeout.
+    let mut idler = Client::connect_tcp(addr).expect("connect");
+    let spec = SessionSpec::new(
+        "idler",
+        IterParam::new(1, 4, 1).unwrap(),
+        IterParam::new(0, 10, 1).unwrap(),
+    );
+    let session = idler.open_session(spec).expect("open");
+
+    // The staller: two bytes of a length prefix, then silence.
+    let mut staller = std::net::TcpStream::connect(addr).expect("connect raw");
+    staller.write_all(&[0x10, 0x00]).expect("partial prefix");
+    staller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut sink = [0u8; 16];
+    match staller.read(&mut sink) {
+        Ok(0) => {}  // clean FIN from the sweep's teardown
+        Err(_) => {} // or a reset — either proves the eviction
+        Ok(n) => panic!("server sent {n} bytes to a stalled connection"),
+    }
+
+    // Far past the timeout, the frame-aligned connection still serves.
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(
+        idler.poll(session).is_ok(),
+        "frame-aligned idle connection must never be timed out"
+    );
+    idler.close_session(session).expect("close");
+    server.shutdown();
+}
+
+/// A peer that stops reading its replies is disconnected once its
+/// outbuf cap is exceeded — bounded buffering, never OOM — and its
+/// sessions are evicted like any other connection death. Runs over a
+/// Unix socket, whose kernel buffers are small and fixed; TCP loopback
+/// autotuning can absorb many megabytes before any pressure reaches
+/// the server's outbuf.
+#[test]
+fn slow_readers_are_disconnected_at_the_outbuf_cap() {
+    let path = unique_socket_path("slow-reader");
+    let server = Server::bind_unix(
+        &path,
+        ServerConfig {
+            outbuf_cap: 64 << 10,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind unix");
+
+    let mut slow = Client::connect_unix(&path).expect("connect");
+    let spec = SessionSpec::new(
+        "slow",
+        IterParam::new(1, 4, 1).unwrap(),
+        IterParam::new(0, 10, 1).unwrap(),
+    );
+    let orphan = slow.open_session(spec).expect("open");
+
+    // Flood requests without ever reading a reply. The socket pair
+    // absorbs a couple hundred KiB of replies; past that the server's
+    // outbuf grows to the cap and the connection is torn down, which
+    // surfaces here as a send error. The flood is sized so its replies
+    // could never fit under the cap plus the kernel buffers, so an
+    // error is the only way this loop ends early — and the eviction
+    // check below is the authoritative pass/fail either way.
+    const FLOOD: usize = 60_000;
+    for _ in 0..FLOOD {
+        if slow.send(&Frame::Poll { session: orphan }).is_err() {
+            break;
+        }
+    }
+
+    // The dead connection's session is evicted; the server stays healthy.
+    let mut other = Client::connect_unix(&path).expect("connect");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match other.poll(orphan) {
+            Err(_) => break,
+            Ok(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Ok(_) => panic!("slow reader's session still addressable after 10s"),
+        }
+    }
+    let fresh = other
+        .open_session(SessionSpec::new(
+            "fresh",
+            IterParam::new(1, 4, 1).unwrap(),
+            IterParam::new(0, 10, 1).unwrap(),
+        ))
+        .expect("open");
+    other.close_session(fresh).expect("close");
+    server.shutdown();
+}
+
+/// The rebalancing acceptance property: a hot session driven with a deep
+/// pipeline on an otherwise idle server **must migrate** between lanes
+/// (hysteresis crossed) and its features must stay bit-identical to the
+/// in-process engine — migration moves state, never reorders or drops a
+/// step.
+#[test]
+fn hot_sessions_migrate_between_lanes_without_perturbing_features() {
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            inflight_limit: 32,
+            rebalance_depth: 2,
+            rebalance_cooldown: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind tcp");
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+
+    let spec = || {
+        let mut spec = SessionSpec::new(
+            "hot",
+            IterParam::new(1, 8, 1).unwrap(),
+            IterParam::new(0, 600, 1).unwrap(),
+        );
+        spec.lag = 10;
+        spec.retention = Retention::Window(64);
+        spec
+    };
+    let session = client.open_session(spec()).expect("open");
+
+    // Drive the session with a sliding window of 8 pipelined steps: deep
+    // enough to keep the owning lane's queue past the depth gate (2) on
+    // every routing decision, shallow enough (< inflight_limit) that no
+    // step is ever shed — shedding would break the step order and the
+    // bit-identity this test pins.
+    const STEPS: u64 = 600;
+    const WINDOW: u64 = 8;
+    let locations: Vec<u64> = (1..=8).collect();
+    let values_at = |it: u64| -> Vec<f64> {
+        locations
+            .iter()
+            .map(|&l| loadgen::pulse_value(1, it, l))
+            .collect()
+    };
+    let mut next_send = 0u64;
+    let mut acked = 0u64;
+    while acked < STEPS {
+        while next_send < STEPS && next_send - acked < WINDOW {
+            client
+                .send(&Frame::StepSamples {
+                    session,
+                    iteration: next_send,
+                    locations: locations.clone(),
+                    values: values_at(next_send),
+                })
+                .expect("send");
+            next_send += 1;
+        }
+        match client.recv().expect("reply") {
+            Frame::StepAck { iteration, .. } => {
+                assert_eq!(iteration, acked, "acks must come back in step order");
+                acked += 1;
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    let served = client.extract(session).expect("extract");
+
+    // The in-process reference fed the identical stream.
+    let mut reference = Session::open(&spec()).expect("reference open");
+    for it in 0..STEPS {
+        reference
+            .step(it, &locations, &values_at(it))
+            .expect("reference step");
+    }
+    assert_eq!(
+        served,
+        reference.extract(),
+        "migration perturbed the served features"
+    );
+    assert!(
+        server.migrations() >= 1,
+        "a hot session pipelined 8-deep against a 2-step hysteresis gate \
+         never migrated — rebalancing is not firing"
+    );
+    client.close_session(session).expect("close");
+    server.shutdown();
+}
+
+/// The subscription lifecycle: subscribe streams a change-log of feature
+/// events, unsubscribe stops it, and a late subscriber gets one
+/// catch-up event for already-converged features.
+#[test]
+fn subscriptions_stream_convergence_and_unsubscribe_stops_the_stream() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+    let mut spec = SessionSpec::new(
+        "streamed",
+        IterParam::new(1, 8, 1).unwrap(),
+        IterParam::new(0, 400, 1).unwrap(),
+    );
+    spec.lag = 10;
+    spec.retention = Retention::Window(64);
+    let session = client.open_session(spec).expect("open");
+    client.subscribe(session).expect("subscribe");
+    assert!(client.take_events().is_empty(), "no features, no events");
+
+    let locations: Vec<u64> = (1..=8).collect();
+    for it in 0..200u64 {
+        let values: Vec<f64> = locations
+            .iter()
+            .map(|&l| loadgen::pulse_value(3, it, l))
+            .collect();
+        client.step(session, it, &locations, &values).expect("step");
+    }
+    // The push for the final step trails that step's ack on the wire; a
+    // poll round-trip flushes it into the stash before we compare.
+    let mut events = client.take_events();
+    client.poll(session).expect("poll");
+    events.extend(client.take_events());
+    assert!(
+        !events.is_empty(),
+        "200 steps of a travelling pulse never changed the features"
+    );
+    assert!(
+        events.windows(2).all(|w| w[0].iteration < w[1].iteration),
+        "events must arrive in iteration order"
+    );
+    for event in &events {
+        assert_eq!(event.session, session);
+        assert!(!event.features.is_empty());
+    }
+    // The last event is the session's current feature state.
+    assert_eq!(
+        events.last().unwrap().features,
+        client.features(session).expect("features"),
+    );
+
+    // After unsubscribing, further steps push nothing.
+    client.unsubscribe(session).expect("unsubscribe");
+    client.take_events(); // discard anything queued before the ack
+    for it in 200..300u64 {
+        let values: Vec<f64> = locations
+            .iter()
+            .map(|&l| loadgen::pulse_value(3, it, l))
+            .collect();
+        client.step(session, it, &locations, &values).expect("step");
+    }
+    assert!(
+        client.take_events().is_empty(),
+        "unsubscribed sessions must not push"
+    );
+
+    // Re-subscribing late yields one catch-up event at the current
+    // iteration (the features converged long ago).
+    client.subscribe(session).expect("resubscribe");
+    let status = client.poll(session).expect("poll");
+    let catch_up = client.take_events();
+    assert_eq!(
+        catch_up.len(),
+        1,
+        "late subscriber gets exactly one catch-up"
+    );
+    assert_eq!(catch_up[0].iteration, status.iteration);
+    client.close_session(session).expect("close");
+    server.shutdown();
+}
+
+/// The connections ≫ client-threads path and subscribe-verify mode of
+/// the load generator, together: every session on its own connection,
+/// a few threads driving them, every per-session event stream checked
+/// against the in-process engine's change-log.
+#[test]
+fn loadgen_verifies_event_streams_with_multiplexed_connections() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
+    let config = LoadgenConfig {
+        sessions: 16,
+        steps: 200,
+        connections: 16,
+        client_threads: 3,
+        distinct: 5,
+        subscribe: true,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&Target::Tcp(server.tcp_addr().unwrap()), &config).expect("load run");
+    assert_eq!(report.verified, config.sessions);
+    assert_eq!(report.connections, 16);
+    assert_eq!(report.client_threads, 3);
+    assert!(
+        report.feature_events > 0,
+        "a 200-step pulse workload must push feature events"
+    );
+    server.shutdown();
+}
+
 /// Session ids are per-server-lifetime unique, and a windowed retention
 /// session streams far past its window with bounded history — the
 /// memory-bound claim behind thousand-session runs.
 #[test]
 fn windowed_sessions_stream_far_past_their_window() {
-    let server =
-        Server::bind_tcp("127.0.0.1:0", pool(2), ServerConfig::default()).expect("bind tcp");
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
     let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
     let mut spec = SessionSpec::new(
         "windowed",

@@ -148,7 +148,7 @@ fn random_spec(rng: &mut Rng) -> SessionSpec {
 }
 
 fn random_frame(rng: &mut Rng) -> Frame {
-    match rng.range_u64(0, 13) {
+    match rng.range_u64(0, 17) {
         0 => Frame::OpenSession(random_spec(rng)),
         1 => {
             let count = rng.range_usize(0, 200);
@@ -205,6 +205,23 @@ fn random_frame(rng: &mut Rng) -> Frame {
         },
         11 => Frame::Closed {
             session: rng.next_u64(),
+        },
+        12 => Frame::Subscribe {
+            session: rng.next_u64(),
+        },
+        13 => Frame::Unsubscribe {
+            session: rng.next_u64(),
+        },
+        14 => Frame::SubscriptionAck {
+            session: rng.next_u64(),
+            subscribed: rng.bool(),
+        },
+        15 => Frame::FeatureEvent {
+            session: rng.next_u64(),
+            iteration: rng.range_u64(0, 1 << 32),
+            features: (0..rng.range_usize(0, 6))
+                .map(|_| (rng.name(), random_feature(rng)))
+                .collect(),
         },
         _ => Frame::ErrorReply {
             session: rng.next_u64(),

@@ -119,6 +119,54 @@ fn transform_is_elementwise_identical() {
     }
 }
 
+/// The reciprocal-multiply z-score variant: like `transform` it is purely
+/// elementwise, so **every** dispatch — including the fused one, which has
+/// no multiply-add to contract here — must reproduce the scalar reference
+/// bit for bit for the same `inv_std`. Against the divide-based transform
+/// it is the tolerance relationship: `(v - μ)·(1/σ)` differs from
+/// `(v - μ)/σ` by at most the rounding of the reciprocal.
+#[test]
+fn transform_recip_is_bitwise_across_dispatches_and_near_the_divide() {
+    let mut rng = XorShift::new(0x1CE);
+    let candidates = non_scalar_candidates();
+    for len in LENGTHS {
+        let mut raw = vec![0.0; len];
+        fill(&mut rng, &mut raw);
+        for (mean, std) in [(0.0, 1.0), (3.5, 0.25), (-1e3, 42.0), (1e-3, 1e3)] {
+            let inv = 1.0 / std;
+            let mut want = raw.clone();
+            kernels::scalar().transform_recip(&mut want, mean, inv);
+            for k in &candidates {
+                let mut got = raw.clone();
+                k.transform_recip(&mut got, mean, inv);
+                for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                    assert_eq!(
+                        w.to_bits(),
+                        g.to_bits(),
+                        "transform_recip len {len} elem {i}: {} diverged \
+                         (scalar {w:e}, got {g:e})",
+                        k.name()
+                    );
+                }
+            }
+            // Tolerance leg: recip-multiply vs the divide-based reference.
+            let mut divided = raw.clone();
+            kernels::scalar().transform(&mut divided, mean, std);
+            for (i, (d, r)) in divided.iter().zip(&want).enumerate() {
+                if !d.is_finite() {
+                    continue;
+                }
+                let tol = 1e-9 * d.abs().max(r.abs()).max(1.0);
+                assert!(
+                    (d - r).abs() <= tol,
+                    "transform_recip len {len} elem {i}: recip drifted past \
+                     tolerance of the divide ({d:e} vs {r:e})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn sum_squares_reduces_identically() {
     let mut rng = XorShift::new(0xB0B);
