@@ -1,0 +1,55 @@
+//! Regenerates `BENCH_snapshot.json`: checkpoint serialization and
+//! restore throughput for a full-retention engine.
+//!
+//! The workload drives a travelling-wave analysis to completion, proves
+//! the snapshot resurrects a fresh engine bit-identically
+//! (`bench::snapbench::verified_blob` refuses to time a container that
+//! does not), then times [`insitu::engine::Engine::snapshot`] and
+//! [`insitu::engine::Engine::restore`] and records MB/s plus the
+//! container's bytes-per-location footprint. Run from the workspace
+//! root:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_snapshot
+//! ```
+
+use bench::report::{JsonObj, JsonReport};
+use bench::snapbench;
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let runs = if quick { 5 } else { 15 };
+    let (locations, iterations) = if quick { (512, 80) } else { (2048, 200) };
+
+    let workload = snapbench::workload(locations, iterations);
+    let m = snapbench::measure(&workload, runs);
+
+    let report = JsonReport::new("engine snapshot serialize/restore throughput")
+        .obj(
+            "workload",
+            JsonObj::new()
+                .uint("locations", locations)
+                .uint("iterations", iterations)
+                .uint("order", snapbench::WORKLOAD_ORDER as u64)
+                .uint("lag", snapbench::WORKLOAD_LAG)
+                .uint("batch_capacity", snapbench::WORKLOAD_BATCH as u64),
+        )
+        .uint("timed_runs_per_case", runs as u64)
+        .available_parallelism()
+        .kernels()
+        .uint("snapshot_bytes", m.snapshot_bytes as u64)
+        .ratio("bytes_per_location", m.bytes_per_location(&workload))
+        .ns("snapshot_ns", m.snapshot_ns)
+        .ns("restore_ns", m.restore_ns)
+        .ratio("snapshot_mb_per_sec", m.snapshot_mb_per_sec())
+        .ratio("restore_mb_per_sec", m.restore_mb_per_sec());
+    let json = report.write(snapbench::ARTIFACT);
+    println!("{json}");
+    println!(
+        "snapshot: {} bytes ({:.1} bytes/location), serialize {:.1} MB/s, restore {:.1} MB/s",
+        m.snapshot_bytes,
+        m.bytes_per_location(&workload),
+        m.snapshot_mb_per_sec(),
+        m.restore_mb_per_sec()
+    );
+}

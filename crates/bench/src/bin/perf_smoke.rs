@@ -8,7 +8,8 @@
 //!   the training-side `"kernel_speedup"` rows (scalar vs dispatched
 //!   `insitu::kernels`),
 //! * `BENCH_shard.json` — sharded collection scaling vs one shard,
-//! * `BENCH_service.json` — wire-served session throughput (steps/sec).
+//! * `BENCH_service.json` — wire-served session throughput (steps/sec),
+//! * `BENCH_snapshot.json` — checkpoint serialize/restore throughput (MB/s).
 //!
 //! Kernel floors are only enforced when this host's dispatch matches the
 //! recorded `"kernels"` string — a scalar or NEON host cannot be held to
@@ -25,7 +26,7 @@
 //! cargo run --release -p bench --bin perf_smoke
 //! ```
 
-use bench::{histref, kernelbench, median_ns, rowref, service, shard};
+use bench::{histref, kernelbench, median_ns, rowref, service, shard, snapbench};
 use parsim::{ParallelConfig, ThreadPool};
 
 /// Fraction of the committed speedup a reduced-size re-measurement must
@@ -286,6 +287,35 @@ fn main() {
             "service (BENCH_service.json)     skipped: {cores} cores here vs \
              {recorded_service_cores} when recorded — throughput floor not \
              comparable; re-record BENCH_service.json to re-arm it"
+        );
+    }
+
+    // Snapshot serialize/restore throughput is absolute MB/s on a single
+    // thread — like the service floor, only held on hosts at least as
+    // provisioned as the recording one. The measurement path is the same
+    // one `bench_snapshot` uses (restore verified bit-identical before
+    // anything is timed), at the reduced workload size.
+    let recorded_snapshot_cores = committed_parallelism(snapbench::ARTIFACT);
+    if cores >= recorded_snapshot_cores {
+        let workload = snapbench::workload(512, 80);
+        let m = snapbench::measure(&workload, RUNS);
+        checks.push(Check {
+            name: "snapshot (BENCH_snapshot.json)",
+            committed: committed_values(snapbench::ARTIFACT, "snapshot_mb_per_sec")[0],
+            measured: m.snapshot_mb_per_sec(),
+            unit: " MB/s",
+        });
+        checks.push(Check {
+            name: "restore (BENCH_snapshot.json)",
+            committed: committed_values(snapbench::ARTIFACT, "restore_mb_per_sec")[0],
+            measured: m.restore_mb_per_sec(),
+            unit: " MB/s",
+        });
+    } else {
+        println!(
+            "snapshot (BENCH_snapshot.json)   skipped: {cores} cores here vs \
+             {recorded_snapshot_cores} when recorded — throughput floor not \
+             comparable; re-record BENCH_snapshot.json to re-arm it"
         );
     }
 

@@ -33,6 +33,7 @@ pub mod report;
 pub mod rowref;
 pub mod service;
 pub mod shard;
+pub mod snapbench;
 pub mod summary;
 pub mod table;
 pub mod wd_exp;

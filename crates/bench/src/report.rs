@@ -102,6 +102,14 @@ impl JsonReport {
         self
     }
 
+    /// A ratio/rate header field, three fractional digits like
+    /// [`JsonObj::ratio`].
+    #[must_use]
+    pub fn ratio(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), format!("{value:.3}")));
+        self
+    }
+
     /// A string header field (same no-escaping convention as
     /// [`JsonObj::string`]).
     #[must_use]

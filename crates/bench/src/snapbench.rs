@@ -1,0 +1,172 @@
+//! Snapshot/restore throughput workload for `BENCH_snapshot.json`.
+//!
+//! Drives a full-retention engine over a pre-computed travelling wave,
+//! then times [`Engine::snapshot`] (serialize everything: histories,
+//! statistics, model, optimizer) and [`Engine::restore`] (parse,
+//! validate, checksum, apply) on the resulting container. Before
+//! anything is timed, a restore into a fresh engine is checked
+//! status-identical to the source — a throughput number for a snapshot
+//! that does not actually resurrect the engine would be meaningless.
+
+use insitu::collect::Retention;
+use insitu::engine::{Engine, EngineConfig, RegionId};
+use insitu::extract::FeatureKind;
+use insitu::model::{ConvergenceCriteria, OptimizerKind, TrainerConfig};
+use insitu::region::AnalysisSpec;
+use insitu::IterParam;
+
+/// The artifact this module's measurements are committed to.
+pub const ARTIFACT: &str = "BENCH_snapshot.json";
+
+/// AR order of the benchmark analysis.
+pub const WORKLOAD_ORDER: usize = 3;
+/// Iteration lag of the benchmark analysis.
+pub const WORKLOAD_LAG: u64 = 5;
+/// Mini-batch fill threshold, in rows.
+pub const WORKLOAD_BATCH: usize = 256;
+
+/// A pre-computed travelling wave: one frame of provider values per
+/// iteration, so driving the engine never pays for simulating.
+pub struct SnapshotWorkload {
+    /// Sampled locations `1..=locations`.
+    pub locations: u64,
+    /// Iterations `0..iterations`, all sampled.
+    pub iterations: u64,
+    frames: Vec<Vec<f64>>,
+}
+
+/// Builds the workload (an outward-travelling decaying pulse).
+pub fn workload(locations: u64, iterations: u64) -> SnapshotWorkload {
+    let frames = (0..iterations)
+        .map(|it| {
+            let front = it as f64 * 0.25;
+            (0..=locations as usize)
+                .map(|loc| {
+                    let x = loc as f64;
+                    20.0 / (1.0 + 0.05 * x) * (-((x - front) * (x - front)) / 512.0).exp()
+                })
+                .collect()
+        })
+        .collect();
+    SnapshotWorkload {
+        locations,
+        iterations,
+        frames,
+    }
+}
+
+/// An engine configured for the workload but not yet driven — the
+/// restore target.
+pub fn fresh_engine(w: &SnapshotWorkload) -> (Engine<Vec<f64>>, RegionId) {
+    let mut engine = Engine::with_config(EngineConfig::inline());
+    let region = engine.add_region("wave").unwrap();
+    engine
+        .add_analysis(
+            region,
+            AnalysisSpec::builder()
+                .name("wave")
+                .provider(|d: &Vec<f64>, loc: usize| d.get(loc).copied().unwrap_or(0.0))
+                .spatial(IterParam::new(1, w.locations, 1).unwrap())
+                .temporal(IterParam::new(0, w.iterations.max(2) - 1, 1).unwrap())
+                .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+                .lag(WORKLOAD_LAG)
+                .batch_capacity(WORKLOAD_BATCH)
+                .retention(Retention::Full)
+                .trainer(TrainerConfig {
+                    order: WORKLOAD_ORDER,
+                    optimizer: OptimizerKind::Sgd { learning_rate: 0.1 },
+                    epochs_per_batch: 4,
+                    convergence: ConvergenceCriteria {
+                        loss_threshold: 1e-2,
+                        patience: 3,
+                        max_batches: 1_000_000,
+                    },
+                })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    (engine, region)
+}
+
+/// The workload's engine after ingesting every frame — the snapshot
+/// source.
+pub fn driven_engine(w: &SnapshotWorkload) -> (Engine<Vec<f64>>, RegionId) {
+    let (mut engine, region) = fresh_engine(w);
+    for it in 0..w.iterations {
+        let step = engine.step(it);
+        step.complete(&w.frames[it as usize]);
+    }
+    engine.drain();
+    (engine, region)
+}
+
+/// One timed snapshot/restore measurement over a workload.
+pub struct SnapshotMeasurement {
+    /// Size of the verified snapshot container, in bytes.
+    pub snapshot_bytes: usize,
+    /// Median wall-clock nanoseconds per [`Engine::snapshot`] call.
+    pub snapshot_ns: f64,
+    /// Median wall-clock nanoseconds per [`Engine::restore`] call.
+    pub restore_ns: f64,
+}
+
+impl SnapshotMeasurement {
+    /// Serialization throughput in MB/s (10^6 bytes per second).
+    pub fn snapshot_mb_per_sec(&self) -> f64 {
+        self.snapshot_bytes as f64 * 1e3 / self.snapshot_ns
+    }
+
+    /// Restore (parse + checksum + apply) throughput in MB/s.
+    pub fn restore_mb_per_sec(&self) -> f64 {
+        self.snapshot_bytes as f64 * 1e3 / self.restore_ns
+    }
+
+    /// Container bytes per sampled location.
+    pub fn bytes_per_location(&self, w: &SnapshotWorkload) -> f64 {
+        self.snapshot_bytes as f64 / w.locations as f64
+    }
+}
+
+/// Drives the workload once, verifies the snapshot resurrects
+/// bit-identically, then times snapshot and restore — the one measurement
+/// path shared by `bench_snapshot` and `perf_smoke` so their numbers are
+/// comparable.
+pub fn measure(w: &SnapshotWorkload, runs: usize) -> SnapshotMeasurement {
+    let (mut source, region) = driven_engine(w);
+    let blob = verified_blob(&mut source, region, w);
+    let snapshot_ns = crate::median_ns(runs, || {
+        let _ = source.snapshot();
+    });
+    let (mut target, _) = fresh_engine(w);
+    let restore_ns = crate::median_ns(runs, || {
+        target.restore(&blob).expect("the verified blob restores");
+    });
+    SnapshotMeasurement {
+        snapshot_bytes: blob.len(),
+        snapshot_ns,
+        restore_ns,
+    }
+}
+
+/// Takes the source engine's snapshot and proves it resurrects: a fresh
+/// engine restored from the blob must report a status identical to the
+/// source's. Returns the verified blob for the timed runs. Panics on any
+/// divergence — divergent state must never be timed.
+pub fn verified_blob(
+    source: &mut Engine<Vec<f64>>,
+    source_region: RegionId,
+    w: &SnapshotWorkload,
+) -> Vec<u8> {
+    let blob = source.snapshot();
+    let (mut target, target_region) = fresh_engine(w);
+    target
+        .restore(&blob)
+        .expect("the benchmark snapshot must restore");
+    assert_eq!(
+        target.status(target_region).unwrap(),
+        source.status(source_region).unwrap(),
+        "restored engine diverged from the snapshot source"
+    );
+    blob
+}

@@ -307,6 +307,93 @@ impl Collector {
         self.assembler
             .write_predictors_for(&self.history, location, iteration, out)
     }
+
+    /// Appends the collector's mutable state — history, collected-iteration
+    /// count, and the partially filled batch's rows — to a snapshot payload.
+    /// Configuration (characteristics, assembler, pool) is rebuilt from the
+    /// spec on restore and never serialized. Must be called at a step
+    /// boundary (the engine drains first), when no assembled batch is in
+    /// flight.
+    pub(crate) fn snapshot_encode(&self, enc: &mut crate::snapshot::Enc) {
+        self.history.snapshot_encode(enc);
+        enc.put_u64(self.iterations_collected);
+        enc.put_f64_slice(self.batch.inputs());
+        enc.put_f64_slice(self.batch.targets());
+    }
+
+    /// Decodes and validates a state written by
+    /// [`Collector::snapshot_encode`] against this (identically configured)
+    /// collector, without touching it — the fail-closed half of restore.
+    pub(crate) fn snapshot_decode(
+        &self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> crate::error::Result<CollectorState> {
+        use crate::snapshot::corrupt;
+
+        let history = SampleHistory::snapshot_decode(dec)?;
+        if history.retention() != self.history.retention() {
+            return Err(crate::error::Error::SnapshotMismatch {
+                what: format!(
+                    "snapshot retention {:?} vs configured {:?}",
+                    history.retention(),
+                    self.history.retention()
+                ),
+            });
+        }
+        let iterations_collected = dec.take_u64()?;
+        let batch_inputs = dec.take_f64_vec()?;
+        let batch_targets = dec.take_f64_vec()?;
+        let order = self.batch.order();
+        if batch_inputs.len() != batch_targets.len() * order {
+            return Err(corrupt("filling batch columns are not parallel"));
+        }
+        if batch_targets.len() >= self.batch.capacity() {
+            // A filling batch is swapped out the moment it fills, so a
+            // full-or-overfull one can never appear at a step boundary.
+            return Err(corrupt("filling batch holds a full batch"));
+        }
+        Ok(CollectorState {
+            history,
+            iterations_collected,
+            batch_inputs,
+            batch_targets,
+        })
+    }
+
+    /// Commits a decoded state. Infallible — every invariant was checked by
+    /// [`Collector::snapshot_decode`].
+    pub(crate) fn snapshot_apply(&mut self, state: CollectorState) {
+        self.history = state.history;
+        // Slot ids are indices into the history's registration order;
+        // re-resolve them against the restored store (registering any
+        // location the snapshot had never seen, exactly like construction).
+        self.slot_ids = self
+            .locations
+            .iter()
+            .map(|&loc| self.history.slot_of(loc))
+            .collect();
+        self.iterations_collected = state.iterations_collected;
+        self.batch.clear();
+        let order = self.batch.order();
+        for (i, &target) in state.batch_targets.iter().enumerate() {
+            let row = &state.batch_inputs[i * order..(i + 1) * order];
+            self.batch
+                .push(row, target)
+                .expect("decoded rows were validated against the batch shape");
+        }
+    }
+}
+
+/// A [`Collector`]'s decoded-and-validated snapshot state, produced by
+/// [`Collector::snapshot_decode`] and committed by
+/// [`Collector::snapshot_apply`] once the whole engine snapshot has
+/// validated.
+#[derive(Debug)]
+pub(crate) struct CollectorState {
+    history: SampleHistory,
+    iterations_collected: u64,
+    batch_inputs: Vec<f64>,
+    batch_targets: Vec<f64>,
 }
 
 #[cfg(test)]

@@ -655,6 +655,163 @@ impl SampleHistory {
         self.profile.clear();
         self.total = 0;
     }
+
+    /// Appends the history to a snapshot payload: retention, every slot's
+    /// columns and running statistics (in registration order, which the
+    /// decoder preserves so slot indices — and therefore outstanding
+    /// [`SlotId`]s resolved against an identically-registered history —
+    /// stay valid), and the shared peak profile.
+    pub(crate) fn snapshot_encode(&self, enc: &mut crate::snapshot::Enc) {
+        match self.retention {
+            Retention::Full => enc.put_u8(0),
+            Retention::Window(n) => {
+                enc.put_u8(1);
+                enc.put_usize(n);
+            }
+        }
+        enc.put_usize(self.total);
+        enc.put_usize(self.slots.len());
+        for slot in &self.slots {
+            enc.put_usize(slot.location);
+            enc.put_u64_slice(&slot.iterations);
+            enc.put_f64_slice(&slot.values);
+            enc.put_usize(slot.start);
+            enc.put_usize(slot.evicted);
+            enc.put_f64(slot.peak);
+            enc.put_f64(slot.evicted_peak);
+            enc.put_u64(slot.first_iteration);
+            enc.put_u64(slot.stride);
+            enc.put_bool(slot.regular);
+            enc.put_opt_usize((slot.profile_pos != usize::MAX).then_some(slot.profile_pos));
+        }
+        enc.put_usize(self.profile.len());
+        for &(location, peak) in &self.profile {
+            enc.put_usize(location);
+            enc.put_f64(peak);
+        }
+    }
+
+    /// Decodes a history written by [`SampleHistory::snapshot_encode`],
+    /// rebuilding the location map and sorted index from the slot locations
+    /// and cross-checking every internal invariant (parallel columns,
+    /// eviction bounds, profile anchoring), so a crafted payload cannot
+    /// smuggle in a state the store could never reach.
+    pub(crate) fn snapshot_decode(
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> crate::error::Result<Self> {
+        use crate::snapshot::corrupt;
+
+        let retention = match dec.take_u8()? {
+            0 => Retention::Full,
+            1 => Retention::Window(dec.take_usize()?),
+            t => return Err(corrupt(format!("invalid retention tag {t}"))),
+        };
+        let total = dec.take_usize()?;
+        let slot_count = dec.take_usize()?;
+        // Fixed fields per slot: location, two column lengths, start,
+        // evicted, two peaks, first_iteration, stride (8 bytes each) plus
+        // the regular flag and the profile-pos option tag.
+        dec.check_count(slot_count, 9 * 8 + 2)?;
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            let location = dec.take_usize()?;
+            let iterations = dec.take_u64_vec()?;
+            let values = dec.take_f64_vec()?;
+            let start = dec.take_usize()?;
+            let evicted = dec.take_usize()?;
+            let peak = dec.take_f64()?;
+            let evicted_peak = dec.take_f64()?;
+            let first_iteration = dec.take_u64()?;
+            let stride = dec.take_u64()?;
+            let regular = dec.take_bool()?;
+            let profile_pos = dec.take_opt_usize()?.unwrap_or(usize::MAX);
+            if iterations.len() != values.len() {
+                return Err(corrupt("slot columns are not parallel"));
+            }
+            if start > values.len() {
+                return Err(corrupt("slot start index past the end of its columns"));
+            }
+            slots.push(Slot {
+                location,
+                iterations,
+                values,
+                start,
+                evicted,
+                peak,
+                evicted_peak,
+                first_iteration,
+                stride,
+                regular,
+                profile_pos,
+            });
+        }
+        let profile_len = dec.take_usize()?;
+        dec.check_count(profile_len, 16)?;
+        let mut profile = Vec::with_capacity(profile_len);
+        for _ in 0..profile_len {
+            let location = dec.take_usize()?;
+            let peak = dec.take_f64()?;
+            if let Some(&(last, _)) = profile.last() {
+                if location <= last {
+                    return Err(corrupt("peak profile is not sorted by location"));
+                }
+            }
+            profile.push((location, peak));
+        }
+
+        // Rebuild the derived indices and cross-check the invariants the
+        // rest of the store relies on.
+        let mut map = SlotMap::default();
+        for (idx, slot) in slots.iter().enumerate() {
+            if map.get(slot.location).is_some() {
+                return Err(corrupt(format!(
+                    "duplicate slot location {}",
+                    slot.location
+                )));
+            }
+            map.insert(slot.location, idx as u32);
+        }
+        let mut sorted: Vec<u32> = (0..slots.len() as u32).collect();
+        sorted.sort_by_key(|&s| slots[s as usize].location);
+
+        let mut sampled = 0usize;
+        let mut recorded = 0usize;
+        for slot in &slots {
+            recorded = recorded
+                .checked_add(slot.logical_len())
+                .ok_or_else(|| corrupt("sample totals overflow"))?;
+            if slot.logical_len() == 0 {
+                if slot.profile_pos != usize::MAX {
+                    return Err(corrupt("empty slot anchored in the peak profile"));
+                }
+                continue;
+            }
+            sampled += 1;
+            let anchored = profile.get(slot.profile_pos).is_some_and(|&(loc, peak)| {
+                loc == slot.location && peak.to_bits() == slot.peak.to_bits()
+            });
+            if !anchored {
+                return Err(corrupt("slot peak disagrees with the peak profile"));
+            }
+        }
+        if sampled != profile.len() {
+            return Err(corrupt(
+                "peak profile length disagrees with the sampled slots",
+            ));
+        }
+        if recorded != total {
+            return Err(corrupt("sample total disagrees with the slot columns"));
+        }
+
+        Ok(Self {
+            map,
+            slots,
+            sorted,
+            profile,
+            retention,
+            total,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -868,5 +1025,83 @@ mod tests {
         assert!(h.map.dense.len() <= 4);
         assert_eq!(h.value_at(huge, 0), Some(1.0));
         assert_eq!(h.peak_profile(), &[(3, 2.0), (huge, 1.0)]);
+    }
+
+    fn round_trip(h: &SampleHistory) -> SampleHistory {
+        let mut enc = crate::snapshot::Enc::default();
+        h.snapshot_encode(&mut enc);
+        let bytes = {
+            let mut c = crate::snapshot::Container::new();
+            c.section(crate::snapshot::SECTION_REGION, enc);
+            c.finish()
+        };
+        let sections = crate::snapshot::parse_container(&bytes).unwrap();
+        let mut dec = crate::snapshot::Dec::new(sections[0].1);
+        let restored = SampleHistory::snapshot_decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        restored
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let mut h = SampleHistory::with_retention(Retention::Window(3));
+        for it in 0..10u64 {
+            for loc in [7usize, 2, 40] {
+                h.record(Sample::new(it, loc, (it as f64 - loc as f64).sin()));
+            }
+        }
+        // A registered-but-never-sampled slot must survive too.
+        h.reserve(&[99], 4);
+        let restored = round_trip(&h);
+        assert_eq!(h, restored);
+        // Internal bookkeeping (not covered by the logical PartialEq) must
+        // also match so recording continues identically after restore.
+        assert_eq!(h.total, restored.total);
+        for (a, b) in h.slots.iter().zip(&restored.slots) {
+            assert_eq!(a.location, b.location);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.evicted, b.evicted);
+            assert_eq!(a.stride, b.stride);
+            assert_eq!(a.regular, b.regular);
+            assert_eq!(a.profile_pos, b.profile_pos);
+            assert_eq!(a.evicted_peak.to_bits(), b.evicted_peak.to_bits());
+        }
+        // And recording keeps behaving identically.
+        let mut restored = restored;
+        for it in 10..20u64 {
+            for loc in [7usize, 2, 40, 99] {
+                h.record(Sample::new(it, loc, (it as f64 * 0.3).cos()));
+                restored.record(Sample::new(it, loc, (it as f64 * 0.3).cos()));
+            }
+        }
+        assert_eq!(h, restored);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_inconsistent_payloads() {
+        use crate::snapshot::{Dec, Enc};
+
+        // Torn columns: iteration and value columns of different lengths.
+        let mut enc = Enc::default();
+        enc.put_u8(0); // Retention::Full
+        enc.put_usize(1); // total
+        enc.put_usize(1); // one slot
+        enc.put_usize(5); // location
+        enc.put_u64_slice(&[1, 2]);
+        enc.put_f64_slice(&[1.0]);
+        let mut dec = Dec::new(&enc.buf);
+        assert!(SampleHistory::snapshot_decode(&mut dec).is_err());
+
+        // Disagreeing total.
+        let mut good = SampleHistory::new();
+        good.record(Sample::new(5, 1, 2.0));
+        let mut enc = Enc::default();
+        good.snapshot_encode(&mut enc);
+        let mut tampered = Enc::default();
+        tampered.put_u8(0);
+        tampered.put_usize(7); // wrong total
+        tampered.buf.extend_from_slice(&enc.buf[9..]);
+        let mut dec = Dec::new(&tampered.buf);
+        assert!(SampleHistory::snapshot_decode(&mut dec).is_err());
     }
 }

@@ -37,8 +37,10 @@ mod sample;
 mod shard;
 
 pub use assembler::{BatchAssembler, PredictorLayout};
+pub(crate) use collector::CollectorState;
 pub use collector::{CollectionEvent, Collector};
 pub use history::{Retention, SampleHistory, SlotId};
 pub use minibatch::{BatchPool, MiniBatch};
 pub use sample::Sample;
 pub use shard::ShardedCollector;
+pub(crate) use shard::ShardedCollectorState;

@@ -583,6 +583,126 @@ impl ShardedCollector {
             .assembler
             .write_predictors_for(&shard.history, location, iteration, out)
     }
+
+    /// Appends the sharded state to a snapshot payload: one sub-record per
+    /// shard (owned-append counter + slot store, ghost halo series
+    /// included), then the global filling batch. Staging batches are always
+    /// empty between steps and are not serialized. Must be called at a step
+    /// boundary with every shard resident (no fan-out in flight).
+    pub(crate) fn snapshot_encode(&self, enc: &mut crate::snapshot::Enc) {
+        enc.put_usize(self.shards.len());
+        for shard in self.resident() {
+            enc.put_usize(shard.owned_appended);
+            shard.history.snapshot_encode(enc);
+        }
+        enc.put_u64(self.iterations_collected);
+        enc.put_u64(self.parallel_fanouts);
+        enc.put_f64_slice(self.batch.inputs());
+        enc.put_f64_slice(self.batch.targets());
+    }
+
+    /// Decodes and validates a state written by
+    /// [`ShardedCollector::snapshot_encode`] against this (identically
+    /// configured) collector, without touching it.
+    pub(crate) fn snapshot_decode(
+        &self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> crate::error::Result<ShardedCollectorState> {
+        use crate::snapshot::corrupt;
+
+        let shard_count = dec.take_usize()?;
+        if shard_count != self.shards.len() {
+            return Err(crate::error::Error::SnapshotMismatch {
+                what: format!(
+                    "snapshot has {shard_count} shards, configuration wants {}",
+                    self.shards.len()
+                ),
+            });
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard in self.resident() {
+            let owned_appended = dec.take_usize()?;
+            let history = SampleHistory::snapshot_decode(dec)?;
+            if history.retention() != shard.history.retention() {
+                return Err(crate::error::Error::SnapshotMismatch {
+                    what: format!(
+                        "shard retention {:?} vs configured {:?}",
+                        history.retention(),
+                        shard.history.retention()
+                    ),
+                });
+            }
+            shards.push(ShardState {
+                owned_appended,
+                history,
+            });
+        }
+        let iterations_collected = dec.take_u64()?;
+        let parallel_fanouts = dec.take_u64()?;
+        let batch_inputs = dec.take_f64_vec()?;
+        let batch_targets = dec.take_f64_vec()?;
+        let order = self.batch.order();
+        if batch_inputs.len() != batch_targets.len() * order {
+            return Err(corrupt("global batch columns are not parallel"));
+        }
+        if batch_targets.len() >= self.batch.capacity() {
+            return Err(corrupt("global filling batch holds a full batch"));
+        }
+        Ok(ShardedCollectorState {
+            shards,
+            iterations_collected,
+            parallel_fanouts,
+            batch_inputs,
+            batch_targets,
+        })
+    }
+
+    /// Commits a decoded state. Infallible — every invariant was checked by
+    /// [`ShardedCollector::snapshot_decode`].
+    pub(crate) fn snapshot_apply(&mut self, state: ShardedCollectorState) {
+        for (slot, restored) in self.shards.iter_mut().zip(state.shards) {
+            let shard = slot.as_mut().expect("shard resident between steps");
+            let CollectorShard {
+                sampled,
+                slot_ids,
+                history,
+                owned_appended,
+                ..
+            } = shard;
+            *owned_appended = restored.owned_appended;
+            *history = restored.history;
+            *slot_ids = sampled.iter().map(|&loc| history.slot_of(loc)).collect();
+        }
+        self.iterations_collected = state.iterations_collected;
+        self.parallel_fanouts = state.parallel_fanouts;
+        self.batch.clear();
+        let order = self.batch.order();
+        for (i, &target) in state.batch_targets.iter().enumerate() {
+            let row = &state.batch_inputs[i * order..(i + 1) * order];
+            self.batch
+                .push(row, target)
+                .expect("decoded rows were validated against the batch shape");
+        }
+    }
+}
+
+/// One shard's decoded snapshot state.
+#[derive(Debug)]
+struct ShardState {
+    owned_appended: usize,
+    history: SampleHistory,
+}
+
+/// A [`ShardedCollector`]'s decoded-and-validated snapshot state, committed
+/// by [`ShardedCollector::snapshot_apply`] once the whole engine snapshot
+/// has validated.
+#[derive(Debug)]
+pub(crate) struct ShardedCollectorState {
+    shards: Vec<ShardState>,
+    iterations_collected: u64,
+    parallel_fanouts: u64,
+    batch_inputs: Vec<f64>,
+    batch_targets: Vec<f64>,
 }
 
 #[cfg(test)]

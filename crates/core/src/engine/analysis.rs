@@ -5,12 +5,82 @@ use std::collections::VecDeque;
 use parsim::ThreadPool;
 use simkit::decomposition::BlockDecomposition;
 
-use crate::collect::{Collector, MiniBatch, SampleHistory, ShardedCollector};
-use crate::extract::{BreakpointExtractor, DelayTimeExtractor, FeatureKind, OutlierExtractor};
+use crate::collect::{
+    Collector, CollectorState, MiniBatch, SampleHistory, ShardedCollector, ShardedCollectorState,
+};
+use crate::extract::{
+    BreakpointExtractor, BreakpointResult, DelayTimeExtractor, DelayTimeResult, FeatureKind,
+    OutlierExtractor, OutlierReport,
+};
 use crate::model::IncrementalTrainer;
 use crate::region::{AnalysisMethod, AnalysisSpec, FeatureValue};
+use crate::snapshot::{corrupt, Dec, Enc};
 
 use super::background::TrainerSlot;
+
+/// Encodes one extracted [`FeatureValue`] into a snapshot payload (tag +
+/// fields, matching the serve crate's wire tags for the same enum).
+pub(crate) fn put_feature(enc: &mut Enc, feature: &FeatureValue) {
+    match feature {
+        FeatureValue::Breakpoint(b) => {
+            enc.put_u8(0);
+            enc.put_f64(b.threshold_value);
+            enc.put_usize(b.radius);
+            enc.put_bool(b.bounded);
+        }
+        FeatureValue::DelayTime(d) => {
+            enc.put_u8(1);
+            enc.put_f64(d.delay_time);
+            enc.put_usize(d.index);
+            enc.put_f64(d.value);
+            enc.put_f64(d.gradient_drop);
+        }
+        FeatureValue::Outliers(o) => {
+            enc.put_u8(2);
+            enc.put_f64(o.threshold);
+            enc.put_usize(o.outliers.len());
+            for &(location, value) in &o.outliers {
+                enc.put_usize(location);
+                enc.put_f64(value);
+            }
+            enc.put_usize(o.inspected);
+        }
+    }
+}
+
+/// Decodes a [`FeatureValue`] written by [`put_feature`].
+pub(crate) fn take_feature(dec: &mut Dec<'_>) -> crate::error::Result<FeatureValue> {
+    Ok(match dec.take_u8()? {
+        0 => FeatureValue::Breakpoint(BreakpointResult {
+            threshold_value: dec.take_f64()?,
+            radius: dec.take_usize()?,
+            bounded: dec.take_bool()?,
+        }),
+        1 => FeatureValue::DelayTime(DelayTimeResult {
+            delay_time: dec.take_f64()?,
+            index: dec.take_usize()?,
+            value: dec.take_f64()?,
+            gradient_drop: dec.take_f64()?,
+        }),
+        2 => {
+            let threshold = dec.take_f64()?;
+            let count = dec.take_usize()?;
+            dec.check_count(count, 16)?;
+            let mut outliers = Vec::with_capacity(count);
+            for _ in 0..count {
+                let location = dec.take_usize()?;
+                let value = dec.take_f64()?;
+                outliers.push((location, value));
+            }
+            FeatureValue::Outliers(OutlierReport {
+                threshold,
+                outliers,
+                inspected: dec.take_usize()?,
+            })
+        }
+        t => return Err(corrupt(format!("invalid feature tag {t}"))),
+    })
+}
 
 /// The collection backend of one analysis: either the global single-store
 /// [`Collector`] or a [`ShardedCollector`] partitioned by a
@@ -339,7 +409,7 @@ impl<D: ?Sized> Analysis<D> {
     /// trainer is resident, no pool job references this analysis, and no
     /// batch buffer has been leaked. Returns the joined job's loss.
     pub(crate) fn shutdown(&mut self) -> Option<f64> {
-        let loss = self.slot.join_if_busy().and_then(|(batch, loss)| {
+        let loss = self.slot.join_for_shutdown().and_then(|(batch, loss)| {
             self.store.recycle(batch);
             self.record_batch_outcome(loss)
         });
@@ -496,4 +566,125 @@ impl<D: ?Sized> Analysis<D> {
             Store::Sharded(s) => s.shard_history(shard),
         }
     }
+
+    /// Appends the analysis' mutable pipeline state to a snapshot payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trainer is off on a worker — the engine drains before
+    /// snapshotting, so at a snapshot point the slot is always idle and the
+    /// pending queue empty (which is also why neither is serialized).
+    pub(crate) fn snapshot_encode(&self, enc: &mut Enc) {
+        debug_assert!(
+            self.pending.is_empty(),
+            "snapshot requires a drained engine"
+        );
+        match &self.store {
+            Store::Single(c) => {
+                enc.put_u8(0);
+                c.snapshot_encode(enc);
+            }
+            Store::Sharded(s) => {
+                enc.put_u8(1);
+                s.snapshot_encode(enc);
+            }
+        }
+        self.slot
+            .trainer()
+            .expect("snapshot requires a drained engine (trainer resident)")
+            .snapshot_encode(enc);
+        match &self.feature {
+            None => enc.put_u8(0),
+            Some(f) => {
+                enc.put_u8(1);
+                put_feature(enc, f);
+            }
+        }
+        enc.put_opt_usize(self.representative);
+        enc.put_usize(self.representative_len);
+        enc.put_usize(self.batches_trained);
+    }
+
+    /// Decodes and validates a state written by
+    /// [`Analysis::snapshot_encode`] against this (identically configured)
+    /// analysis, without touching it.
+    pub(crate) fn snapshot_decode(&self, dec: &mut Dec<'_>) -> crate::error::Result<AnalysisState> {
+        let store = match (dec.take_u8()?, &self.store) {
+            (0, Store::Single(c)) => StoreState::Single(c.snapshot_decode(dec)?),
+            (1, Store::Sharded(s)) => StoreState::Sharded(s.snapshot_decode(dec)?),
+            (tag @ (0 | 1), _) => {
+                return Err(crate::error::Error::SnapshotMismatch {
+                    what: format!(
+                        "snapshot store backend {} vs configured {}",
+                        if tag == 0 { "single" } else { "sharded" },
+                        match &self.store {
+                            Store::Single(_) => "single",
+                            Store::Sharded(_) => "sharded",
+                        }
+                    ),
+                })
+            }
+            (t, _) => return Err(corrupt(format!("invalid store tag {t}"))),
+        };
+        let trainer = IncrementalTrainer::snapshot_decode(self.spec.trainer, dec)?;
+        let feature = match dec.take_u8()? {
+            0 => None,
+            1 => Some(take_feature(dec)?),
+            t => return Err(corrupt(format!("invalid feature option tag {t}"))),
+        };
+        let representative = dec.take_opt_usize()?;
+        let representative_len = dec.take_usize()?;
+        let batches_trained = dec.take_usize()?;
+        Ok(AnalysisState {
+            store,
+            trainer,
+            feature,
+            representative,
+            representative_len,
+            batches_trained,
+        })
+    }
+
+    /// Commits a decoded state: quiesces any in-flight/queued training
+    /// (joining the worker, recycling buffers), then overwrites the live
+    /// pipeline state. Infallible — everything was validated by
+    /// [`Analysis::snapshot_decode`].
+    pub(crate) fn snapshot_apply(&mut self, state: AnalysisState) {
+        // Quiesce first so no worker job references the store being
+        // replaced and no batch buffer leaks.
+        if let Some((batch, _)) = self.slot.join_if_busy() {
+            self.store.recycle(batch);
+        }
+        while let Some(batch) = self.pending.pop_front() {
+            self.store.recycle(batch);
+        }
+        match (&mut self.store, state.store) {
+            (Store::Single(c), StoreState::Single(s)) => c.snapshot_apply(s),
+            (Store::Sharded(c), StoreState::Sharded(s)) => c.snapshot_apply(s),
+            _ => unreachable!("snapshot_decode matched the store backends"),
+        }
+        self.slot = TrainerSlot::Idle(Box::new(state.trainer));
+        self.feature = state.feature;
+        self.representative = state.representative;
+        self.representative_len = state.representative_len;
+        self.batches_trained = state.batches_trained;
+    }
+}
+
+/// The backend half of a decoded [`AnalysisState`].
+enum StoreState {
+    Single(CollectorState),
+    Sharded(ShardedCollectorState),
+}
+
+/// One analysis' decoded-and-validated snapshot state, committed by
+/// [`Analysis::snapshot_apply`] once the whole engine snapshot has
+/// validated.
+pub(crate) struct AnalysisState {
+    store: StoreState,
+    trainer: IncrementalTrainer,
+    feature: Option<FeatureValue>,
+    representative: Option<usize>,
+    representative_len: usize,
+    batches_trained: usize,
 }

@@ -37,6 +37,11 @@ pub(crate) enum TrainerSlot {
     /// Transient state while ownership moves between the two variants; never
     /// observable from outside this module.
     Moving,
+    /// The in-flight job panicked on its worker and took the trainer (and
+    /// the batch buffer) with it. A poisoned slot is inert: shutting it
+    /// down again is a no-op, so dropping an engine whose background job
+    /// panicked never double-panics (which would abort the process).
+    Poisoned,
 }
 
 impl TrainerSlot {
@@ -103,5 +108,54 @@ impl TrainerSlot {
                 None
             }
         }
+    }
+
+    /// [`TrainerSlot::join_if_busy`] for the shutdown/drop path: where the
+    /// plain join *propagates* a worker panic (a visible failure for normal
+    /// operation), this variant catches it and leaves the slot
+    /// [`TrainerSlot::Poisoned`], so shutdown is safe to call during panic
+    /// unwinding (where a second panic would abort) and safe to call again.
+    pub(crate) fn join_for_shutdown(&mut self) -> Option<(MiniBatch, Option<f64>)> {
+        match std::mem::replace(self, TrainerSlot::Moving) {
+            TrainerSlot::Busy(handle) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join())) {
+                    Ok(TrainJob {
+                        trainer,
+                        batch,
+                        loss,
+                    }) => {
+                        *self = TrainerSlot::Idle(trainer);
+                        Some((batch, loss))
+                    }
+                    Err(_) => {
+                        *self = TrainerSlot::Poisoned;
+                        None
+                    }
+                }
+            }
+            other => {
+                *self = other;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim::ParallelConfig;
+
+    #[test]
+    fn shutdown_join_poisons_instead_of_propagating_worker_panics() {
+        let pool = ThreadPool::new(ParallelConfig::new(1, 2).unwrap());
+        let mut slot = TrainerSlot::Busy(pool.spawn_job(|| -> TrainJob { panic!("boom") }));
+        assert!(slot.join_for_shutdown().is_none());
+        assert!(matches!(slot, TrainerSlot::Poisoned));
+        // Idempotent: a poisoned slot shuts down again as a clean no-op.
+        assert!(slot.join_for_shutdown().is_none());
+        assert!(matches!(slot, TrainerSlot::Poisoned));
+        assert!(!slot.is_idle());
+        assert!(slot.trainer().is_none());
     }
 }

@@ -80,8 +80,11 @@ use crate::collect::{MiniBatch, SampleHistory};
 use crate::error::{Error, Result};
 use crate::model::IncrementalTrainer;
 use crate::region::{AnalysisSpec, ExitAction, NullBroadcaster, RegionStatus, StatusBroadcaster};
+use crate::snapshot::{
+    corrupt, parse_container, Container, Dec, Enc, SECTION_ENGINE, SECTION_REGION,
+};
 
-use analysis::Analysis;
+use analysis::{put_feature, take_feature, Analysis, AnalysisState};
 
 /// Where the gradient-descent training of full mini-batches runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -558,7 +561,12 @@ impl<D: ?Sized> Engine<D> {
     /// but never orphans a pool job and never leaks a recycled batch
     /// buffer. Dropping an engine calls `shutdown` implicitly, so evicting
     /// a long-running session mid-run (the `serve` crate's `CloseSession`)
-    /// is safe by construction. Idempotent; a no-op for inline engines.
+    /// is safe by construction. Idempotent (a second call is a clean
+    /// no-op) and panic-safe: if a background training job panicked on its
+    /// worker, the panic is contained — the affected trainer slot is
+    /// poisoned rather than re-thrown, so shutting down (or dropping,
+    /// even during unwinding from the original panic) a poisoned engine
+    /// never double-panics. A no-op for inline engines.
     pub fn shutdown(&mut self) {
         for region in &mut self.regions {
             for analysis in &mut region.analyses {
@@ -567,6 +575,150 @@ impl<D: ?Sized> Engine<D> {
                 }
             }
         }
+    }
+
+    /// Serializes the engine's full mutable state into a self-describing
+    /// binary snapshot (see [`crate::snapshot`] for the container format).
+    ///
+    /// The engine is [drained](Engine::drain) first, so the snapshot is
+    /// taken at a quiescent point — no in-flight training job or queued
+    /// batch ever needs serializing, and because draining is bit-identical
+    /// to having trained inline, the snapshot is independent of *when*
+    /// background work happened to be scheduled.
+    ///
+    /// The captured state covers, per analysis: the sample history
+    /// (including incremental peak statistics and retention bookkeeping,
+    /// and per-shard stores plus merge counters under
+    /// [`EngineConfig::sharding`]), the partially-filled assembly batch,
+    /// the AR model coefficients, scaler moments, optimizer state and loss
+    /// history, and the extracted feature — plus each region's status and
+    /// the engine's fan-out diagnostics. Configuration (specs, providers,
+    /// pools, sharding) is **not** serialized: [`Engine::restore`] overlays
+    /// the snapshot onto an engine rebuilt with identical configuration.
+    ///
+    /// A restored engine continues bit-identically to one that never
+    /// stopped: same losses, same features, same statuses.
+    #[must_use]
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        self.drain();
+        let mut container = Container::new();
+        let mut enc = Enc::default();
+        enc.put_usize(self.regions.len());
+        enc.put_u64(self.parallel_train_fanouts);
+        enc.put_u64(self.parallel_shard_fanouts);
+        container.section(SECTION_ENGINE, enc);
+        for region in &self.regions {
+            let mut enc = Enc::default();
+            enc.put_str(&region.name);
+            encode_status(&mut enc, &region.status);
+            enc.put_usize(region.analyses.len());
+            for analysis in &region.analyses {
+                enc.put_str(analysis.spec.name());
+                analysis.snapshot_encode(&mut enc);
+            }
+            container.section(SECTION_REGION, enc);
+        }
+        container.finish()
+    }
+
+    /// Restores state captured by [`Engine::snapshot`] onto this engine,
+    /// which must have been configured identically (same regions, analyses
+    /// and specs, in the same order; same sharding decomposition). After a
+    /// successful restore the engine produces bit-identical losses,
+    /// features and statuses to the engine the snapshot was taken from.
+    ///
+    /// Restore **fails closed**: the entire snapshot is parsed, checksummed
+    /// and validated against this engine's configuration before any live
+    /// state is touched, so on error the engine is exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::SnapshotCorrupt`] — truncated, tampered or malformed
+    ///   bytes (every section payload is checksummed).
+    /// * [`Error::SnapshotVersion`] — written by an incompatible format
+    ///   version.
+    /// * [`Error::SnapshotMismatch`] — a well-formed snapshot of a
+    ///   *differently configured* engine (region/analysis names or counts,
+    ///   store backend, shard count, retention or trainer shape differ).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let sections = parse_container(bytes)?;
+        let Some(((first_id, engine_payload), region_sections)) = sections.split_first() else {
+            return Err(corrupt("snapshot has no sections"));
+        };
+        if *first_id != SECTION_ENGINE {
+            return Err(corrupt(format!(
+                "first section id {first_id} is not the engine section"
+            )));
+        }
+        let mut dec = Dec::new(engine_payload);
+        let region_count = dec.take_usize()?;
+        let parallel_train_fanouts = dec.take_u64()?;
+        let parallel_shard_fanouts = dec.take_u64()?;
+        dec.finish()?;
+        if region_count != region_sections.len() {
+            return Err(corrupt(format!(
+                "engine section declares {region_count} regions but snapshot has {} region \
+                 sections",
+                region_sections.len()
+            )));
+        }
+        if region_count != self.regions.len() {
+            return Err(Error::SnapshotMismatch {
+                what: format!(
+                    "snapshot has {region_count} regions, engine has {}",
+                    self.regions.len()
+                ),
+            });
+        }
+        let mut decoded: Vec<(RegionStatus, Vec<AnalysisState>)> = Vec::with_capacity(region_count);
+        for (region, (id, payload)) in self.regions.iter().zip(region_sections) {
+            if *id != SECTION_REGION {
+                return Err(corrupt(format!("unexpected section id {id}")));
+            }
+            let mut dec = Dec::new(payload);
+            let name = dec.take_str()?;
+            if name != region.name {
+                return Err(Error::SnapshotMismatch {
+                    what: format!("snapshot region {name:?}, engine region {:?}", region.name),
+                });
+            }
+            let status = decode_status(&mut dec)?;
+            let analysis_count = dec.take_usize()?;
+            if analysis_count != region.analyses.len() {
+                return Err(Error::SnapshotMismatch {
+                    what: format!(
+                        "region {name:?}: snapshot has {analysis_count} analyses, engine has {}",
+                        region.analyses.len()
+                    ),
+                });
+            }
+            let mut states = Vec::with_capacity(analysis_count);
+            for analysis in &region.analyses {
+                let spec_name = dec.take_str()?;
+                if spec_name != analysis.spec.name() {
+                    return Err(Error::SnapshotMismatch {
+                        what: format!(
+                            "snapshot analysis {spec_name:?}, engine analysis {:?}",
+                            analysis.spec.name()
+                        ),
+                    });
+                }
+                states.push(analysis.snapshot_decode(&mut dec)?);
+            }
+            dec.finish()?;
+            decoded.push((status, states));
+        }
+        // Everything validated — commit. Apply quiesces each analysis
+        // (joining any in-flight training) before overwriting its state.
+        self.parallel_train_fanouts = parallel_train_fanouts;
+        self.parallel_shard_fanouts = parallel_shard_fanouts;
+        for (region, (status, states)) in self.regions.iter_mut().zip(decoded) {
+            region.status = status;
+            for (analysis, state) in region.analyses.iter_mut().zip(states) {
+                analysis.snapshot_apply(state);
+            }
+        }
+        Ok(())
     }
 
     /// Forces feature extraction for one region from whatever has been
@@ -742,6 +894,53 @@ impl<D: ?Sized> Engine<D> {
     fn front_location(analyses: &[Analysis<D>]) -> Option<usize> {
         analyses.first()?.front_location()
     }
+}
+
+/// Appends a [`RegionStatus`] to a snapshot payload.
+fn encode_status(enc: &mut Enc, status: &RegionStatus) {
+    enc.put_u64(status.iteration);
+    enc.put_usize(status.samples_collected);
+    enc.put_usize(status.batches_trained);
+    enc.put_opt_f64(status.last_loss);
+    enc.put_bool(status.converged);
+    enc.put_opt_f64(status.predicted_value);
+    enc.put_opt_usize(status.front_location);
+    enc.put_bool(status.should_terminate);
+    enc.put_usize(status.features.len());
+    for (name, feature) in &status.features {
+        enc.put_str(name);
+        put_feature(enc, feature);
+    }
+}
+
+/// Decodes a [`RegionStatus`] written by [`encode_status`].
+fn decode_status(dec: &mut Dec<'_>) -> Result<RegionStatus> {
+    let iteration = dec.take_u64()?;
+    let samples_collected = dec.take_usize()?;
+    let batches_trained = dec.take_usize()?;
+    let last_loss = dec.take_opt_f64()?;
+    let converged = dec.take_bool()?;
+    let predicted_value = dec.take_opt_f64()?;
+    let front_location = dec.take_opt_usize()?;
+    let should_terminate = dec.take_bool()?;
+    let feature_count = dec.take_usize()?;
+    dec.check_count(feature_count, 9)?;
+    let mut features = Vec::with_capacity(feature_count);
+    for _ in 0..feature_count {
+        let name = dec.take_str()?;
+        features.push((name, take_feature(dec)?));
+    }
+    Ok(RegionStatus {
+        iteration,
+        samples_collected,
+        batches_trained,
+        last_loss,
+        converged,
+        predicted_value,
+        front_location,
+        should_terminate,
+        features,
+    })
 }
 
 #[cfg(test)]
@@ -1215,5 +1414,225 @@ mod tests {
         let sparse_samples = engine.status(sparse).unwrap().samples_collected;
         assert!(dense_samples > sparse_samples);
         assert!(sparse_samples > 0);
+    }
+
+    /// Builds the same engine shape as [`run_engine`] without running it.
+    fn fresh_engine(config: EngineConfig) -> (Engine<Pulse>, RegionId) {
+        let mut engine = Engine::with_config(config);
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        (engine, region)
+    }
+
+    fn drive(engine: &mut Engine<Pulse>, domain: &mut Pulse, range: std::ops::Range<u64>) {
+        for it in range {
+            let step = engine.step(it);
+            domain.advance(it);
+            step.complete(domain);
+        }
+    }
+
+    fn assert_same_terminal_state(
+        a: &Engine<Pulse>,
+        ra: RegionId,
+        b: &Engine<Pulse>,
+        rb: RegionId,
+    ) {
+        assert_eq!(a.status(ra).unwrap(), b.status(rb).unwrap());
+        let ia = a.analysis_id(ra, 0).unwrap();
+        let ib = b.analysis_id(rb, 0).unwrap();
+        assert_eq!(
+            a.trainer(ia).unwrap().loss_history(),
+            b.trainer(ib).unwrap().loss_history(),
+            "loss sequences must be bit-identical"
+        );
+        assert_eq!(
+            a.trainer(ia).unwrap().model().coefficients(),
+            b.trainer(ib).unwrap().model().coefficients()
+        );
+        // Sharded stores expose per-shard histories only; compare the
+        // global history when both backends have one.
+        if let (Some(ha), Some(hb)) = (a.history(ia), b.history(ib)) {
+            assert_eq!(ha, hb);
+        }
+    }
+
+    /// The tentpole invariant: snapshot mid-run, restore onto a freshly
+    /// configured engine, continue — and end bit-identical to an engine
+    /// that never stopped.
+    #[test]
+    fn restored_engine_continues_bit_identically() {
+        // One step past a batch boundary and one mid-fill, to cover both
+        // pending-batch shapes.
+        for split in [100u64, 153] {
+            let (mut reference, reference_region) = fresh_engine(EngineConfig::inline());
+            let mut domain = Pulse::new();
+            drive(&mut reference, &mut domain, 0..301);
+            reference.drain();
+
+            let (mut original, region) = fresh_engine(EngineConfig::inline());
+            let mut domain = Pulse::new();
+            drive(&mut original, &mut domain, 0..split);
+            let bytes = original.snapshot();
+
+            let (mut restored, restored_region) = fresh_engine(EngineConfig::inline());
+            restored.restore(&bytes).unwrap();
+            // The restore itself is faithful...
+            assert_eq!(
+                original.status(region).unwrap(),
+                restored.status(restored_region).unwrap()
+            );
+            // ...and so is the continuation. The domain replays from its
+            // own state (it is a pure function of the iteration).
+            let mut domain = Pulse::new();
+            drive(&mut restored, &mut domain, split..301);
+            restored.drain();
+            assert_same_terminal_state(&restored, restored_region, &reference, reference_region);
+        }
+    }
+
+    /// Snapshots taken from a background engine restore bit-identically
+    /// onto an inline engine and vice versa: draining before serializing
+    /// erases the scheduling difference.
+    #[test]
+    fn snapshot_round_trips_across_training_modes() {
+        let pool = ThreadPool::new(ParallelConfig::new(1, 2).unwrap());
+        let (mut background, _) = fresh_engine(EngineConfig::background(pool));
+        let mut domain = Pulse::new();
+        drive(&mut background, &mut domain, 0..153);
+        let bytes = background.snapshot();
+
+        let (mut restored, restored_region) = fresh_engine(EngineConfig::inline());
+        restored.restore(&bytes).unwrap();
+        let mut domain = Pulse::new();
+        drive(&mut restored, &mut domain, 153..301);
+        restored.drain();
+
+        let (mut reference, reference_region) = fresh_engine(EngineConfig::inline());
+        let mut domain = Pulse::new();
+        drive(&mut reference, &mut domain, 0..301);
+        reference.drain();
+        assert_same_terminal_state(&restored, restored_region, &reference, reference_region);
+    }
+
+    /// The sharded path serializes per-shard sections and restores
+    /// bit-identically, including onto a *differently sharded* engine via
+    /// the unsharded reference (sharding is an execution strategy, but the
+    /// snapshot encodes the configured shard layout, so the layouts must
+    /// match).
+    #[test]
+    fn sharded_snapshot_round_trips() {
+        let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        let config = EngineConfig::sharded(pulse_partition(3), pool);
+        let (mut original, _) = fresh_engine(config);
+        let mut domain = Pulse::new();
+        drive(&mut original, &mut domain, 0..153);
+        let bytes = original.snapshot();
+
+        let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        let (mut restored, restored_region) =
+            fresh_engine(EngineConfig::sharded(pulse_partition(3), pool));
+        restored.restore(&bytes).unwrap();
+        let mut domain = Pulse::new();
+        drive(&mut restored, &mut domain, 153..301);
+        restored.drain();
+
+        let (mut reference, reference_region) = fresh_engine(EngineConfig::inline());
+        let mut domain = Pulse::new();
+        drive(&mut reference, &mut domain, 0..301);
+        reference.drain();
+        assert_same_terminal_state(&restored, restored_region, &reference, reference_region);
+
+        // A shard-count mismatch is a configuration mismatch, not corruption.
+        let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
+        let (mut wrong, _) = fresh_engine(EngineConfig::sharded(pulse_partition(4), pool));
+        assert!(matches!(
+            wrong.restore(&bytes),
+            Err(Error::SnapshotMismatch { .. })
+        ));
+        // A store-backend mismatch likewise.
+        let (mut unsharded, _) = fresh_engine(EngineConfig::inline());
+        assert!(matches!(
+            unsharded.restore(&bytes),
+            Err(Error::SnapshotMismatch { .. })
+        ));
+    }
+
+    /// Restore fails closed: a mismatching or corrupt snapshot leaves the
+    /// target engine exactly as it was.
+    #[test]
+    fn failed_restore_leaves_engine_untouched() {
+        let (mut original, _) = fresh_engine(EngineConfig::inline());
+        let mut domain = Pulse::new();
+        drive(&mut original, &mut domain, 0..100);
+        let bytes = original.snapshot();
+
+        let (mut target, target_region) = fresh_engine(EngineConfig::inline());
+        let mut domain = Pulse::new();
+        drive(&mut target, &mut domain, 0..40);
+        target.drain();
+        let before = target.status(target_region).unwrap().clone();
+
+        // Corrupt: flip a payload byte (fails the section checksum).
+        let mut tampered = bytes.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x40;
+        assert!(matches!(
+            target.restore(&tampered),
+            Err(Error::SnapshotCorrupt { .. })
+        ));
+        assert_eq!(&before, target.status(target_region).unwrap());
+
+        // Mismatch: a snapshot of a differently named region.
+        let mut renamed: Engine<Pulse> = Engine::new();
+        let other = renamed.add_region("other").unwrap();
+        renamed.add_analysis(other, pulse_spec("velocity")).unwrap();
+        let other_bytes = renamed.snapshot();
+        assert!(matches!(
+            target.restore(&other_bytes),
+            Err(Error::SnapshotMismatch { .. })
+        ));
+        assert_eq!(&before, target.status(target_region).unwrap());
+
+        // And a valid restore still succeeds afterwards.
+        target.restore(&bytes).unwrap();
+    }
+
+    /// `shutdown` twice (and then `drain`) is a clean no-op — the
+    /// eviction path may run more than once (explicit shutdown followed by
+    /// drop) and must never disturb already-settled state.
+    #[test]
+    fn shutdown_is_idempotent() {
+        let pool = ThreadPool::new(ParallelConfig::new(1, 2).unwrap());
+        let mut engine: Engine<Pulse> = Engine::with_config(EngineConfig::background(pool));
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        let mut domain = Pulse::new();
+        drive(&mut engine, &mut domain, 0..153);
+        engine.shutdown();
+        let after_first = engine.status(region).unwrap().clone();
+        let losses = engine
+            .trainer(engine.analysis_id(region, 0).unwrap())
+            .unwrap()
+            .loss_history()
+            .to_vec();
+        engine.shutdown();
+        assert_eq!(&after_first, engine.status(region).unwrap());
+        assert_eq!(
+            losses,
+            engine
+                .trainer(engine.analysis_id(region, 0).unwrap())
+                .unwrap()
+                .loss_history()
+        );
+        // The queue was discarded; draining afterwards has nothing to do.
+        engine.drain();
+        assert_eq!(
+            losses,
+            engine
+                .trainer(engine.analysis_id(region, 0).unwrap())
+                .unwrap()
+                .loss_history()
+        );
     }
 }

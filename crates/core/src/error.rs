@@ -57,6 +57,28 @@ pub enum Error {
         /// Human readable description of what was being extracted.
         what: String,
     },
+    /// A snapshot byte stream is structurally invalid: bad magic, a torn or
+    /// truncated section, a checksum mismatch, trailing bytes, or an
+    /// internally inconsistent payload. Restore fails closed — the engine is
+    /// left untouched.
+    SnapshotCorrupt {
+        /// Human readable description of the structural violation.
+        what: String,
+    },
+    /// A snapshot was written by a format version this build does not read.
+    SnapshotVersion {
+        /// The version recorded in the snapshot header.
+        found: u32,
+        /// The (single) version this build supports.
+        supported: u32,
+    },
+    /// A structurally valid snapshot does not fit the engine it is being
+    /// restored into (different region/analysis layout, shard count, model
+    /// order, ...).
+    SnapshotMismatch {
+        /// Human readable description of the disagreement.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -84,6 +106,14 @@ impl fmt::Display for Error {
                 write!(f, "duplicate {what} name `{name}`")
             }
             Error::FeatureNotFound { what } => write!(f, "feature not found: {what}"),
+            Error::SnapshotCorrupt { what } => write!(f, "corrupt snapshot: {what}"),
+            Error::SnapshotVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {supported})"
+            ),
+            Error::SnapshotMismatch { what } => {
+                write!(f, "snapshot does not fit this engine: {what}")
+            }
         }
     }
 }

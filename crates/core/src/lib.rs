@@ -78,6 +78,7 @@ pub mod params;
 pub mod provider;
 pub mod region;
 pub mod report;
+pub mod snapshot;
 pub mod tracking;
 
 pub use error::{Error, Result};

@@ -159,6 +159,29 @@ impl ArModel {
         crate::kernels::select().affine(self.intercept, &self.coefficients, inputs)
     }
 
+    /// Exports `(intercept, coefficients, trained)` for the snapshot
+    /// encoder; unlike [`ArModel::set_coefficients`] this view preserves the
+    /// untrained flag, so a never-trained model restores as never-trained.
+    pub(crate) fn snapshot_state(&self) -> (f64, &[f64], bool) {
+        (self.intercept, &self.coefficients, self.trained)
+    }
+
+    /// Rebuilds a model from a previously exported snapshot state. The
+    /// caller (the trainer's decoder) has already validated the coefficient
+    /// count against the configured order.
+    pub(crate) fn from_snapshot_state(
+        intercept: f64,
+        coefficients: Vec<f64>,
+        trained: bool,
+    ) -> Self {
+        debug_assert!(!coefficients.is_empty(), "AR order must be positive");
+        Self {
+            intercept,
+            coefficients,
+            trained,
+        }
+    }
+
     /// Rolls the model forward `steps` times starting from `seed` (the most
     /// recent `order` observed values, newest first), feeding each
     /// prediction back in as the newest value. This is how the paper

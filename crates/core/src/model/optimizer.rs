@@ -20,6 +20,21 @@ pub trait Optimizer: std::fmt::Debug + Send {
 
     /// The learning rate currently in effect.
     fn learning_rate(&self) -> f64;
+
+    /// Appends the optimizer's mutable state (velocity, accumulators, ...)
+    /// to `out` as a flat `f64` vector for the snapshot encoder. Stateless
+    /// optimizers append nothing (the default).
+    fn export_state(&self, out: &mut Vec<f64>) {
+        let _ = out;
+    }
+
+    /// Overwrites the optimizer's mutable state from a flat vector produced
+    /// by [`Optimizer::export_state`] on an identically configured instance.
+    /// Returns `false` (leaving the state untouched) if the length does not
+    /// fit; stateless optimizers accept only the empty slice (the default).
+    fn import_state(&mut self, state: &[f64]) -> bool {
+        state.is_empty()
+    }
 }
 
 /// Identifies an optimizer family plus its learning rate; used in
@@ -129,6 +144,18 @@ impl Optimizer for Momentum {
     fn learning_rate(&self) -> f64 {
         self.learning_rate
     }
+
+    fn export_state(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self.velocity);
+    }
+
+    fn import_state(&mut self, state: &[f64]) -> bool {
+        if state.len() != self.velocity.len() {
+            return false;
+        }
+        self.velocity.copy_from_slice(state);
+        true
+    }
 }
 
 /// Adagrad: per-parameter learning rates scaled by accumulated squared
@@ -167,6 +194,18 @@ impl Optimizer for Adagrad {
 
     fn learning_rate(&self) -> f64 {
         self.learning_rate
+    }
+
+    fn export_state(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self.accumulator);
+    }
+
+    fn import_state(&mut self, state: &[f64]) -> bool {
+        if state.len() != self.accumulator.len() {
+            return false;
+        }
+        self.accumulator.copy_from_slice(state);
+        true
     }
 }
 
@@ -220,6 +259,53 @@ mod tests {
     fn nonpositive_learning_rates_are_clamped() {
         assert!(Sgd::new(0.0).learning_rate() > 0.0);
         assert!(Sgd::new(-1.0).learning_rate() > 0.0);
+    }
+
+    #[test]
+    fn state_export_import_round_trips() {
+        // Warm an optimizer, export, overlay onto a fresh instance, and the
+        // next step must match bit for bit.
+        for kind in [
+            OptimizerKind::Sgd { learning_rate: 0.1 },
+            OptimizerKind::Momentum {
+                learning_rate: 0.1,
+                beta: 0.9,
+            },
+            OptimizerKind::Adagrad { learning_rate: 0.3 },
+        ] {
+            let mut warm = kind.build(3);
+            let mut params = vec![0.5, -1.0, 2.0];
+            for i in 0..7 {
+                let g = i as f64 * 0.25 - 0.5;
+                warm.step(&mut params, &[g, -g, g * 2.0]);
+            }
+            let mut state = Vec::new();
+            warm.export_state(&mut state);
+
+            let mut cold = kind.build(3);
+            assert!(cold.import_state(&state));
+            let mut a = params.clone();
+            let mut b = params.clone();
+            warm.step(&mut a, &[0.3, -0.7, 1.1]);
+            cold.step(&mut b, &[0.3, -0.7, 1.1]);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn state_import_rejects_wrong_lengths() {
+        let mut mom = OptimizerKind::Momentum {
+            learning_rate: 0.1,
+            beta: 0.9,
+        }
+        .build(3);
+        assert!(!mom.import_state(&[0.0; 2]));
+        assert!(mom.import_state(&[0.0; 3]));
+        let mut sgd = OptimizerKind::Sgd { learning_rate: 0.1 }.build(3);
+        assert!(sgd.import_state(&[]));
+        assert!(!sgd.import_state(&[1.0]));
     }
 
     #[test]

@@ -112,6 +112,18 @@ impl OnlineScaler {
     pub fn inverse(&self, z: f64) -> f64 {
         z * self.std_dev() + self.mean
     }
+
+    /// Exports the raw Welford accumulator `(count, mean, m2)` for the
+    /// snapshot encoder. The triple is the scaler's entire state, so a
+    /// restored scaler transforms bit-identically.
+    pub(crate) fn snapshot_state(&self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
+    /// Rebuilds a scaler from a previously exported Welford accumulator.
+    pub(crate) fn from_snapshot_state(count: u64, mean: f64, m2: f64) -> Self {
+        Self { count, mean, m2 }
+    }
 }
 
 #[cfg(test)]

@@ -346,6 +346,87 @@ impl IncrementalTrainer {
         Ok(self.target_scaler.inverse(z))
     }
 
+    /// Appends the trainer's persistent state — model parameters, optimizer
+    /// state, both Welford scalers, loss history and convergence streak —
+    /// to a snapshot payload. The kernel vtable and scratch buffers are
+    /// derived state and are never serialized.
+    pub(crate) fn snapshot_encode(&self, enc: &mut crate::snapshot::Enc) {
+        let (intercept, coefficients, trained) = self.model.snapshot_state();
+        enc.put_f64(intercept);
+        enc.put_f64_slice(coefficients);
+        enc.put_bool(trained);
+        let mut opt_state = Vec::new();
+        self.optimizer.export_state(&mut opt_state);
+        enc.put_f64_slice(&opt_state);
+        for scaler in [&self.input_scaler, &self.target_scaler] {
+            let (count, mean, m2) = scaler.snapshot_state();
+            enc.put_u64(count);
+            enc.put_f64(mean);
+            enc.put_f64(m2);
+        }
+        enc.put_f64_slice(&self.loss_history);
+        enc.put_usize(self.below_threshold_streak);
+        enc.put_usize(self.rows_seen);
+    }
+
+    /// Decodes a trainer state written by
+    /// [`IncrementalTrainer::snapshot_encode`] into a fully built trainer on
+    /// this host's kernel set, validating every length against `config` (the
+    /// configuration of the analysis being restored into).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SnapshotCorrupt`] for torn payloads,
+    /// [`Error::SnapshotMismatch`] if the recorded state does not fit the
+    /// configuration.
+    pub(crate) fn snapshot_decode(
+        config: TrainerConfig,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<Self> {
+        let intercept = dec.take_f64()?;
+        let coefficients = dec.take_f64_vec()?;
+        let trained = dec.take_bool()?;
+        if coefficients.len() != config.order {
+            return Err(Error::SnapshotMismatch {
+                what: format!(
+                    "snapshot has {} AR coefficients, configuration wants order {}",
+                    coefficients.len(),
+                    config.order
+                ),
+            });
+        }
+        let opt_state = dec.take_f64_vec()?;
+        let mut scalers = [OnlineScaler::new(), OnlineScaler::new()];
+        for scaler in &mut scalers {
+            let count = dec.take_u64()?;
+            let mean = dec.take_f64()?;
+            let m2 = dec.take_f64()?;
+            *scaler = OnlineScaler::from_snapshot_state(count, mean, m2);
+        }
+        let loss_history = dec.take_f64_vec()?;
+        let below_threshold_streak = dec.take_usize()?;
+        let rows_seen = dec.take_usize()?;
+
+        let mut trainer = Self::new(config)?;
+        if !trainer.optimizer.import_state(&opt_state) {
+            return Err(Error::SnapshotMismatch {
+                what: format!(
+                    "optimizer state of {} values does not fit {:?}",
+                    opt_state.len(),
+                    config.optimizer
+                ),
+            });
+        }
+        trainer.model = ArModel::from_snapshot_state(intercept, coefficients, trained);
+        let [input_scaler, target_scaler] = scalers;
+        trainer.input_scaler = input_scaler;
+        trainer.target_scaler = target_scaler;
+        trainer.loss_history = loss_history;
+        trainer.below_threshold_streak = below_threshold_streak;
+        trainer.rows_seen = rows_seen;
+        Ok(trainer)
+    }
+
     /// Rolls the model forward `steps` predictions starting from the raw
     /// seed values (newest first), feeding predictions back in.
     ///
@@ -534,6 +615,87 @@ mod tests {
             trainer.predict(&[1.0, 2.0, 3.0]),
             Err(Error::ModelNotTrained)
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let series = decaying_series(300);
+        let config = TrainerConfig {
+            order: 3,
+            optimizer: OptimizerKind::Momentum {
+                learning_rate: 0.1,
+                beta: 0.9,
+            },
+            epochs_per_batch: 4,
+            convergence: ConvergenceCriteria::default(),
+        };
+        let batches = batches_from_series(&series, 3, 16);
+        let (warmup, tail) = batches.split_at(batches.len() / 2);
+
+        let mut trainer = IncrementalTrainer::new(config).unwrap();
+        for batch in warmup {
+            trainer.train_batch(batch).unwrap();
+        }
+        let mut enc = crate::snapshot::Enc::default();
+        trainer.snapshot_encode(&mut enc);
+        let bytes = {
+            let mut c = crate::snapshot::Container::new();
+            c.section(crate::snapshot::SECTION_ENGINE, enc);
+            c.finish()
+        };
+        let sections = crate::snapshot::parse_container(&bytes).unwrap();
+        let mut dec = crate::snapshot::Dec::new(sections[0].1);
+        let mut restored = IncrementalTrainer::snapshot_decode(config, &mut dec).unwrap();
+        dec.finish().unwrap();
+
+        for batch in tail {
+            let a = trainer.train_batch(batch).unwrap();
+            let b = restored.train_batch(batch).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "losses must stay bit-identical");
+        }
+        assert_eq!(trainer.model(), restored.model());
+        assert_eq!(trainer.loss_history(), restored.loss_history());
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_mismatched_config() {
+        let config = TrainerConfig::default();
+        let mut trainer = IncrementalTrainer::new(config).unwrap();
+        let mut batch = MiniBatch::new(3, 2);
+        batch.push(&[1.0, 2.0, 3.0], 4.0).unwrap();
+        batch.push(&[2.0, 3.0, 4.0], 5.0).unwrap();
+        trainer.train_batch(&batch).unwrap();
+        let mut enc = crate::snapshot::Enc::default();
+        trainer.snapshot_encode(&mut enc);
+        let bytes = {
+            let mut c = crate::snapshot::Container::new();
+            c.section(crate::snapshot::SECTION_ENGINE, enc);
+            c.finish()
+        };
+        let sections = crate::snapshot::parse_container(&bytes).unwrap();
+
+        // Wrong order: the coefficient count no longer fits.
+        let wrong_order = TrainerConfig { order: 4, ..config };
+        let mut dec = crate::snapshot::Dec::new(sections[0].1);
+        assert!(matches!(
+            IncrementalTrainer::snapshot_decode(wrong_order, &mut dec),
+            Err(Error::SnapshotMismatch { .. })
+        ));
+
+        // Wrong optimizer family: the (empty) SGD state does not fit
+        // momentum's velocity vector.
+        let wrong_optimizer = TrainerConfig {
+            optimizer: OptimizerKind::Momentum {
+                learning_rate: 0.1,
+                beta: 0.5,
+            },
+            ..config
+        };
+        let mut dec = crate::snapshot::Dec::new(sections[0].1);
+        assert!(matches!(
+            IncrementalTrainer::snapshot_decode(wrong_optimizer, &mut dec),
+            Err(Error::SnapshotMismatch { .. })
+        ));
     }
 
     #[test]

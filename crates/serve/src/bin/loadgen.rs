@@ -12,7 +12,15 @@
 //!         [--ladder]                        run the 64/256/1024 ladder
 //!         [--json PATH]                     write the BENCH_service.json
 //!         [--idle-smoke N]                  thread-budget smoke: N idle conns
+//!         [--chaos]                         run the fault-injection gauntlet
 //! ```
+//!
+//! `--chaos` self-hosts a server and runs the full chaos gauntlet
+//! ([`loadgen::run_chaos`](serve::loadgen::run_chaos)): sessions are
+//! killed with their connection, the whole server is replaced, hostile
+//! frames and damaged snapshot blobs are thrown at it, and a poisoned
+//! session is panicked mid-step — then every resurrected session must
+//! produce features bit-identical to an uninterrupted run.
 //!
 //! With no target flag the server is hosted in-process on an ephemeral
 //! port, which is how `BENCH_service.json` is recorded:
@@ -31,7 +39,8 @@
 //! in-process engine fed the identical stream.
 
 use serve::loadgen::{
-    render_json, run, run_self_hosted, run_self_hosted_unix, LoadgenConfig, LoadgenReport, Target,
+    render_json, run, run_chaos, run_self_hosted, run_self_hosted_unix, LoadgenConfig,
+    LoadgenReport, Target,
 };
 use serve::{Client, Server, ServerConfig};
 
@@ -42,6 +51,7 @@ fn main() {
     let mut ladder = false;
     let mut json: Option<String> = None;
     let mut idle_smoke: Option<usize> = None;
+    let mut chaos = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,12 +83,13 @@ fn main() {
             "--ladder" => ladder = true,
             "--json" => json = Some(value("--json")),
             "--idle-smoke" => idle_smoke = Some(parse(&value("--idle-smoke"), "--idle-smoke")),
+            "--chaos" => chaos = true,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--tcp ADDR | --unix PATH | --self-unix] [--sessions N] \
                      [--steps N] [--connections N] [--client-threads N] [--locations N] \
                      [--distinct N] [--window N] [--subscribe] [--no-verify] [--ladder] \
-                     [--json PATH] [--idle-smoke N]"
+                     [--json PATH] [--idle-smoke N] [--chaos]"
                 );
                 return;
             }
@@ -88,6 +99,31 @@ fn main() {
 
     if let Some(conns) = idle_smoke {
         run_idle_smoke(conns);
+        return;
+    }
+
+    if chaos {
+        // Chaos is lock-step and self-hosted by design: the point is the
+        // fault choreography, not throughput, so the defaults are small.
+        let mut case = config.clone();
+        case.sessions = case.sessions.min(16);
+        let report = run_chaos(&case, ServerConfig::default()).unwrap_or_else(|e| fail(&e));
+        println!(
+            "chaos: {} sessions x {} steps survived {} connection kill(s) and {} server \
+             restart(s); {} damaged blobs rejected, {} poisoned session(s) evicted, \
+             {}/{} sessions verified bit-identical",
+            report.sessions,
+            report.steps,
+            report.connection_kills,
+            report.server_restarts,
+            report.hostile_rejections,
+            report.evicted,
+            report.verified,
+            report.sessions,
+        );
+        if report.verified != report.sessions {
+            fail("chaos verification incomplete");
+        }
         return;
     }
 

@@ -36,6 +36,19 @@ impl Stream {
             Stream::Unix(s) => (Box::new(s.try_clone()?), Box::new(s.try_clone()?)),
         })
     }
+
+    fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Stream::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
 }
 
 /// A server-pushed feature report, received out-of-band on a subscribed
@@ -53,6 +66,9 @@ pub struct FeatureEvent {
 /// One connection to an analysis server, able to multiplex any number of
 /// sessions.
 pub struct Client {
+    /// The underlying socket, retained for deadline control; all I/O
+    /// goes through the buffered clone halves below.
+    stream: Stream,
     reader: BufReader<Box<dyn std::io::Read>>,
     writer: BufWriter<Box<dyn Write>>,
     scratch_in: Vec<u8>,
@@ -79,15 +95,44 @@ impl Client {
         Self::new(Stream::Unix(UnixStream::connect(path)?))
     }
 
+    /// [`Client::connect_tcp`] with bounded retry: failed attempts back
+    /// off exponentially (the same 50µs-doubling-to-5ms schedule the
+    /// step path uses) with deterministic jitter, so a fleet of clients
+    /// reconnecting to a restarting server spreads out instead of
+    /// stampeding it. Returns the last connection error once `attempts`
+    /// are exhausted.
+    pub fn connect_tcp_retry(addr: SocketAddr, attempts: u32) -> std::io::Result<Self> {
+        retry_connect(attempts, || Self::connect_tcp(addr))
+    }
+
+    /// [`Client::connect_unix`] with the bounded retry schedule of
+    /// [`Client::connect_tcp_retry`].
+    pub fn connect_unix_retry(path: &Path, attempts: u32) -> std::io::Result<Self> {
+        retry_connect(attempts, || Self::connect_unix(path))
+    }
+
     fn new(stream: Stream) -> std::io::Result<Self> {
         let (read, write) = stream.split()?;
         Ok(Self {
+            stream,
             reader: BufReader::new(read),
             writer: BufWriter::new(write),
             scratch_in: Vec::new(),
             scratch_out: Vec::new(),
             events: VecDeque::new(),
         })
+    }
+
+    /// Applies a read **and** write deadline to the connection (`None`
+    /// clears both): a stalled or dead server becomes a timeout error on
+    /// the next blocking call instead of hanging the client forever.
+    ///
+    /// A call that *does* time out leaves the connection mid-frame, so
+    /// don't keep using it: reconnect (see
+    /// [`Client::connect_tcp_retry`]) and resurrect sessions from their
+    /// last snapshot with [`Client::restore`].
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_timeout(timeout)
     }
 
     /// Sends one frame without waiting for a reply.
@@ -291,6 +336,31 @@ impl Client {
         }
     }
 
+    /// Checkpoints the session into a self-contained blob (the engine's
+    /// versioned snapshot format plus the session's stream counters).
+    /// The blob outlives this connection *and* this server process:
+    /// restore it anywhere with [`Client::restore`].
+    pub fn snapshot(&mut self, session: u64) -> Result<Vec<u8>, WireError> {
+        match self.request(&Frame::Snapshot { session })? {
+            Frame::SnapshotData { data, .. } => Ok(data),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Resurrects a session from a [`Client::snapshot`] blob, returning
+    /// its freshly assigned id. `spec` must describe the same session
+    /// shape the blob was taken from; damaged blobs and mismatched specs
+    /// are rejected whole (the restored session either continues
+    /// bit-identically or doesn't exist).
+    pub fn restore(&mut self, spec: SessionSpec, data: Vec<u8>) -> Result<u64, WireError> {
+        match self.request(&Frame::Restore { spec, data })? {
+            Frame::SessionOpened { session } => Ok(session),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Closes the session.
     pub fn close_session(&mut self, session: u64) -> Result<(), WireError> {
         match self.request(&Frame::CloseSession { session })? {
@@ -299,6 +369,43 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+}
+
+fn retry_connect(
+    attempts: u32,
+    mut connect: impl FnMut() -> std::io::Result<Client>,
+) -> std::io::Result<Client> {
+    let mut backoff = BACKOFF_BASE;
+    let mut last = std::io::Error::new(
+        std::io::ErrorKind::InvalidInput,
+        "connect retry needs at least one attempt",
+    );
+    for attempt in 0..attempts {
+        match connect() {
+            Ok(client) => return Ok(client),
+            Err(e) => last = e,
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(jittered(backoff, attempt));
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+        }
+    }
+    Err(last)
+}
+
+/// Scales `base` into the 75%–125% band using a xorshift hash of the
+/// process id and attempt number: deterministic (no RNG dependency,
+/// reproducible runs) yet distinct across the processes of a client
+/// fleet, which is what decorrelates a reconnect stampede.
+fn jittered(base: Duration, attempt: u32) -> Duration {
+    let mut x = ((std::process::id() as u64) << 32) ^ u64::from(attempt) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let nanos = base.as_nanos().min(u64::MAX as u128) as u64;
+    let spread = nanos / 2;
+    let jitter = if spread == 0 { 0 } else { x % (spread + 1) };
+    Duration::from_nanos(nanos - nanos / 4 + jitter)
 }
 
 fn unexpected(frame: Frame) -> WireError {

@@ -22,10 +22,13 @@
 //!   load generator; supports pipelining with `Busy`-aware retry.
 //! - [`loadgen`] — the proxy-workload load generator behind the
 //!   `loadgen` binary and the service benchmark.
+//! - [`fault`] — opt-in fault injection (session panics, lane stalls,
+//!   snapshot mangling) behind a zero-cost-when-off switch.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod poll;
 pub mod reactor;

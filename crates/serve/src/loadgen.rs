@@ -14,16 +14,18 @@
 //! O(model order) — so thousands of concurrent sessions hold steady-state
 //! memory proportional to `sessions × window`, not `sessions × steps`.
 
+use std::io::Write;
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Barrier;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use insitu::collect::Retention;
 use insitu::region::FeatureValue;
 use insitu::IterParam;
 
 use crate::client::Client;
+use crate::fault::{self, FaultPlan};
 use crate::session::Session;
 use crate::wire::SessionSpec;
 
@@ -205,6 +207,242 @@ pub fn render_json(workload: &LoadgenConfig, reports: &[LoadgenReport]) -> Strin
     }
     json.push_str("  ]\n}\n");
     json
+}
+
+/// What one chaos run survived. Every count is a fault the run both
+/// injected and proved recovery from; `verified` is the end-state check
+/// that survival was *bit-identical* to an undisturbed run, not merely
+/// "didn't crash".
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Sessions that were killed, resurrected (twice) and verified.
+    pub sessions: usize,
+    /// Steps each session's stream spanned, interruptions included.
+    pub steps: u64,
+    /// Abrupt connection deaths survived via snapshot/restore.
+    pub connection_kills: usize,
+    /// Full server-process replacements survived via snapshot/restore.
+    pub server_restarts: usize,
+    /// Damaged snapshot blobs (truncated, bit-flipped) the server
+    /// rejected whole instead of restoring silently-wrong state.
+    pub hostile_rejections: usize,
+    /// Deliberately poisoned sessions evicted with a typed error while
+    /// their lane kept serving.
+    pub evicted: usize,
+    /// Sessions whose post-chaos features matched the uninterrupted
+    /// in-process reference bit for bit.
+    pub verified: usize,
+}
+
+/// The chaos harness: one deterministic gauntlet of every fault the
+/// robustness layer claims to survive, run against a server hosted in
+/// this process.
+///
+/// The session streams are interrupted at two step boundaries: first the
+/// client connection is killed abruptly (sessions evicted server-side,
+/// resurrected from snapshots over a retried reconnect), then the whole
+/// server is torn down and replaced (only the blobs survive). Between
+/// resurrections the fresh server is attacked with a mid-frame-truncated
+/// connection, an unframeable-garbage connection, damaged snapshot
+/// blobs, and a session poisoned to panic mid-step — each of which must
+/// be contained (torn down / rejected / evicted) without disturbing the
+/// real sessions. Finally every surviving session's features must equal
+/// the uninterrupted in-process reference exactly.
+///
+/// The poisoned-session leg arms the process-global [`crate::fault`]
+/// plan for a session name only this harness uses, and disarms it
+/// before returning.
+pub fn run_chaos(
+    config: &LoadgenConfig,
+    server: crate::server::ServerConfig,
+) -> Result<ChaosReport, String> {
+    assert!(config.sessions > 0 && config.steps >= 3);
+    let distinct = config.distinct.clamp(1, config.sessions);
+    let references: Vec<Reference> = (0..distinct as u64)
+        .map(|seed| reference_run(config, seed))
+        .collect::<Result<_, _>>()?;
+    let locations: Vec<u64> = (1..=config.locations as u64).collect();
+    let seeds: Vec<u64> = (0..config.sessions)
+        .map(|s| (s % distinct) as u64)
+        .collect();
+    let deadline = Some(Duration::from_secs(60));
+
+    let first =
+        crate::server::Server::bind_tcp("127.0.0.1:0", server).map_err(|e| e.to_string())?;
+    let addr = first.tcp_addr().ok_or("server has no TCP address")?;
+    let mut client = Client::connect_tcp(addr).map_err(|e| e.to_string())?;
+    client.set_timeout(deadline).map_err(|e| e.to_string())?;
+    let mut ids = Vec::with_capacity(config.sessions);
+    for _ in 0..config.sessions {
+        ids.push(
+            client
+                .open_session(config.session_spec())
+                .map_err(|e| e.to_string())?,
+        );
+    }
+
+    let first_cut = config.steps / 3;
+    let second_cut = 2 * config.steps / 3;
+    chaos_drive(&mut client, &ids, &seeds, &locations, 0..first_cut)?;
+
+    // Fault: the client connection dies abruptly with sessions live
+    // (server-side they are evicted). Resurrect over a retried
+    // reconnect.
+    let blobs = chaos_snapshot(&mut client, &ids)?;
+    drop(client);
+    let mut client = Client::connect_tcp_retry(addr, 64).map_err(|e| e.to_string())?;
+    client.set_timeout(deadline).map_err(|e| e.to_string())?;
+    ids = chaos_restore(&mut client, config, &blobs)?;
+
+    chaos_drive(&mut client, &ids, &seeds, &locations, first_cut..second_cut)?;
+
+    // Fault: the whole server process is replaced; only the blobs
+    // survive the crash.
+    let blobs = chaos_snapshot(&mut client, &ids)?;
+    drop(client);
+    first.shutdown();
+    let second =
+        crate::server::Server::bind_tcp("127.0.0.1:0", server).map_err(|e| e.to_string())?;
+    let addr = second.tcp_addr().ok_or("server has no TCP address")?;
+    let mut client = Client::connect_tcp_retry(addr, 64).map_err(|e| e.to_string())?;
+    client.set_timeout(deadline).map_err(|e| e.to_string())?;
+
+    // Hostile connections: a frame truncated mid-body, then an
+    // unframeable byte stream. Both are sacrificial — the server tears
+    // them down; the proof that nothing else was disturbed is that the
+    // real restores below succeed.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        raw.write_all(&[64, 0, 0, 0, 0x02, 1, 2, 3])
+            .map_err(|e| e.to_string())?;
+        drop(raw);
+        let mut raw = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        let _ = raw.write_all(&[0xff; 16]);
+        drop(raw);
+    }
+
+    // Hostile blobs: truncated and bit-flipped snapshots must be
+    // rejected whole.
+    let mut hostile_rejections = 0;
+    let mut truncated = blobs[0].clone();
+    truncated.truncate(truncated.len() / 2);
+    if client.restore(config.session_spec(), truncated).is_err() {
+        hostile_rejections += 1;
+    } else {
+        return Err("a truncated snapshot blob was restored".into());
+    }
+    let mut corrupt = blobs[0].clone();
+    let at = corrupt.len() / 2;
+    corrupt[at] ^= 0x20;
+    if client.restore(config.session_spec(), corrupt).is_err() {
+        hostile_rejections += 1;
+    } else {
+        return Err("a bit-flipped snapshot blob was restored".into());
+    }
+
+    // A poisoned session: panics mid-step, must be evicted with a typed
+    // error while the connection (and everything else) keeps working.
+    // The panic is deliberate, so its backtrace is noise: silence the
+    // hook for the duration of this leg.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    fault::arm(FaultPlan {
+        panic_session: Some("chaos-poison".into()),
+        ..FaultPlan::default()
+    });
+    let mut poison_spec = config.session_spec();
+    poison_spec.name = "chaos-poison".into();
+    let doomed = client
+        .open_session(poison_spec)
+        .map_err(|e| e.to_string())?;
+    let values: Vec<f64> = locations.iter().map(|&l| pulse_value(0, 0, l)).collect();
+    let evicted = match client.step(doomed, 0, &locations, &values) {
+        Err(_) if client.poll(doomed).is_err() => 1,
+        _ => {
+            fault::disarm();
+            std::panic::set_hook(default_hook);
+            return Err("the poisoned session was not evicted".into());
+        }
+    };
+    fault::disarm();
+    std::panic::set_hook(default_hook);
+
+    // Resurrect the real sessions on the replacement server and finish
+    // the streams.
+    ids = chaos_restore(&mut client, config, &blobs)?;
+    chaos_drive(
+        &mut client,
+        &ids,
+        &seeds,
+        &locations,
+        second_cut..config.steps,
+    )?;
+
+    let mut verified = 0;
+    for (at, &id) in ids.iter().enumerate() {
+        let features = client.extract(id).map_err(|e| e.to_string())?;
+        if features == references[seeds[at] as usize].features {
+            verified += 1;
+        } else {
+            return Err(format!(
+                "session {id} (seed {}) diverged from the uninterrupted reference after chaos",
+                seeds[at]
+            ));
+        }
+        client.close_session(id).map_err(|e| e.to_string())?;
+    }
+    second.shutdown();
+    Ok(ChaosReport {
+        sessions: config.sessions,
+        steps: config.steps,
+        connection_kills: 1,
+        server_restarts: 1,
+        hostile_rejections,
+        evicted,
+        verified,
+    })
+}
+
+fn chaos_drive(
+    client: &mut Client,
+    ids: &[u64],
+    seeds: &[u64],
+    locations: &[u64],
+    range: std::ops::Range<u64>,
+) -> Result<(), String> {
+    for it in range {
+        for (at, &id) in ids.iter().enumerate() {
+            let values: Vec<f64> = locations
+                .iter()
+                .map(|&l| pulse_value(seeds[at], it, l))
+                .collect();
+            client
+                .step(id, it, locations, &values)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn chaos_snapshot(client: &mut Client, ids: &[u64]) -> Result<Vec<Vec<u8>>, String> {
+    ids.iter()
+        .map(|&id| client.snapshot(id).map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn chaos_restore(
+    client: &mut Client,
+    config: &LoadgenConfig,
+    blobs: &[Vec<u8>],
+) -> Result<Vec<u64>, String> {
+    blobs
+        .iter()
+        .map(|blob| {
+            client
+                .restore(config.session_spec(), blob.clone())
+                .map_err(|e| e.to_string())
+        })
+        .collect()
 }
 
 /// The travelling-pulse sample value for one (seed, iteration, location).

@@ -57,6 +57,17 @@
 //! Sessions die cleanly by construction: `CloseSession` (or the owning
 //! connection dying) winds the session down on its lane and the
 //! [`Session`]'s engine `Drop` joins any in-flight training work.
+//!
+//! **Sessions survive crashes by checkpoint**: [`Frame::Snapshot`]
+//! serializes a session into a self-contained blob (returned as
+//! [`Frame::SnapshotData`]) that [`Frame::Restore`] turns back into a
+//! live session — on this server after the connection died, or on a
+//! freshly started server after the original process was killed — that
+//! continues bit-identically with the original. And a session that
+//! *panics* (a buggy provider, or one poisoned via [`crate::fault`])
+//! takes out only itself: each lane runs its commands under
+//! `catch_unwind`, evicts the poisoned session, answers
+//! [`ErrorCode::Internal`], and keeps serving its other sessions.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
@@ -160,6 +171,18 @@ enum Command {
         session: u64,
         conn: Arc<ConnHandle>,
     },
+    Snapshot {
+        session: u64,
+        conn: Arc<ConnHandle>,
+    },
+    /// Resurrect a session from a snapshot blob under a freshly
+    /// allocated id (the router admits it exactly like an `Open`).
+    Restore {
+        session: u64,
+        spec: Box<SessionSpec>,
+        data: Vec<u8>,
+        conn: Arc<ConnHandle>,
+    },
     /// Rebalancing: the receiving lane owns `session` and must hand its
     /// state to the lane behind `to` (as a [`Command::Adopt`]).
     Migrate {
@@ -186,8 +209,28 @@ impl Command {
             | Command::Close { session, .. }
             | Command::Subscribe { session, .. }
             | Command::Unsubscribe { session, .. }
+            | Command::Snapshot { session, .. }
+            | Command::Restore { session, .. }
             | Command::Migrate { session, .. }
             | Command::Adopt { session, .. } => *session,
+        }
+    }
+
+    /// The connection a command would reply to, for the lane's panic
+    /// eviction path.
+    fn reply_conn(&self) -> Option<Arc<ConnHandle>> {
+        match self {
+            Command::Open { conn, .. }
+            | Command::Step { conn, .. }
+            | Command::Extract { conn, .. }
+            | Command::Features { conn, .. }
+            | Command::Poll { conn, .. }
+            | Command::Subscribe { conn, .. }
+            | Command::Unsubscribe { conn, .. }
+            | Command::Snapshot { conn, .. }
+            | Command::Restore { conn, .. } => Some(Arc::clone(conn)),
+            Command::Close { conn, .. } => conn.as_ref().map(Arc::clone),
+            Command::Migrate { .. } | Command::Adopt { .. } => None,
         }
     }
 }
@@ -490,6 +533,37 @@ impl Router {
         Some(from)
     }
 
+    /// Admits a new session id into the table and dispatches its
+    /// creating command (`Open`, or `Restore` — which is an open that
+    /// also carries state). Rolls the admission back if the lane is
+    /// gone.
+    fn admit(&self, conn: &Arc<ConnHandle>, make: impl FnOnce(u64, Arc<ConnHandle>) -> Command) {
+        let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let lane = (session as usize) % self.lanes.len();
+        self.shared.sessions.lock().expect("session table").insert(
+            session,
+            Entry {
+                lane,
+                inflight: Arc::new(AtomicUsize::new(0)),
+                service_ns: Arc::new(AtomicU64::new(0)),
+                steps_routed: 0,
+                last_migrated: 0,
+                migrating: false,
+                closing: false,
+            },
+        );
+        conn.attach_session(session);
+        if !self.dispatch(lane, make(session, Arc::clone(conn))) {
+            self.shared
+                .sessions
+                .lock()
+                .expect("session table")
+                .remove(&session);
+            conn.detach_session(session);
+            reply_error(conn, 0, ErrorCode::Internal, "server stopping");
+        }
+    }
+
     fn handle_step(
         &self,
         conn: &Arc<ConnHandle>,
@@ -547,35 +621,19 @@ impl ConnEvents for Router {
     fn on_frame(&self, conn: &Arc<ConnHandle>, frame: Frame) {
         match frame {
             Frame::OpenSession(spec) => {
-                let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
-                let lane = (session as usize) % self.lanes.len();
-                self.shared.sessions.lock().expect("session table").insert(
-                    session,
-                    Entry {
-                        lane,
-                        inflight: Arc::new(AtomicUsize::new(0)),
-                        service_ns: Arc::new(AtomicU64::new(0)),
-                        steps_routed: 0,
-                        last_migrated: 0,
-                        migrating: false,
-                        closing: false,
-                    },
-                );
-                conn.attach_session(session);
-                let cmd = Command::Open {
+                self.admit(conn, |session, conn| Command::Open {
                     session,
                     spec: Box::new(spec),
-                    conn: Arc::clone(conn),
-                };
-                if !self.dispatch(lane, cmd) {
-                    self.shared
-                        .sessions
-                        .lock()
-                        .expect("session table")
-                        .remove(&session);
-                    conn.detach_session(session);
-                    reply_error(conn, 0, ErrorCode::Internal, "server stopping");
-                }
+                    conn,
+                });
+            }
+            Frame::Restore { spec, data } => {
+                self.admit(conn, |session, conn| Command::Restore {
+                    session,
+                    spec: Box::new(spec),
+                    data,
+                    conn,
+                });
             }
             Frame::StepSamples {
                 session,
@@ -597,6 +655,9 @@ impl ConnEvents for Router {
             }
             Frame::Unsubscribe { session } => {
                 self.route_control(conn, session, |conn| Command::Unsubscribe { session, conn });
+            }
+            Frame::Snapshot { session } => {
+                self.route_control(conn, session, |conn| Command::Snapshot { session, conn });
             }
             Frame::CloseSession { session } => {
                 // The entry stays in the table (marked closing) until the
@@ -753,8 +814,39 @@ impl Lane {
             self.parked.entry(session).or_default().push_back(cmd);
             return;
         }
-        self.handle(cmd);
+        self.handle_isolated(cmd);
         self.shared.lane_depth[self.me].fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Runs [`Lane::handle`] under `catch_unwind`, so a panicking
+    /// session — a buggy provider, or one deliberately poisoned through
+    /// [`crate::fault`] — takes out that one session, not the lane
+    /// thread: every co-located session keeps being served. The poisoned
+    /// session is evicted from the lane and the routing table (its
+    /// engine's `Drop` is panic-safe) and the requesting client is told
+    /// [`ErrorCode::Internal`].
+    fn handle_isolated(&mut self, cmd: Command) {
+        let session = cmd.session_id();
+        let conn = cmd.reply_conn();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(cmd)));
+        if outcome.is_err() {
+            self.sessions.remove(&session);
+            self.parked.remove(&session);
+            self.shared
+                .sessions
+                .lock()
+                .expect("session table")
+                .remove(&session);
+            if let Some(conn) = conn {
+                conn.detach_session(session);
+                reply_error(
+                    &conn,
+                    session,
+                    ErrorCode::Internal,
+                    "session panicked and was evicted",
+                );
+            }
+        }
     }
 
     /// True for session-addressed commands that outran their session's
@@ -791,7 +883,7 @@ impl Lane {
         }
         if let Some(queue) = self.parked.remove(&session) {
             for cmd in queue {
-                self.handle(cmd);
+                self.handle_isolated(cmd);
                 self.shared.lane_depth[self.me].fetch_sub(1, Ordering::AcqRel);
             }
         }
@@ -924,6 +1016,47 @@ impl Lane {
                 }
                 None => {
                     conn.send(&unknown_session(session));
+                }
+            },
+            Command::Snapshot { session, conn } => {
+                let reply = match self.sessions.get_mut(&session) {
+                    Some(owned) => Frame::SnapshotData {
+                        session,
+                        data: owned.session.snapshot(),
+                    },
+                    None => unknown_session(session),
+                };
+                conn.send(&reply);
+            }
+            Command::Restore {
+                session,
+                spec,
+                data,
+                conn,
+            } => match Session::restore(&spec, &data) {
+                Ok(restored) => {
+                    self.sessions.insert(
+                        session,
+                        LaneSession {
+                            session: restored,
+                            subscriber: None,
+                            pushed: Vec::new(),
+                        },
+                    );
+                    conn.send(&Frame::SessionOpened { session });
+                }
+                Err(message) => {
+                    self.shared
+                        .sessions
+                        .lock()
+                        .expect("session table")
+                        .remove(&session);
+                    conn.detach_session(session);
+                    conn.send(&Frame::ErrorReply {
+                        session,
+                        code: ErrorCode::BadSpec,
+                        message,
+                    });
                 }
             },
             Command::Close { session, conn } => {

@@ -31,6 +31,7 @@ pub struct Session {
     engine: Engine<SampleFrame>,
     region: RegionId,
     frame: SampleFrame,
+    name: String,
     last_samples: u64,
 }
 
@@ -74,8 +75,40 @@ impl Session {
             engine,
             region,
             frame: SampleFrame::new(),
+            name: spec.name.clone(),
             last_samples: 0,
         })
+    }
+
+    /// Serializes this session into a self-contained blob: the session's
+    /// cumulative sample count, then the engine's versioned snapshot
+    /// container. Draining first makes the blob independent of training
+    /// mode and of where in a batch the session was killed — a restored
+    /// session continues bit-identically.
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        let engine = self.engine.snapshot();
+        let mut data = Vec::with_capacity(8 + engine.len());
+        data.extend_from_slice(&self.last_samples.to_le_bytes());
+        data.extend_from_slice(&engine);
+        crate::fault::mangle_snapshot(&mut data);
+        data
+    }
+
+    /// Resurrects a session from `spec` plus a blob a [`Session::snapshot`]
+    /// of an identically specified session produced. Fails closed: a
+    /// damaged blob or a spec that doesn't match the snapshotted shape
+    /// yields an error and no session.
+    pub fn restore(spec: &SessionSpec, data: &[u8]) -> Result<Self, String> {
+        let (counter, engine_bytes) = data
+            .split_first_chunk::<8>()
+            .ok_or_else(|| "snapshot too short for the session header".to_string())?;
+        let mut session = Self::open(spec)?;
+        session
+            .engine
+            .restore(engine_bytes)
+            .map_err(|e| e.to_string())?;
+        session.last_samples = u64::from_le_bytes(*counter);
+        Ok(session)
     }
 
     /// Ingests one step's columns and runs the pipeline. Returns
@@ -87,6 +120,7 @@ impl Session {
         locations: &[u64],
         values: &[f64],
     ) -> Result<(u64, u64), String> {
+        crate::fault::before_step(&self.name);
         self.frame
             .ingest(locations, values)
             .map_err(|e| e.to_string())?;
@@ -243,5 +277,53 @@ mod tests {
         let mut bad = spec();
         bad.trainer.epochs_per_batch = 0;
         assert!(Session::open(&bad).is_err());
+    }
+
+    #[test]
+    fn restored_session_continues_bit_identically() {
+        // Reference: one uninterrupted session.
+        let mut reference = Session::open(&spec()).unwrap();
+        drive(&mut reference, 120);
+
+        // Checkpointed: killed at an arbitrary step boundary, resurrected
+        // from the blob, driven through the same remaining steps.
+        let mut first = Session::open(&spec()).unwrap();
+        drive(&mut first, 47);
+        let blob = first.snapshot();
+        drop(first);
+        let mut resumed = Session::restore(&spec(), &blob).unwrap();
+        let locations: Vec<u64> = (1..=8).collect();
+        for it in 47..120 {
+            let values: Vec<f64> = locations
+                .iter()
+                .map(|&l| ((it as f64) * 0.1 - l as f64).tanh() + 1.0)
+                .collect();
+            resumed.step(it, &locations, &values).unwrap();
+        }
+        assert_eq!(resumed.poll(), reference.poll());
+        assert_eq!(resumed.extract(), reference.extract());
+    }
+
+    #[test]
+    fn restore_fails_closed_on_damaged_or_mismatched_blobs() {
+        let mut session = Session::open(&spec()).unwrap();
+        drive(&mut session, 60);
+        let blob = session.snapshot();
+
+        // Too short for even the session header.
+        assert!(Session::restore(&spec(), &blob[..4]).is_err());
+        // Tail truncated mid-container.
+        assert!(Session::restore(&spec(), &blob[..blob.len() - 3]).is_err());
+        // A flipped payload bit trips the section checksum.
+        let mut corrupt = blob.clone();
+        let at = corrupt.len() / 2;
+        corrupt[at] ^= 0x01;
+        assert!(Session::restore(&spec(), &corrupt).is_err());
+        // A spec naming a different region is a mismatch, not a merge.
+        let mut other = spec();
+        other.name = "other".into();
+        assert!(Session::restore(&other, &blob).is_err());
+        // The pristine blob still restores.
+        assert!(Session::restore(&spec(), &blob).is_ok());
     }
 }

@@ -26,11 +26,13 @@
 //! Requests (client → server): [`Frame::OpenSession`],
 //! [`Frame::StepSamples`], [`Frame::Extract`], [`Frame::Features`],
 //! [`Frame::Poll`], [`Frame::CloseSession`], [`Frame::Subscribe`],
-//! [`Frame::Unsubscribe`]. Responses (server → client):
+//! [`Frame::Unsubscribe`], [`Frame::Snapshot`], [`Frame::Restore`].
+//! Responses (server → client):
 //! [`Frame::SessionOpened`], [`Frame::StepAck`], [`Frame::FeatureReport`],
 //! [`Frame::Status`], [`Frame::Busy`], [`Frame::Closed`],
 //! [`Frame::ErrorReply`], [`Frame::SubscriptionAck`],
-//! [`Frame::FeatureEvent`]. Every request gets exactly one response, so
+//! [`Frame::FeatureEvent`], [`Frame::SnapshotData`]. Every request gets
+//! exactly one response, so
 //! clients may pipeline requests and correlate replies by session id.
 //! [`Frame::FeatureEvent`] is the one *unsolicited* response: after a
 //! [`Frame::Subscribe`], the server pushes one whenever a step changes the
@@ -263,6 +265,26 @@ pub enum Frame {
         /// Target session.
         session: u64,
     },
+    /// Checkpoint the session: serialize its full engine state at the
+    /// current step boundary; answered by [`Frame::SnapshotData`]. The
+    /// session stays open and continues exactly as if never snapshotted.
+    Snapshot {
+        /// Target session.
+        session: u64,
+    },
+    /// Resurrect a session from a [`Frame::SnapshotData`] blob — on this
+    /// server or a different one — under a **new** session id; answered by
+    /// [`Frame::SessionOpened`] (or [`Frame::ErrorReply`] with
+    /// [`ErrorCode::BadSpec`] when the blob is corrupt or was taken from a
+    /// differently configured spec). The spec must equal the one the
+    /// snapshotted session was opened with; the restored session then
+    /// serves a feature stream bit-identical to one that never stopped.
+    Restore {
+        /// The spec the snapshotted session was opened with.
+        spec: SessionSpec,
+        /// The opaque state blob from [`Frame::SnapshotData`].
+        data: Vec<u8>,
+    },
     /// The session is open and ready for samples.
     SessionOpened {
         /// Server-assigned session id, unique for the server's lifetime.
@@ -321,6 +343,16 @@ pub enum Frame {
         /// The features, bit-identical to in-process extraction.
         features: Vec<(String, FeatureValue)>,
     },
+    /// The session's serialized state, answering [`Frame::Snapshot`]. The
+    /// blob is opaque to the wire layer (internally the engine's versioned,
+    /// checksummed snapshot container) and is valid [`Frame::Restore`]
+    /// input on any server build with a compatible snapshot version.
+    SnapshotData {
+        /// The snapshotted session.
+        session: u64,
+        /// The opaque state blob.
+        data: Vec<u8>,
+    },
     /// Acknowledges [`Frame::Subscribe`] / [`Frame::Unsubscribe`].
     SubscriptionAck {
         /// The session addressed.
@@ -348,6 +380,8 @@ const KIND_POLL: u8 = 0x05;
 const KIND_CLOSE_SESSION: u8 = 0x06;
 const KIND_SUBSCRIBE: u8 = 0x07;
 const KIND_UNSUBSCRIBE: u8 = 0x08;
+const KIND_SNAPSHOT: u8 = 0x09;
+const KIND_RESTORE: u8 = 0x0a;
 const KIND_SESSION_OPENED: u8 = 0x81;
 const KIND_STEP_ACK: u8 = 0x82;
 const KIND_FEATURE_REPORT: u8 = 0x83;
@@ -357,6 +391,7 @@ const KIND_CLOSED: u8 = 0x86;
 const KIND_ERROR: u8 = 0x87;
 const KIND_FEATURE_EVENT: u8 = 0x88;
 const KIND_SUBSCRIPTION_ACK: u8 = 0x89;
+const KIND_SNAPSHOT_DATA: u8 = 0x8a;
 
 impl Frame {
     /// Appends the complete frame (length prefix included) to `buf`.
@@ -408,6 +443,22 @@ impl Frame {
             Frame::Unsubscribe { session } => {
                 buf.push(KIND_UNSUBSCRIBE);
                 put_u64(buf, *session);
+            }
+            Frame::Snapshot { session } => {
+                buf.push(KIND_SNAPSHOT);
+                put_u64(buf, *session);
+            }
+            Frame::Restore { spec, data } => {
+                buf.push(KIND_RESTORE);
+                put_spec(buf, spec);
+                put_u32(buf, data.len() as u32);
+                buf.extend_from_slice(data);
+            }
+            Frame::SnapshotData { session, data } => {
+                buf.push(KIND_SNAPSHOT_DATA);
+                put_u64(buf, *session);
+                put_u32(buf, data.len() as u32);
+                buf.extend_from_slice(data);
             }
             Frame::SessionOpened { session } => {
                 buf.push(KIND_SESSION_OPENED);
@@ -554,6 +605,19 @@ impl Frame {
             KIND_UNSUBSCRIBE => Frame::Unsubscribe {
                 session: cur.take_u64()?,
             },
+            KIND_SNAPSHOT => Frame::Snapshot {
+                session: cur.take_u64()?,
+            },
+            KIND_RESTORE => {
+                let spec = take_spec(&mut cur)?;
+                let data = cur.take_blob()?;
+                Frame::Restore { spec, data }
+            }
+            KIND_SNAPSHOT_DATA => {
+                let session = cur.take_u64()?;
+                let data = cur.take_blob()?;
+                Frame::SnapshotData { session, data }
+            }
             KIND_SESSION_OPENED => Frame::SessionOpened {
                 session: cur.take_u64()?,
             },
@@ -910,6 +974,14 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string is not UTF-8"))
     }
 
+    /// A `u32`-length-prefixed opaque byte blob. The length is bounded by
+    /// the frame body itself (checked before allocating), so a corrupt
+    /// prefix cannot over-allocate.
+    fn take_blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.take_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
     fn take_iter_param(&mut self) -> Result<IterParam, WireError> {
         let begin = self.take_u64()?;
         let end = self.take_u64()?;
@@ -1144,6 +1216,42 @@ mod tests {
             iteration: 0,
             features: Vec::new(),
         });
+        roundtrip(Frame::Snapshot { session: 9 });
+        roundtrip(Frame::Restore {
+            spec: SessionSpec::new(
+                "velocity",
+                IterParam::new(1, 12, 1).unwrap(),
+                IterParam::new(0, 300, 1).unwrap(),
+            ),
+            data: vec![0x49, 0x53, 0x00, 0xff, 0x80],
+        });
+        roundtrip(Frame::SnapshotData {
+            session: 9,
+            data: (0..=255u8).collect(),
+        });
+        roundtrip(Frame::SnapshotData {
+            session: 9,
+            data: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn snapshot_blob_lengths_are_bounded_by_the_body() {
+        // A blob length prefix promising more bytes than the body holds
+        // must error before allocating, not over-read.
+        let mut buf = Vec::new();
+        Frame::SnapshotData {
+            session: 1,
+            data: vec![1, 2, 3],
+        }
+        .encode(&mut buf);
+        let mut body = buf[4..].to_vec();
+        let len_at = 1 + 8;
+        body[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&body),
+            Err(WireError::Truncated | WireError::Malformed(_))
+        ));
     }
 
     #[test]

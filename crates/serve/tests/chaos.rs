@@ -1,0 +1,26 @@
+//! The chaos gauntlet as a test: kill connections, replace the server,
+//! feed it hostile frames and damaged blobs, poison a session — and
+//! demand bit-identical features at the end.
+//!
+//! Lives in its own test binary because the poisoned-session leg arms
+//! the process-global fault plan; nothing else runs in this process, so
+//! the arm/disarm window cannot race another test's sessions.
+
+use serve::loadgen::{self, LoadgenConfig};
+use serve::ServerConfig;
+
+#[test]
+fn chaos_gauntlet_recovers_bit_identically() {
+    let config = LoadgenConfig {
+        sessions: 6,
+        steps: 120,
+        distinct: 3,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run_chaos(&config, ServerConfig::default()).expect("chaos run");
+    assert_eq!(report.verified, config.sessions);
+    assert_eq!(report.connection_kills, 1);
+    assert_eq!(report.server_restarts, 1);
+    assert_eq!(report.hostile_rejections, 2);
+    assert_eq!(report.evicted, 1);
+}

@@ -1,0 +1,194 @@
+//! Crash-recovery tests for the serve runtime: a checkpointed session
+//! must survive its connection dying and the whole server process being
+//! replaced, resuming **bit-identically** with an uninterrupted run; a
+//! panicking session must be evicted with a typed error without taking
+//! down the lane or the sessions sharing it; damaged snapshot blobs must
+//! be rejected whole.
+
+use std::time::Duration;
+
+use insitu::region::FeatureValue;
+use insitu::IterParam;
+use serve::fault::{self, FaultPlan};
+use serve::session::Session;
+use serve::wire::SessionSpec;
+use serve::{Client, Server, ServerConfig};
+
+fn spec(name: &str) -> SessionSpec {
+    let mut spec = SessionSpec::new(
+        name,
+        IterParam::new(1, 8, 1).unwrap(),
+        IterParam::new(0, 200, 1).unwrap(),
+    );
+    spec.lag = 10;
+    spec
+}
+
+fn values_at(it: u64, locations: &[u64]) -> Vec<f64> {
+    locations
+        .iter()
+        .map(|&l| ((it as f64) * 0.1 - l as f64).tanh() + 1.0)
+        .collect()
+}
+
+/// An uninterrupted in-process reference for `steps` steps of the same
+/// stream: the served path is bit-identical to this by construction, so
+/// it is the oracle every resurrected session is held to.
+fn reference(name: &str, steps: u64) -> (Vec<(String, FeatureValue)>, serve::wire::SessionStatus) {
+    let mut session = Session::open(&spec(name)).unwrap();
+    let locations: Vec<u64> = (1..=8).collect();
+    for it in 0..steps {
+        session
+            .step(it, &locations, &values_at(it, &locations))
+            .unwrap();
+    }
+    let features = session.extract();
+    (features, session.poll())
+}
+
+#[test]
+fn restored_session_survives_connection_death_bit_identically() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
+    let addr = server.tcp_addr().unwrap();
+    let locations: Vec<u64> = (1..=8).collect();
+
+    // First life: 61 steps, checkpoint, die without closing.
+    let mut first = Client::connect_tcp(addr).expect("connect");
+    let session = first.open_session(spec("phoenix")).expect("open");
+    for it in 0..61 {
+        first
+            .step(session, it, &locations, &values_at(it, &locations))
+            .expect("step");
+    }
+    let blob = first.snapshot(session).expect("snapshot");
+    assert!(!blob.is_empty());
+    drop(first); // Connection death evicts the live session.
+
+    // Second life: new connection, restore, run the remaining steps.
+    let mut second = Client::connect_tcp(addr).expect("reconnect");
+    let revived = second.restore(spec("phoenix"), blob).expect("restore");
+    assert_ne!(revived, session, "restored sessions get a fresh id");
+    for it in 61..120 {
+        second
+            .step(revived, it, &locations, &values_at(it, &locations))
+            .expect("step");
+    }
+    let (expected_features, expected_status) = reference("phoenix", 120);
+    assert_eq!(second.extract(revived).expect("extract"), expected_features);
+    assert_eq!(second.poll(revived).expect("poll"), expected_status);
+    server.shutdown();
+}
+
+#[test]
+fn restored_session_survives_a_full_server_restart() {
+    let first_server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
+    let locations: Vec<u64> = (1..=8).collect();
+
+    let mut client = Client::connect_tcp(first_server.tcp_addr().unwrap()).expect("connect");
+    let session = client.open_session(spec("lazarus")).expect("open");
+    for it in 0..47 {
+        client
+            .step(session, it, &locations, &values_at(it, &locations))
+            .expect("step");
+    }
+    let blob = client.snapshot(session).expect("snapshot");
+    drop(client);
+    first_server.shutdown(); // The whole process state is gone; only the blob survives.
+
+    let second_server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("rebind");
+    let mut client = Client::connect_tcp_retry(second_server.tcp_addr().unwrap(), 32)
+        .expect("reconnect with retry");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("deadline");
+    let revived = client.restore(spec("lazarus"), blob).expect("restore");
+    for it in 47..120 {
+        client
+            .step(revived, it, &locations, &values_at(it, &locations))
+            .expect("step");
+    }
+    let (expected_features, expected_status) = reference("lazarus", 120);
+    assert_eq!(client.extract(revived).expect("extract"), expected_features);
+    assert_eq!(client.poll(revived).expect("poll"), expected_status);
+    second_server.shutdown();
+}
+
+#[test]
+fn damaged_snapshots_are_rejected_whole() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind tcp");
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+    let locations: Vec<u64> = (1..=8).collect();
+
+    let session = client.open_session(spec("fragile")).expect("open");
+    for it in 0..40 {
+        client
+            .step(session, it, &locations, &values_at(it, &locations))
+            .expect("step");
+    }
+    let blob = client.snapshot(session).expect("snapshot");
+
+    // Truncated and bit-flipped blobs both fail closed with an error
+    // reply (no half-restored session), and the connection survives to
+    // restore the pristine blob.
+    let truncated = blob[..blob.len() - 5].to_vec();
+    assert!(client.restore(spec("fragile"), truncated).is_err());
+    let mut corrupt = blob.clone();
+    let at = corrupt.len() / 2;
+    corrupt[at] ^= 0x04;
+    assert!(client.restore(spec("fragile"), corrupt).is_err());
+    // A mismatched spec is rejected too.
+    assert!(client.restore(spec("other"), blob.clone()).is_err());
+    let revived = client.restore(spec("fragile"), blob).expect("restore");
+    assert!(client.poll(revived).is_ok());
+    server.shutdown();
+}
+
+/// Lane panic isolation: a session whose provider panics (here via the
+/// fault layer's poisoned-session hook) is evicted with
+/// `ErrorCode::Internal`, while a session sharing the same single lane
+/// keeps stepping and extracts the right features.
+#[test]
+fn panicking_session_is_evicted_without_disturbing_its_lane() {
+    fault::arm(FaultPlan {
+        panic_session: Some("poison-lane-test".into()),
+        ..FaultPlan::default()
+    });
+    // One lane, so both sessions are provably co-located.
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind tcp");
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+    let locations: Vec<u64> = (1..=8).collect();
+
+    let healthy = client.open_session(spec("survivor")).expect("open");
+    let doomed = client.open_session(spec("poison-lane-test")).expect("open");
+
+    // The poisoned session's first step panics on the lane; the client
+    // sees a typed error, not a hang or a dead connection.
+    let err = client
+        .step(doomed, 0, &locations, &values_at(0, &locations))
+        .expect_err("poisoned step fails");
+    assert!(
+        err.to_string().contains("evicted"),
+        "unexpected error: {err}"
+    );
+    // The session is gone — not half-alive.
+    assert!(client.poll(doomed).is_err());
+
+    // Its lane neighbor is unharmed: full run, bit-identical features.
+    for it in 0..120 {
+        client
+            .step(healthy, it, &locations, &values_at(it, &locations))
+            .expect("healthy step");
+    }
+    let (expected_features, expected_status) = reference("survivor", 120);
+    assert_eq!(client.extract(healthy).expect("extract"), expected_features);
+    assert_eq!(client.poll(healthy).expect("poll"), expected_status);
+    fault::disarm();
+    server.shutdown();
+}
