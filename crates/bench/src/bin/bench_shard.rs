@@ -58,6 +58,12 @@ fn main() {
         )
         .uint("timed_runs_per_case", runs as u64)
         .available_parallelism()
+        .string(
+            "note",
+            "recorded on the host named by the parallelism field above; on a 1-core host the \
+             fan-out jobs serialize on one pool worker, multi-shard ratios hover around 1x, and \
+             perf_smoke skips its shard-scaling floor instead of comparing against it",
+        )
         .kernels()
         .uint("samples", digest.samples as u64)
         .uint("batches", digest.batches as u64)

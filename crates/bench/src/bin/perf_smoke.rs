@@ -186,6 +186,83 @@ fn measure_shard() -> f64 {
     geomean(&speedups)
 }
 
+/// Telemetry must be close to free. The stage clocks are a handful of
+/// monotonic reads per step, so an engine with an armed recorder may cost
+/// at most 5 % over the identical untimed pipeline. Unlike the committed
+/// floors above this is an absolute ratio, not derived from an artifact:
+/// the contract is "telemetry on ≈ telemetry off" on every host.
+const TELEMETRY_CEILING: f64 = 1.05;
+
+/// Drives the tightest loop telemetry touches — a pure in-process inline
+/// engine, 256 locations × 200 iterations — with the stage clocks on or
+/// off, returning the terminal features so the caller can verify the two
+/// legs bit-identical before timing either.
+fn run_telemetry_leg(timed: bool) -> Vec<(String, insitu::region::FeatureValue)> {
+    use insitu::engine::{Engine, EngineConfig};
+    use insitu::extract::FeatureKind;
+    use insitu::model::{ConvergenceCriteria, OptimizerKind, TrainerConfig};
+    use insitu::region::AnalysisSpec;
+    use insitu::IterParam;
+
+    let spec = AnalysisSpec::builder()
+        .name("pulse")
+        .provider(|domain: &Vec<f64>, loc: usize| domain.get(loc).copied().unwrap_or(0.0))
+        .spatial(IterParam::new(1, 256, 1).expect("valid spatial range"))
+        .temporal(IterParam::new(0, 10_000, 1).expect("valid temporal range"))
+        .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+        .lag(5)
+        .batch_capacity(64)
+        .trainer(TrainerConfig {
+            order: 3,
+            optimizer: OptimizerKind::Sgd { learning_rate: 0.1 },
+            epochs_per_batch: 4,
+            convergence: ConvergenceCriteria {
+                loss_threshold: 0.0,
+                patience: usize::MAX,
+                max_batches: 0,
+            },
+        })
+        .build()
+        .expect("valid spec");
+
+    let mut config = EngineConfig::default();
+    config.telemetry.enabled = Some(timed);
+    let mut engine: Engine<Vec<f64>> = Engine::with_config(config);
+    let region = engine.add_region("pulse").expect("region");
+    engine.add_analysis(region, spec).expect("analysis");
+
+    let mut domain = vec![0.0f64; 260];
+    for iteration in 0..200u64 {
+        let step = engine.step(iteration);
+        let front = iteration as f64 * 0.3;
+        for (loc, v) in domain.iter_mut().enumerate() {
+            let x = loc as f64;
+            *v = 10.0 / (1.0 + x) * (-((x - front) * (x - front)) / 40.0).exp();
+        }
+        step.complete(&domain);
+    }
+    engine.drain();
+    engine.extract_now(region).expect("extract");
+    engine.status(region).expect("status").features.clone()
+}
+
+/// Telemetry-on vs telemetry-off wall-clock ratio (on/off; 1.0 = free).
+fn measure_telemetry_ratio() -> f64 {
+    let off = run_telemetry_leg(false);
+    let on = run_telemetry_leg(true);
+    assert_eq!(
+        off, on,
+        "the stage clocks must not change what the pipeline computes"
+    );
+    let off_ns = median_ns(RUNS, || {
+        run_telemetry_leg(false);
+    });
+    let on_ns = median_ns(RUNS, || {
+        run_telemetry_leg(true);
+    });
+    on_ns / off_ns
+}
+
 fn main() {
     let mut checks = vec![
         Check {
@@ -319,6 +396,11 @@ fn main() {
         );
     }
 
+    // Telemetry overhead: an absolute ceiling, not a committed floor — the
+    // recorder's contract ("arming the stage clocks is free within noise")
+    // holds on every host, so there is nothing machine-specific to skip on.
+    let telemetry_ratio = measure_telemetry_ratio();
+
     let mut failed = false;
     for check in &checks {
         let verdict = if check.passed() { "ok" } else { "REGRESSED" };
@@ -333,6 +415,19 @@ fn main() {
         );
         failed |= !check.passed();
     }
+    let telemetry_ok = telemetry_ratio <= TELEMETRY_CEILING;
+    println!(
+        "{:<32} ceiling   {TELEMETRY_CEILING:>9.3}x  measured {telemetry_ratio:>9.3}x  {}",
+        "telemetry overhead (on vs off)",
+        if telemetry_ok { "ok" } else { "REGRESSED" },
+    );
+    if !telemetry_ok {
+        eprintln!(
+            "perf-smoke: telemetry-on cost {telemetry_ratio:.3}x the untimed pipeline \
+             (ceiling {TELEMETRY_CEILING}x) — the stage clocks are no longer near-free"
+        );
+    }
+    failed |= !telemetry_ok;
     if failed {
         eprintln!(
             "perf-smoke: a measured value fell below {}x of its committed \

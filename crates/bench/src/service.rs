@@ -119,6 +119,7 @@ mod tests {
                 busy_bounces: 0,
                 verified: sessions,
                 feature_events: 0,
+                stats: None,
             })
             .collect();
         let json = loadgen::render_json(&workload, &reports);

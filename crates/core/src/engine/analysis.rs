@@ -15,6 +15,7 @@ use crate::extract::{
 use crate::model::IncrementalTrainer;
 use crate::region::{AnalysisMethod, AnalysisSpec, FeatureValue};
 use crate::snapshot::{corrupt, Dec, Enc};
+use crate::telemetry::Recorder;
 
 use super::background::TrainerSlot;
 
@@ -242,6 +243,10 @@ pub(crate) struct Analysis<D: ?Sized> {
     /// Batches trained so far (kept here because the trainer itself may be
     /// in flight on a worker thread).
     pub(crate) batches_trained: usize,
+    /// Per-analysis stage-timing recorder (zero-capacity ring when the
+    /// engine's telemetry is off). Written by the engine's pipeline; not
+    /// serialized into snapshots — telemetry is diagnostics, not state.
+    pub(crate) telemetry: Recorder,
 }
 
 impl<D: ?Sized> Analysis<D> {
@@ -249,7 +254,11 @@ impl<D: ?Sized> Analysis<D> {
     /// decomposition ownership into a [`ShardedCollector`]; otherwise the
     /// global single-store [`Collector`] is used. Both are bit-identical
     /// end to end.
-    pub(crate) fn new(spec: AnalysisSpec<D>, sharding: Option<&BlockDecomposition>) -> Self {
+    pub(crate) fn new(
+        spec: AnalysisSpec<D>,
+        sharding: Option<&BlockDecomposition>,
+        telemetry_capacity: usize,
+    ) -> Self {
         let store = match sharding {
             Some(partition) => Store::Sharded(ShardedCollector::new(
                 spec.spatial,
@@ -284,6 +293,7 @@ impl<D: ?Sized> Analysis<D> {
             representative_len: 0,
             predictor_scratch: vec![0.0; order],
             batches_trained: 0,
+            telemetry: Recorder::with_capacity(telemetry_capacity),
         }
     }
 

@@ -83,8 +83,24 @@ use crate::region::{AnalysisSpec, ExitAction, NullBroadcaster, RegionStatus, Sta
 use crate::snapshot::{
     corrupt, parse_container, Container, Dec, Enc, SECTION_ENGINE, SECTION_REGION,
 };
+use crate::telemetry::{self, Recorder, ShedPolicy, Stage, StepBudget, TelemetryConfig};
 
 use analysis::{put_feature, take_feature, Analysis, AnalysisState};
+
+/// Starts a monotonic stage clock, or not — untimed engines skip the
+/// `Instant::now()` syscall entirely so telemetry-off stays free.
+#[inline]
+fn stage_clock(timed: bool) -> Option<std::time::Instant> {
+    timed.then(std::time::Instant::now)
+}
+
+/// Elapsed nanoseconds since [`stage_clock`], saturating to `u64`.
+#[inline]
+fn stage_elapsed(clock: Option<std::time::Instant>) -> u64 {
+    clock.map_or(0, |t| {
+        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    })
+}
 
 /// Where the gradient-descent training of full mini-batches runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -121,6 +137,16 @@ pub struct EngineConfig {
     /// Sharding is a pure execution strategy — extracted features, training
     /// losses and statuses are bit-identical to the unsharded engine.
     pub sharding: Option<BlockDecomposition>,
+    /// Stage-timing telemetry (default: off unless the `INSITU_TELEMETRY`
+    /// environment variable enables it, or [`EngineConfig::budget`] is
+    /// set). See [`crate::telemetry`].
+    pub telemetry: TelemetryConfig,
+    /// Per-step cost budget and overload policy (default: none). When the
+    /// EWMA of measured step cost crosses the budget, the engine sheds
+    /// deterministically per [`ShedPolicy`] instead of stalling the
+    /// simulation step; shed decisions are recorded as
+    /// [`Stage::Shed`] telemetry events.
+    pub budget: Option<StepBudget>,
 }
 
 impl EngineConfig {
@@ -136,7 +162,7 @@ impl EngineConfig {
         Self {
             training_mode: TrainingMode::Inline,
             pool,
-            sharding: None,
+            ..Self::default()
         }
     }
 
@@ -145,7 +171,7 @@ impl EngineConfig {
         Self {
             training_mode: TrainingMode::Background,
             pool,
-            sharding: None,
+            ..Self::default()
         }
     }
 
@@ -162,7 +188,19 @@ impl EngineConfig {
             training_mode: TrainingMode::Inline,
             pool,
             sharding: Some(decomposition),
+            ..Self::default()
         }
+    }
+
+    /// Whether the stage clocks run for engines built from this
+    /// configuration: explicitly enabled, enabled by `INSITU_TELEMETRY`,
+    /// or implied by a configured [`EngineConfig::budget`].
+    pub fn telemetry_enabled(&self) -> bool {
+        self.budget.is_some()
+            || self
+                .telemetry
+                .enabled
+                .unwrap_or_else(telemetry::env_enabled)
     }
 }
 
@@ -248,6 +286,24 @@ pub struct Engine<D: ?Sized> {
     /// Number of steps whose sharded collection stage fanned out across
     /// the pool (diagnostic; asserted by the sharding tests).
     parallel_shard_fanouts: u64,
+    /// Whether the stage clocks run (resolved once at construction from
+    /// config + environment; budget implies timing).
+    timed: bool,
+    /// Live overload-control state, when a budget is configured.
+    budget: Option<BudgetState>,
+    /// Cumulative measured pipeline nanoseconds across all steps (0 when
+    /// telemetry is off).
+    total_cost_ns: u64,
+    /// Number of steps the overload policy degraded.
+    shed_steps: u64,
+}
+
+/// Live overload-control state derived from [`EngineConfig::budget`].
+struct BudgetState {
+    limit_ns: u64,
+    policy: ShedPolicy,
+    /// EWMA (α = 1/8) of measured step cost; 0 until the first step.
+    ewma_ns: u64,
 }
 
 impl<D: ?Sized> std::fmt::Debug for Engine<D> {
@@ -283,6 +339,12 @@ impl<D: ?Sized> Engine<D> {
 
     /// An engine with an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
+        let timed = config.telemetry_enabled();
+        let budget = config.budget.map(|b| BudgetState {
+            limit_ns: u64::try_from(b.limit.as_nanos()).unwrap_or(u64::MAX),
+            policy: b.policy,
+            ewma_ns: 0,
+        });
         Self {
             config,
             regions: Vec::new(),
@@ -290,6 +352,10 @@ impl<D: ?Sized> Engine<D> {
             join_scratch: Vec::new(),
             parallel_train_fanouts: 0,
             parallel_shard_fanouts: 0,
+            timed,
+            budget,
+            total_cost_ns: 0,
+            shed_steps: 0,
         }
     }
 
@@ -310,6 +376,34 @@ impl<D: ?Sized> Engine<D> {
     /// [`EngineConfig::sharded`] and with a serial pool).
     pub fn parallel_shard_fanouts(&self) -> u64 {
         self.parallel_shard_fanouts
+    }
+
+    /// Borrows an analysis' telemetry recorder: the stage-event ring plus
+    /// per-stage latency histograms. Cheap — no copies, no allocation.
+    /// With telemetry disabled the recorder exists but stays empty (its
+    /// ring has zero capacity and nothing records into it).
+    pub fn telemetry(&self, analysis: AnalysisId) -> Option<&Recorder> {
+        self.regions
+            .get(analysis.region)?
+            .analyses
+            .get(analysis.index)
+            .map(|a| &a.telemetry)
+    }
+
+    /// Cumulative measured pipeline cost in nanoseconds across all
+    /// completed steps (0 when telemetry is disabled).
+    pub fn budget_used(&self) -> u64 {
+        self.total_cost_ns
+    }
+
+    /// The configured per-step budget limit in nanoseconds, if any.
+    pub fn budget_limit(&self) -> Option<u64> {
+        self.budget.as_ref().map(|b| b.limit_ns)
+    }
+
+    /// Number of completed steps on which the overload policy shed work.
+    pub fn shed_steps(&self) -> u64 {
+        self.shed_steps
     }
 
     /// Registers a new, empty region.
@@ -389,11 +483,19 @@ impl<D: ?Sized> Engine<D> {
         spec: AnalysisSpec<D>,
     ) -> Result<AnalysisId> {
         let sharding = self.config.sharding.as_ref();
+        // Disabled telemetry gets a zero-capacity ring: the accessors stay
+        // valid, the memory cost is nil, and nothing records into it.
+        let telemetry_capacity = if self.timed {
+            self.config.telemetry.ring_capacity
+        } else {
+            0
+        };
         let slot = self.regions.get_mut(region.0).ok_or(Error::UnknownHandle {
             what: "region",
             index: region.0,
         })?;
-        slot.analyses.push(Analysis::new(spec, sharding));
+        slot.analyses
+            .push(Analysis::new(spec, sharding, telemetry_capacity));
         Ok(AnalysisId {
             region: region.0,
             index: slot.analyses.len() - 1,
@@ -607,14 +709,23 @@ impl<D: ?Sized> Engine<D> {
         enc.put_u64(self.parallel_train_fanouts);
         enc.put_u64(self.parallel_shard_fanouts);
         container.section(SECTION_ENGINE, enc);
-        for region in &self.regions {
+        let timed = self.timed;
+        let iteration = self.regions.first().map_or(0, |r| r.status.iteration);
+        for region in &mut self.regions {
             let mut enc = Enc::default();
             enc.put_str(&region.name);
             encode_status(&mut enc, &region.status);
             enc.put_usize(region.analyses.len());
-            for analysis in &region.analyses {
+            for analysis in &mut region.analyses {
                 enc.put_str(analysis.spec.name());
+                let clock = stage_clock(timed);
                 analysis.snapshot_encode(&mut enc);
+                let snapshot_ns = stage_elapsed(clock);
+                if timed {
+                    analysis
+                        .telemetry
+                        .record(Stage::Snapshot, iteration, snapshot_ns);
+                }
             }
             container.section(SECTION_REGION, enc);
         }
@@ -774,92 +885,203 @@ impl<D: ?Sized> Engine<D> {
     /// shard, too.
     pub(crate) fn run_pipeline(&mut self, iteration: u64, domain: &D) -> StepReport {
         let background = self.config.training_mode == TrainingMode::Background;
+        let timed = self.timed;
+
+        // Overload decision, taken BEFORE this step's work from the
+        // previous steps' cost EWMA: the degraded step does strictly less
+        // work than a full one (shed, never stall), and the decision order
+        // is deterministic with respect to the measurements that drove it.
+        let overloaded = self.budget.as_ref().is_some_and(|b| b.ewma_ns > b.limit_ns);
+        let (defer_extract, skip_collect) = match self.budget.as_ref().map(|b| b.policy) {
+            Some(ShedPolicy::DeferExtraction) if overloaded => (true, false),
+            Some(ShedPolicy::CoarsenSampling { stride }) if overloaded => {
+                (false, !iteration.is_multiple_of(u64::from(stride.max(2))))
+            }
+            _ => (false, false),
+        };
+        let shed = defer_extract || skip_collect;
+        let mut stage_ns = [0u64; Stage::COUNT];
 
         // Stages 1 + 2: sample and assemble. Inline-mode batches are parked
-        // in the reusable `inline_ready` scratch for the train stage.
-        let mut ready = std::mem::take(&mut self.inline_ready);
-        debug_assert!(ready.is_empty());
+        // in the reusable `inline_ready` scratch for the train stage. A
+        // coarsening shed skips collection for this iteration entirely.
         let mut shard_fanout = false;
-        for (r, region) in self.regions.iter_mut().enumerate() {
-            let mut samples_this_iteration = 0;
-            for (a, analysis) in region.analyses.iter_mut().enumerate() {
-                let (samples, fanned) = analysis.sample(iteration, domain, &self.config.pool);
-                samples_this_iteration += samples;
-                shard_fanout |= fanned;
-                match analysis.assemble(iteration) {
-                    Some(batch) if background => {
-                        if let Some(loss) = analysis.queue_batch(batch, &self.config.pool) {
-                            region.status.last_loss = Some(loss);
+        if !skip_collect {
+            let mut ready = std::mem::take(&mut self.inline_ready);
+            debug_assert!(ready.is_empty());
+            for (r, region) in self.regions.iter_mut().enumerate() {
+                let mut samples_this_iteration = 0;
+                for (a, analysis) in region.analyses.iter_mut().enumerate() {
+                    let clock = stage_clock(timed);
+                    let (samples, fanned) = analysis.sample(iteration, domain, &self.config.pool);
+                    let sample_ns = stage_elapsed(clock);
+                    samples_this_iteration += samples;
+                    shard_fanout |= fanned;
+                    let clock = stage_clock(timed);
+                    let assembled = analysis.assemble(iteration);
+                    let assemble_ns = stage_elapsed(clock);
+                    let mut train_ns = 0;
+                    let mut trained = false;
+                    match assembled {
+                        Some(batch) if background => {
+                            let clock = stage_clock(timed);
+                            if let Some(loss) = analysis.queue_batch(batch, &self.config.pool) {
+                                region.status.last_loss = Some(loss);
+                            }
+                            train_ns = stage_elapsed(clock);
+                            trained = true;
                         }
-                    }
-                    Some(batch) => ready.push(ReadyBatch {
-                        region: r,
-                        analysis: a,
-                        batch,
-                    }),
-                    None if background => {
-                        // Keep reclaiming finished jobs even on iterations
-                        // that produced no batch.
-                        if let Some(loss) = analysis.pump(&self.config.pool) {
-                            region.status.last_loss = Some(loss);
+                        Some(batch) => ready.push(ReadyBatch {
+                            region: r,
+                            analysis: a,
+                            batch,
+                        }),
+                        None if background => {
+                            // Keep reclaiming finished jobs even on iterations
+                            // that produced no batch.
+                            let clock = stage_clock(timed);
+                            if let Some(loss) = analysis.pump(&self.config.pool) {
+                                region.status.last_loss = Some(loss);
+                                trained = true;
+                            }
+                            train_ns = stage_elapsed(clock);
                         }
+                        None => {}
                     }
-                    None => {}
+                    if timed {
+                        analysis
+                            .telemetry
+                            .record(Stage::Sample, iteration, sample_ns);
+                        analysis
+                            .telemetry
+                            .record(Stage::Assemble, iteration, assemble_ns);
+                        stage_ns[Stage::Sample as usize] += sample_ns;
+                        stage_ns[Stage::Assemble as usize] += assemble_ns;
+                        if trained {
+                            analysis.telemetry.record(Stage::Train, iteration, train_ns);
+                        }
+                        stage_ns[Stage::Train as usize] += train_ns;
+                    }
+                }
+                region.status.samples_collected += samples_this_iteration;
+            }
+
+            // Stage 3 (inline): train the filled batches. Independent analyses
+            // fan out across the pool when the configuration asked for
+            // parallelism; otherwise train directly on the simulation thread.
+            // (The *configured* worker budget gates the fan-out rather than the
+            // machine-clamped one: on a smaller machine the jobs simply queue
+            // FIFO, which is still correct.) Either way the per-analysis batch
+            // order is preserved, so results are bit-identical. The telemetry
+            // clocks charge the simulation thread's share: dispatch + join
+            // under fan-out, the full training time inline.
+            if ready.len() >= 2 && self.config.pool.config().total_workers() >= 2 {
+                self.parallel_train_fanouts += 1;
+                let mut joins = std::mem::take(&mut self.join_scratch);
+                for item in ready.drain(..) {
+                    self.regions[item.region].analyses[item.analysis]
+                        .begin_train(item.batch, &self.config.pool);
+                    joins.push((item.region, item.analysis));
+                }
+                for (r, a) in joins.drain(..) {
+                    let clock = stage_clock(timed);
+                    let loss = self.regions[r].analyses[a].finish_train();
+                    let train_ns = stage_elapsed(clock);
+                    if let Some(loss) = loss {
+                        self.regions[r].status.last_loss = Some(loss);
+                    }
+                    if timed {
+                        self.regions[r].analyses[a].telemetry.record(
+                            Stage::Train,
+                            iteration,
+                            train_ns,
+                        );
+                        stage_ns[Stage::Train as usize] += train_ns;
+                    }
+                }
+                self.join_scratch = joins;
+            } else {
+                for item in ready.drain(..) {
+                    let clock = stage_clock(timed);
+                    let loss =
+                        self.regions[item.region].analyses[item.analysis].train_inline(item.batch);
+                    let train_ns = stage_elapsed(clock);
+                    if let Some(loss) = loss {
+                        self.regions[item.region].status.last_loss = Some(loss);
+                    }
+                    if timed {
+                        self.regions[item.region].analyses[item.analysis]
+                            .telemetry
+                            .record(Stage::Train, iteration, train_ns);
+                        stage_ns[Stage::Train as usize] += train_ns;
+                    }
                 }
             }
-            region.status.samples_collected += samples_this_iteration;
+            self.inline_ready = ready;
         }
 
-        // Stage 3 (inline): train the filled batches. Independent analyses
-        // fan out across the pool when the configuration asked for
-        // parallelism; otherwise train directly on the simulation thread.
-        // (The *configured* worker budget gates the fan-out rather than the
-        // machine-clamped one: on a smaller machine the jobs simply queue
-        // FIFO, which is still correct.) Either way the per-analysis batch
-        // order is preserved, so results are bit-identical.
-        if ready.len() >= 2 && self.config.pool.config().total_workers() >= 2 {
-            self.parallel_train_fanouts += 1;
-            let mut joins = std::mem::take(&mut self.join_scratch);
-            for item in ready.drain(..) {
-                self.regions[item.region].analyses[item.analysis]
-                    .begin_train(item.batch, &self.config.pool);
-                joins.push((item.region, item.analysis));
-            }
-            for (r, a) in joins.drain(..) {
-                if let Some(loss) = self.regions[r].analyses[a].finish_train() {
-                    self.regions[r].status.last_loss = Some(loss);
-                }
-            }
-            self.join_scratch = joins;
-        } else {
-            for item in ready.drain(..) {
-                if let Some(loss) =
-                    self.regions[item.region].analyses[item.analysis].train_inline(item.batch)
-                {
-                    self.regions[item.region].status.last_loss = Some(loss);
-                }
-            }
-        }
-        self.inline_ready = ready;
-
-        // Stage 4: extract, refresh and broadcast.
+        // Stage 4: extract, refresh and broadcast. A deferring shed skips
+        // extraction — a pure function of the collected state, so running
+        // it later produces identical bits — but statuses still refresh and
+        // broadcast so downstream ranks observe the step.
         if shard_fanout {
             self.parallel_shard_fanouts += 1;
+        }
+        if shed {
+            self.shed_steps += 1;
+            let ewma = self.budget.as_ref().map_or(0, |b| b.ewma_ns);
+            for region in &mut self.regions {
+                for analysis in &mut region.analyses {
+                    analysis.telemetry.record(Stage::Shed, iteration, ewma);
+                }
+            }
         }
         let mut statuses = Vec::with_capacity(self.regions.len());
         for region in &mut self.regions {
             for analysis in &mut region.analyses {
-                if analysis.is_done(iteration) || analysis.store.finished(iteration) {
+                if !defer_extract
+                    && (analysis.is_done(iteration) || analysis.store.finished(iteration))
+                {
+                    let clock = stage_clock(timed);
                     analysis.try_extract();
+                    let extract_ns = stage_elapsed(clock);
+                    if timed {
+                        analysis
+                            .telemetry
+                            .record(Stage::Extract, iteration, extract_ns);
+                        stage_ns[Stage::Extract as usize] += extract_ns;
+                    }
                 }
             }
             Self::refresh_status(region, iteration);
             region.broadcaster.broadcast(&region.status);
             statuses.push(region.status.clone());
         }
+
+        // Budget accounting: fold this step's measured cost into the EWMA
+        // (α = 1/8, the serve crate's service-time constant) and the
+        // cumulative total. Untimed engines skip all of this — stage_ns
+        // stays zero.
+        let step_cost: u64 = stage_ns[Stage::Sample as usize]
+            + stage_ns[Stage::Assemble as usize]
+            + stage_ns[Stage::Train as usize]
+            + stage_ns[Stage::Extract as usize];
+        self.total_cost_ns += step_cost;
+        if let Some(budget) = &mut self.budget {
+            budget.ewma_ns = if budget.ewma_ns == 0 {
+                step_cost.max(1)
+            } else {
+                (budget.ewma_ns - budget.ewma_ns / 8 + step_cost / 8).max(1)
+            };
+        }
         StepReport {
             statuses,
             shard_fanout,
+            stage_ns,
+            budget_used: self.total_cost_ns,
+            budget_limit: self.budget.as_ref().map(|b| b.limit_ns),
+            ewma_cost_ns: self.budget.as_ref().map_or(0, |b| b.ewma_ns),
+            shed,
         }
     }
 
@@ -1168,6 +1390,7 @@ mod tests {
             training_mode: TrainingMode::Background,
             pool,
             sharding: Some(pulse_partition(4)),
+            ..EngineConfig::default()
         };
         let (sharded, region) = run_engine(Engine::with_config(config), 301);
         let a = inline.status(inline_region).unwrap();
@@ -1633,6 +1856,155 @@ mod tests {
                 .trainer(engine.analysis_id(region, 0).unwrap())
                 .unwrap()
                 .loss_history()
+        );
+    }
+
+    #[test]
+    fn telemetry_records_stage_events_and_budget_ledger() {
+        let config = EngineConfig {
+            telemetry: TelemetryConfig::on(),
+            ..EngineConfig::default()
+        };
+        let (mut engine, region) = fresh_engine(config);
+        let mut domain = Pulse::new();
+        let mut last = StepReport::default();
+        for it in 0..120u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            let report = step.complete(&domain);
+            assert!(
+                report.budget_used() >= last.budget_used(),
+                "budget ledger is cumulative"
+            );
+            last = report;
+        }
+        // Sampling runs every step, so its stage clock must have ticked.
+        assert!(last.stage_nanos(Stage::Sample) > 0);
+        assert!(last.budget_used() > 0);
+        assert_eq!(last.budget_limit(), None, "no budget configured");
+        assert!(!last.shed());
+
+        let analysis = engine.analysis_id(region, 0).unwrap();
+        let recorder = engine.telemetry(analysis).unwrap();
+        assert_eq!(
+            recorder.capacity(),
+            TelemetryConfig::default().ring_capacity
+        );
+        assert_eq!(recorder.histogram(Stage::Sample).count(), 120);
+        assert_eq!(recorder.histogram(Stage::Assemble).count(), 120);
+        assert!(recorder.histogram(Stage::Train).count() > 0);
+        assert!(recorder.histogram(Stage::Extract).count() > 0);
+        assert_eq!(recorder.sheds(), 0);
+        assert!(!recorder.is_empty());
+
+        // Snapshot serialization is timed as its own stage.
+        let _ = engine.snapshot();
+        assert_eq!(
+            engine
+                .telemetry(analysis)
+                .unwrap()
+                .histogram(Stage::Snapshot)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn untimed_engine_reports_zero_stage_nanos_and_empty_recorder() {
+        // Pin telemetry off explicitly: the suite must pass under an
+        // INSITU_TELEMETRY=1 environment too, and Some(false) beats the
+        // env fallback.
+        let mut config = EngineConfig::inline();
+        config.telemetry.enabled = Some(false);
+        let (mut engine, region) = fresh_engine(config);
+        let mut domain = Pulse::new();
+        let mut last = StepReport::default();
+        for it in 0..50u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            last = step.complete(&domain);
+        }
+        for stage in Stage::ALL {
+            assert_eq!(last.stage_nanos(stage), 0);
+        }
+        assert_eq!(last.budget_used(), 0);
+        let analysis = engine.analysis_id(region, 0).unwrap();
+        let recorder = engine.telemetry(analysis).unwrap();
+        assert_eq!(recorder.capacity(), 0);
+        assert!(recorder.is_empty());
+        assert_eq!(recorder.histogram(Stage::Sample).count(), 0);
+    }
+
+    /// A budget so tight every step overloads it: with
+    /// [`ShedPolicy::DeferExtraction`] the engine sheds continuously, yet
+    /// after `drain` (which always extracts) the terminal state is
+    /// bit-identical to an unbudgeted run — deferral never changes bits.
+    #[test]
+    fn defer_extraction_sheds_and_stays_bit_identical_after_drain() {
+        let (reference, reference_region) = run_engine(Engine::new(), 301);
+
+        let config = EngineConfig {
+            budget: Some(StepBudget::new(std::time::Duration::from_nanos(1))),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::with_config(config);
+        let region = engine.add_region("pulse").unwrap();
+        engine.add_analysis(region, pulse_spec("velocity")).unwrap();
+        let mut domain = Pulse::new();
+        let mut shed_reports = 0u64;
+        for it in 0..301u64 {
+            let step = engine.step(it);
+            domain.advance(it);
+            let report = step.complete(&domain);
+            if report.shed() {
+                shed_reports += 1;
+            }
+            assert_eq!(report.budget_limit(), Some(1));
+        }
+        engine.drain();
+
+        // The EWMA arms after the first measured step; everything after
+        // overloads a 1 ns budget.
+        assert_eq!(shed_reports, 300);
+        assert_eq!(engine.shed_steps(), 300);
+        let analysis = engine.analysis_id(region, 0).unwrap();
+        assert_eq!(engine.telemetry(analysis).unwrap().sheds(), 300);
+
+        assert_same_terminal_state(&reference, reference_region, &engine, region);
+    }
+
+    /// Coarsening under continuous overload deterministically drops the
+    /// off-stride collection iterations: two identical runs agree exactly,
+    /// and both collect fewer samples than the unbudgeted engine.
+    #[test]
+    fn coarsen_sampling_skips_off_stride_iterations_deterministically() {
+        let (reference, reference_region) = run_engine(Engine::new(), 301);
+        let coarse = || {
+            let config = EngineConfig {
+                budget: Some(StepBudget {
+                    limit: std::time::Duration::from_nanos(1),
+                    policy: ShedPolicy::CoarsenSampling { stride: 4 },
+                }),
+                ..EngineConfig::default()
+            };
+            run_engine(Engine::with_config(config), 301)
+        };
+        let (a, ra) = coarse();
+        let (b, rb) = coarse();
+        assert!(a.shed_steps() > 0);
+        assert_eq!(a.shed_steps(), b.shed_steps());
+        assert_eq!(
+            a.status(ra).unwrap().samples_collected,
+            b.status(rb).unwrap().samples_collected,
+            "coarsening must be deterministic"
+        );
+        assert!(
+            a.status(ra).unwrap().samples_collected
+                < reference
+                    .status(reference_region)
+                    .unwrap()
+                    .samples_collected,
+            "coarsening must actually drop samples"
         );
     }
 }

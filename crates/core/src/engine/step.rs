@@ -1,6 +1,7 @@
 //! The per-iteration RAII scope guard.
 
 use crate::region::RegionStatus;
+use crate::telemetry::Stage;
 
 use super::{Engine, RegionId};
 
@@ -56,7 +57,9 @@ impl<D: ?Sized> Drop for StepScope<'_, D> {
     }
 }
 
-/// What one completed step produced: a snapshot of every region's status.
+/// What one completed step produced: a snapshot of every region's status,
+/// plus — when telemetry is enabled — this step's per-stage timing and the
+/// engine's cumulative budget accounting.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StepReport {
     pub(super) statuses: Vec<RegionStatus>,
@@ -64,6 +67,17 @@ pub struct StepReport {
     /// across the pool (always `false` without
     /// [`EngineConfig::sharded`](super::EngineConfig::sharded)).
     pub(super) shard_fanout: bool,
+    /// Simulation-thread nanoseconds spent in each stage this step,
+    /// indexed by [`Stage`]. All zeros when telemetry is off.
+    pub(super) stage_ns: [u64; Stage::COUNT],
+    /// Cumulative measured cost (ns) across all steps so far.
+    pub(super) budget_used: u64,
+    /// The configured per-step budget limit in ns, if any.
+    pub(super) budget_limit: Option<u64>,
+    /// The engine's per-step cost EWMA after this step (0 when no budget).
+    pub(super) ewma_cost_ns: u64,
+    /// Whether this step shed work under the overload policy.
+    pub(super) shed: bool,
 }
 
 impl StepReport {
@@ -72,6 +86,37 @@ impl StepReport {
     /// the step's results are bit-identical either way.
     pub fn used_shard_fanout(&self) -> bool {
         self.shard_fanout
+    }
+
+    /// Simulation-thread nanoseconds this step spent in `stage`, summed
+    /// across every analysis. Always 0 when telemetry is disabled (see
+    /// [`EngineConfig::telemetry_enabled`](super::EngineConfig::telemetry_enabled)).
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage as usize]
+    }
+
+    /// Cumulative measured pipeline cost in nanoseconds across every step
+    /// completed so far (the engine's budget ledger).
+    pub fn budget_used(&self) -> u64 {
+        self.budget_used
+    }
+
+    /// The configured per-step budget limit in nanoseconds, or `None` when
+    /// the engine runs without a [`StepBudget`](crate::telemetry::StepBudget).
+    pub fn budget_limit(&self) -> Option<u64> {
+        self.budget_limit
+    }
+
+    /// The exponentially weighted moving average of per-step cost (ns)
+    /// after folding in this step. 0 when no budget is configured.
+    pub fn ewma_cost_ns(&self) -> u64 {
+        self.ewma_cost_ns
+    }
+
+    /// Whether the overload policy shed work this step (deferred extraction
+    /// or skipped a coarsened collection iteration).
+    pub fn shed(&self) -> bool {
+        self.shed
     }
     /// The status of one region.
     pub fn region(&self, id: RegionId) -> Option<&RegionStatus> {

@@ -79,6 +79,7 @@ pub mod provider;
 pub mod region;
 pub mod report;
 pub mod snapshot;
+pub mod telemetry;
 pub mod tracking;
 
 pub use error::{Error, Result};
@@ -103,6 +104,9 @@ pub mod prelude {
     pub use crate::provider::{FrameProvider, SampleFrame, SliceProvider, VarProvider};
     pub use crate::region::{
         AnalysisMethod, AnalysisSpec, ExitAction, Region, RegionStatus, StatusBroadcaster,
+    };
+    pub use crate::telemetry::{
+        Histogram, Recorder, ShedPolicy, Stage, StepBudget, TelemetryConfig,
     };
     pub use crate::tracking::{PeakDetector, TrackedPoint, TrackedPointKind};
 }

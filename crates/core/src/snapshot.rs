@@ -38,6 +38,54 @@
 //! whole snapshot is decoded and validated into intermediate state before
 //! the first engine field is touched, so a corrupt file leaves the engine
 //! exactly as it was.
+//!
+//! # Example
+//!
+//! Checkpoint a running engine, resurrect the state into a freshly
+//! configured one, and continue both — they stay bit-identical:
+//!
+//! ```
+//! use insitu::engine::Engine;
+//! use insitu::extract::FeatureKind;
+//! use insitu::region::AnalysisSpec;
+//! use insitu::IterParam;
+//!
+//! # fn main() -> insitu::Result<()> {
+//! // Providers are closures and cannot travel in the snapshot, so both
+//! // engines are built from the same spec; restore overlays the state.
+//! fn spec() -> AnalysisSpec<Vec<f64>> {
+//!     AnalysisSpec::builder()
+//!         .name("velocity")
+//!         .provider(|domain: &Vec<f64>, loc: usize| domain[loc])
+//!         .spatial(IterParam::new(0, 7, 1).unwrap())
+//!         .temporal(IterParam::new(0, 100, 1).unwrap())
+//!         .feature(FeatureKind::Breakpoint { threshold: 0.05 })
+//!         .build()
+//!         .unwrap()
+//! }
+//!
+//! let mut engine: Engine<Vec<f64>> = Engine::new();
+//! let region = engine.add_region("blast")?;
+//! engine.add_analysis(region, spec())?;
+//! let domain: Vec<f64> = (0..8).map(|loc| 1.0 / (1.0 + loc as f64)).collect();
+//! for iteration in 0..20 {
+//!     engine.step(iteration).complete(&domain);
+//! }
+//!
+//! let blob = engine.snapshot();
+//! let mut restored: Engine<Vec<f64>> = Engine::new();
+//! let restored_region = restored.add_region("blast")?;
+//! restored.add_analysis(restored_region, spec())?;
+//! restored.restore(&blob)?;
+//!
+//! for iteration in 20..40 {
+//!     engine.step(iteration).complete(&domain);
+//!     restored.step(iteration).complete(&domain);
+//! }
+//! assert_eq!(engine.status(region), restored.status(restored_region));
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::error::{Error, Result};
 

@@ -35,6 +35,9 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let pool = ThreadPool::new(ParallelConfig::new(2, 2)?);
     let mut config = EngineConfig::sharded(decomposition, pool);
     config.training_mode = TrainingMode::Background;
+    // Arm the stage clocks so the run ends with a per-stage latency
+    // breakdown of what the analysis cost the solver thread.
+    config.telemetry.enabled = Some(true);
     let mut engine: Engine<LuleshSim> = Engine::with_config(config);
     let region = engine.add_region("sedov_blast")?;
     let analysis = engine.add_analysis(
@@ -80,5 +83,33 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         Some(feature) => println!("extracted break-point radius = {:.0}", feature.scalar()),
         None => println!("no break-point extracted within the budget"),
     }
+
+    // What the analysis cost the solver thread, stage by stage.
+    let recorder = engine.telemetry(analysis).expect("telemetry is armed");
+    println!("\nsolver-thread cost per stage (velocity analysis):");
+    print_stage_table(recorder);
     Ok(())
+}
+
+/// Renders a per-stage latency table from an analysis' armed recorder.
+fn print_stage_table(recorder: &insitu::telemetry::Recorder) {
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "events", "mean us", "p50 us", "p99 us", "max us"
+    );
+    for &stage in insitu::telemetry::Stage::ALL.iter() {
+        let histogram = recorder.histogram(stage);
+        if histogram.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<10} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            stage.name(),
+            histogram.count(),
+            histogram.mean_ns() / 1e3,
+            histogram.quantile_ns(0.5) as f64 / 1e3,
+            histogram.quantile_ns(0.99) as f64 / 1e3,
+            histogram.max_ns() as f64 / 1e3,
+        );
+    }
 }

@@ -8,6 +8,7 @@
 //!         [--client-threads N]              0 = thread per connection
 //!         [--locations N] [--distinct N] [--window N]
 //!         [--subscribe]                     verify server-push streaming
+//!         [--stats]                         print the fleet stage-latency table
 //!         [--no-verify]                     skip the bit-identity check
 //!         [--ladder]                        run the 64/256/1024 ladder
 //!         [--json PATH]                     write the BENCH_service.json
@@ -79,6 +80,7 @@ fn main() {
             "--distinct" => config.distinct = parse(&value("--distinct"), "--distinct"),
             "--window" => config.window = parse(&value("--window"), "--window"),
             "--subscribe" => config.subscribe = true,
+            "--stats" => config.stats = true,
             "--no-verify" => config.verify = false,
             "--ladder" => ladder = true,
             "--json" => json = Some(value("--json")),
@@ -88,8 +90,8 @@ fn main() {
                 println!(
                     "usage: loadgen [--tcp ADDR | --unix PATH | --self-unix] [--sessions N] \
                      [--steps N] [--connections N] [--client-threads N] [--locations N] \
-                     [--distinct N] [--window N] [--subscribe] [--no-verify] [--ladder] \
-                     [--json PATH] [--idle-smoke N] [--chaos]"
+                     [--distinct N] [--window N] [--subscribe] [--stats] [--no-verify] \
+                     [--ladder] [--json PATH] [--idle-smoke N] [--chaos]"
                 );
                 return;
             }
@@ -155,6 +157,9 @@ fn main() {
             report.feature_events,
             report.elapsed_ns as f64 / 1e9,
         );
+        if let Some(stats) = &report.stats {
+            print!("{}", stats.render_table());
+        }
         if config.verify && report.verified != report.sessions {
             fail(&format!(
                 "verification incomplete: {}/{} sessions matched the in-process reference",

@@ -19,7 +19,9 @@ use std::time::Duration;
 
 use insitu::region::FeatureValue;
 
-use crate::wire::{read_frame, write_frame, Frame, SessionSpec, SessionStatus, WireError};
+use crate::wire::{
+    read_frame, write_frame, Frame, SessionSpec, SessionStatus, SessionTelemetry, WireError,
+};
 
 enum Stream {
     Tcp(TcpStream),
@@ -331,6 +333,16 @@ impl Client {
     pub fn poll(&mut self, session: u64) -> Result<SessionStatus, WireError> {
         match self.request(&Frame::Poll { session })? {
             Frame::Status { status, .. } => Ok(status),
+            Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the session's telemetry: per-stage latency histograms and
+    /// the budget ledger (see [`SessionTelemetry`]).
+    pub fn stats(&mut self, session: u64) -> Result<SessionTelemetry, WireError> {
+        match self.request(&Frame::Stats { session })? {
+            Frame::StatsReply { telemetry, .. } => Ok(telemetry),
             Frame::ErrorReply { message, .. } => Err(WireError::Invalid(message)),
             other => Err(unexpected(other)),
         }

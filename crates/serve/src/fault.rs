@@ -136,6 +136,18 @@ pub(crate) fn before_step(session_name: &str) {
     }
 }
 
+/// Applies the armed plan's lane stall (if any) on the calling thread.
+/// This is the step hook's stall half exposed for overload tests: a
+/// provider closure that calls `stall()` makes every *sample* expensive,
+/// which — unlike the lane-level `before_step` stall — lands inside the
+/// engine's own stage clocks and therefore drives the telemetry budget's
+/// shedding machinery. Zero cost while no plan is armed.
+pub fn stall() {
+    if let Some(Some(stall)) = with_plan(|p| p.stall) {
+        std::thread::sleep(stall);
+    }
+}
+
 /// Snapshot hook: damages a freshly serialized blob according to the
 /// armed plan. Returns whether anything was changed.
 pub(crate) fn mangle_snapshot(data: &mut Vec<u8>) -> bool {

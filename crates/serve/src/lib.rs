@@ -38,4 +38,4 @@ pub mod wire;
 
 pub use client::Client;
 pub use server::{Server, ServerConfig};
-pub use wire::{Frame, SessionSpec, WireError};
+pub use wire::{Frame, SessionSpec, SessionTelemetry, StageStats, WireError};

@@ -27,7 +27,7 @@ use insitu::IterParam;
 use crate::client::Client;
 use crate::fault::{self, FaultPlan};
 use crate::session::Session;
-use crate::wire::SessionSpec;
+use crate::wire::{SessionSpec, SessionTelemetry, StageStats};
 
 /// Where the target server listens.
 #[derive(Debug, Clone)]
@@ -76,6 +76,10 @@ pub struct LoadgenConfig {
     /// server-pushed [`FeatureEvent`](crate::client::FeatureEvent)
     /// change-log against the in-process engine's, event for event.
     pub subscribe: bool,
+    /// Fetch every session's telemetry (`Stats` frames) before closing
+    /// and aggregate a fleet-wide per-stage latency table into
+    /// [`LoadgenReport::stats`].
+    pub stats: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -90,6 +94,7 @@ impl Default for LoadgenConfig {
             verify: true,
             client_threads: 0,
             subscribe: false,
+            stats: false,
         }
     }
 }
@@ -134,6 +139,120 @@ pub struct LoadgenReport {
     /// Server-pushed feature events received (only populated when
     /// [`LoadgenConfig::subscribe`] is set).
     pub feature_events: u64,
+    /// Fleet-wide per-stage latency aggregate, merged from every
+    /// session's `Stats` reply (only populated when
+    /// [`LoadgenConfig::stats`] is set).
+    pub stats: Option<FleetStats>,
+}
+
+/// A fleet-wide telemetry aggregate: every session's per-stage latency
+/// statistics merged bucket-by-bucket, so the table loadgen prints
+/// describes the whole run rather than one lucky session.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Sessions whose telemetry was merged in.
+    pub sessions: usize,
+    /// Total overload sheds across the fleet.
+    pub sheds: u64,
+    /// Cumulative measured pipeline cost across the fleet, in ns.
+    pub budget_used_ns: u64,
+    /// Merged per-stage statistics, in stage-discriminant order.
+    pub stages: Vec<StageStats>,
+}
+
+impl FleetStats {
+    /// Folds one session's telemetry into the aggregate.
+    pub fn absorb(&mut self, telemetry: &SessionTelemetry) {
+        self.sessions += 1;
+        self.sheds += telemetry.sheds;
+        self.budget_used_ns += telemetry.budget_used_ns;
+        for stage in &telemetry.stages {
+            self.merge_stage(stage);
+        }
+    }
+
+    /// Merges another aggregate (e.g. from a different client thread).
+    pub fn merge(&mut self, other: &FleetStats) {
+        self.sessions += other.sessions;
+        self.sheds += other.sheds;
+        self.budget_used_ns += other.budget_used_ns;
+        for stage in &other.stages {
+            self.merge_stage(stage);
+        }
+    }
+
+    fn merge_stage(&mut self, stage: &StageStats) {
+        match self.stages.iter_mut().find(|s| s.stage == stage.stage) {
+            Some(merged) => {
+                merged.count += stage.count;
+                merged.total_ns += stage.total_ns;
+                merged.max_ns = merged.max_ns.max(stage.max_ns);
+                if merged.buckets.len() < stage.buckets.len() {
+                    merged.buckets.resize(stage.buckets.len(), 0);
+                }
+                for (slot, &bucket) in merged.buckets.iter_mut().zip(&stage.buckets) {
+                    *slot += bucket;
+                }
+            }
+            None => {
+                self.stages.push(stage.clone());
+                self.stages.sort_by_key(|s| s.stage);
+            }
+        }
+    }
+
+    /// The conservative `q`-quantile of a stage's merged histogram: the
+    /// upper bound (ns) of the first bucket at which the cumulative count
+    /// reaches `q * total` — same rounding as
+    /// [`Histogram::quantile_ns`](insitu::telemetry::Histogram::quantile_ns).
+    fn quantile_ns(stage: &StageStats, q: f64) -> u64 {
+        if stage.count == 0 {
+            return 0;
+        }
+        let rank = ((q * stage.count as f64).ceil() as u64).clamp(1, stage.count);
+        let mut seen = 0u64;
+        for (i, &bucket) in stage.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        stage.max_ns
+    }
+
+    /// Renders the fleet stage-latency table the `--stats` smoke prints.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet telemetry: {} sessions, {} sheds, {:.3} ms total pipeline cost\n",
+            self.sessions,
+            self.sheds,
+            self.budget_used_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+            "stage", "events", "mean us", "p50 us", "p99 us", "max us"
+        ));
+        for stage in &self.stages {
+            let name =
+                insitu::telemetry::Stage::from_u8(stage.stage).map_or("unknown", |s| s.name());
+            let mean_us = if stage.count == 0 {
+                0.0
+            } else {
+                stage.total_ns as f64 / stage.count as f64 / 1e3
+            };
+            out.push_str(&format!(
+                "{:<10} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}\n",
+                name,
+                stage.count,
+                mean_us,
+                Self::quantile_ns(stage, 0.50) as f64 / 1e3,
+                Self::quantile_ns(stage, 0.99) as f64 / 1e3,
+                stage.max_ns as f64 / 1e3,
+            ));
+        }
+        out
+    }
 }
 
 /// Runs the workload against a server hosted **in this process** on an
@@ -187,6 +306,11 @@ pub fn render_json(workload: &LoadgenConfig, reports: &[LoadgenReport]) -> Strin
         workload.steps, workload.locations, workload.window, workload.distinct, workload.verify
     ));
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(
+        "  \"note\": \"recorded on the host named by the parallelism field above; on a 1-core \
+         host the ladder is concurrency-starved and perf_smoke skips its service-throughput \
+         floor instead of comparing against it\",\n",
+    );
     json.push_str(&format!(
         "  \"kernels\": \"{}\",\n",
         insitu::kernels::active()
@@ -490,7 +614,7 @@ pub fn run(target: &Target, config: &LoadgenConfig) -> Result<LoadgenReport, Str
     let stepped = Barrier::new(threads + 1);
     let mut elapsed_ns = 0u128;
 
-    let results: Vec<Result<(u64, usize, u64), String>> = std::thread::scope(|scope| {
+    let results: Vec<Result<(u64, usize, u64, FleetStats), String>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for thread_index in 0..threads {
             let conn_lo =
@@ -526,11 +650,13 @@ pub fn run(target: &Target, config: &LoadgenConfig) -> Result<LoadgenReport, Str
     let mut busy_bounces = 0;
     let mut verified = 0;
     let mut feature_events = 0;
+    let mut fleet = FleetStats::default();
     for result in results {
-        let (bounced, ok, events) = result?;
+        let (bounced, ok, events, stats) = result?;
         busy_bounces += bounced;
         verified += ok;
         feature_events += events;
+        fleet.merge(&stats);
     }
     let session_steps = (config.sessions as u64 * config.steps) as f64;
     Ok(LoadgenReport {
@@ -543,6 +669,7 @@ pub fn run(target: &Target, config: &LoadgenConfig) -> Result<LoadgenReport, Str
         busy_bounces,
         verified,
         feature_events,
+        stats: config.stats.then_some(fleet),
     })
 }
 
@@ -598,7 +725,7 @@ fn drive_group(
     references: &[Reference],
     opened: &Barrier,
     stepped: &Barrier,
-) -> Result<(u64, usize, u64), String> {
+) -> Result<(u64, usize, u64, FleetStats), String> {
     // The session count and global base index of connection `c`: sessions
     // are dealt out as evenly as possible, in connection order, so the
     // seed mix is stable whatever the connection and thread counts.
@@ -669,6 +796,7 @@ fn drive_group(
 
     let mut verified = 0;
     let mut feature_events = 0u64;
+    let mut fleet = FleetStats::default();
     for conn in &mut conns {
         for (at, &session) in conn.sessions.iter().enumerate() {
             let features = conn.client.extract(session).map_err(|e| e.to_string())?;
@@ -681,6 +809,10 @@ fn drive_group(
                         "session {session} (seed {seed}) diverged from the in-process reference"
                     ));
                 }
+            }
+            if config.stats {
+                let telemetry = conn.client.stats(session).map_err(|e| e.to_string())?;
+                fleet.absorb(&telemetry);
             }
             conn.client
                 .close_session(session)
@@ -713,5 +845,5 @@ fn drive_group(
             }
         }
     }
-    Ok((bounced, verified, feature_events))
+    Ok((bounced, verified, feature_events, fleet))
 }

@@ -158,6 +158,10 @@ enum Command {
         session: u64,
         conn: Arc<ConnHandle>,
     },
+    Stats {
+        session: u64,
+        conn: Arc<ConnHandle>,
+    },
     Close {
         session: u64,
         /// `None` when the owning connection died: drop silently.
@@ -206,6 +210,7 @@ impl Command {
             | Command::Extract { session, .. }
             | Command::Features { session, .. }
             | Command::Poll { session, .. }
+            | Command::Stats { session, .. }
             | Command::Close { session, .. }
             | Command::Subscribe { session, .. }
             | Command::Unsubscribe { session, .. }
@@ -225,6 +230,7 @@ impl Command {
             | Command::Extract { conn, .. }
             | Command::Features { conn, .. }
             | Command::Poll { conn, .. }
+            | Command::Stats { conn, .. }
             | Command::Subscribe { conn, .. }
             | Command::Unsubscribe { conn, .. }
             | Command::Snapshot { conn, .. }
@@ -650,6 +656,9 @@ impl ConnEvents for Router {
             Frame::Poll { session } => {
                 self.route_control(conn, session, |conn| Command::Poll { session, conn });
             }
+            Frame::Stats { session } => {
+                self.route_control(conn, session, |conn| Command::Stats { session, conn });
+            }
             Frame::Subscribe { session } => {
                 self.route_control(conn, session, |conn| Command::Subscribe { session, conn });
             }
@@ -984,6 +993,16 @@ impl Lane {
                     Some(owned) => Frame::Status {
                         session,
                         status: owned.session.poll(),
+                    },
+                    None => unknown_session(session),
+                };
+                conn.send(&reply);
+            }
+            Command::Stats { session, conn } => {
+                let reply = match self.sessions.get(&session) {
+                    Some(owned) => Frame::StatsReply {
+                        session,
+                        telemetry: owned.session.stats(),
                     },
                     None => unknown_session(session),
                 };

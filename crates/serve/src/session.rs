@@ -20,10 +20,11 @@
 use insitu::engine::{Engine, EngineConfig, RegionId};
 use insitu::prelude::{FrameProvider, SampleFrame};
 use insitu::region::{AnalysisSpec, FeatureValue};
+use insitu::telemetry::Stage;
 use parsim::ThreadPool;
 use simkit::{BlockDecomposition, Extents};
 
-use crate::wire::{SessionSpec, SessionStatus};
+use crate::wire::{SessionSpec, SessionStatus, SessionTelemetry, StageStats};
 
 /// One open session: an engine, its region handle, and the reusable
 /// ingestion frame.
@@ -40,7 +41,7 @@ impl Session {
     /// the spec fails the core library's validation (surfaced to the
     /// client as [`ErrorCode::BadSpec`](crate::wire::ErrorCode::BadSpec)).
     pub fn open(spec: &SessionSpec) -> Result<Self, String> {
-        let config = if spec.shards >= 2 {
+        let mut config = if spec.shards >= 2 {
             // A 1-D decomposition wide enough that every shard owns at
             // least one location of the spatial characteristic.
             let nx = (spec.spatial.end() as usize + 1).max(spec.shards);
@@ -51,6 +52,10 @@ impl Session {
         } else {
             EngineConfig::inline()
         };
+        // Served sessions always run with telemetry armed so a `Stats`
+        // request has something to report; the recorder is allocation-free
+        // on the step path and perf_smoke pins its cost under 5 %.
+        config.telemetry.enabled = Some(true);
         let mut engine = Engine::with_config(config);
         let region = engine
             .add_region(spec.name.clone())
@@ -160,6 +165,38 @@ impl Session {
             should_terminate: status.should_terminate,
             front_location: status.front_location.map(|l| l as u64),
             predicted_value: status.predicted_value,
+        }
+    }
+
+    /// A wire snapshot of the session's telemetry: the budget ledger and
+    /// per-stage latency statistics (stages with no events are omitted).
+    pub fn stats(&self) -> SessionTelemetry {
+        let analysis = self
+            .engine
+            .analysis_id(self.region, 0)
+            .expect("session analysis exists");
+        let recorder = self
+            .engine
+            .telemetry(analysis)
+            .expect("session analysis exists");
+        let stages = Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let histogram = recorder.histogram(stage);
+                (histogram.count() > 0).then(|| StageStats {
+                    stage: stage as u8,
+                    count: histogram.count(),
+                    total_ns: histogram.total_ns(),
+                    max_ns: histogram.max_ns(),
+                    buckets: histogram.buckets().to_vec(),
+                })
+            })
+            .collect();
+        SessionTelemetry {
+            sheds: recorder.sheds(),
+            budget_used_ns: self.engine.budget_used(),
+            budget_limit_ns: self.engine.budget_limit(),
+            stages,
         }
     }
 

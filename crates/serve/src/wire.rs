@@ -23,21 +23,52 @@
 //!
 //! # Frames
 //!
-//! Requests (client → server): [`Frame::OpenSession`],
-//! [`Frame::StepSamples`], [`Frame::Extract`], [`Frame::Features`],
-//! [`Frame::Poll`], [`Frame::CloseSession`], [`Frame::Subscribe`],
-//! [`Frame::Unsubscribe`], [`Frame::Snapshot`], [`Frame::Restore`].
-//! Responses (server → client):
-//! [`Frame::SessionOpened`], [`Frame::StepAck`], [`Frame::FeatureReport`],
-//! [`Frame::Status`], [`Frame::Busy`], [`Frame::Closed`],
-//! [`Frame::ErrorReply`], [`Frame::SubscriptionAck`],
-//! [`Frame::FeatureEvent`], [`Frame::SnapshotData`]. Every request gets
-//! exactly one response, so
-//! clients may pipeline requests and correlate replies by session id.
-//! [`Frame::FeatureEvent`] is the one *unsolicited* response: after a
-//! [`Frame::Subscribe`], the server pushes one whenever a step changes the
-//! session's extracted features (convergence or a later refinement),
+//! Every request gets exactly one response, so clients may pipeline
+//! requests and correlate replies by session id.
+//!
+//! | kind | request (client → server)  | kind | response (server → client)   |
+//! |------|----------------------------|------|------------------------------|
+//! | 0x01 | [`Frame::OpenSession`]     | 0x81 | [`Frame::SessionOpened`]     |
+//! | 0x02 | [`Frame::StepSamples`]     | 0x82 | [`Frame::StepAck`]           |
+//! | 0x03 | [`Frame::Extract`]         | 0x83 | [`Frame::FeatureReport`]     |
+//! | 0x04 | [`Frame::Features`]        | 0x83 | [`Frame::FeatureReport`]     |
+//! | 0x05 | [`Frame::Poll`]            | 0x84 | [`Frame::Status`]            |
+//! | 0x06 | [`Frame::CloseSession`]    | 0x86 | [`Frame::Closed`]            |
+//! | 0x07 | [`Frame::Subscribe`]       | 0x89 | [`Frame::SubscriptionAck`]   |
+//! | 0x08 | [`Frame::Unsubscribe`]     | 0x89 | [`Frame::SubscriptionAck`]   |
+//! | 0x09 | [`Frame::Snapshot`]        | 0x8a | [`Frame::SnapshotData`]      |
+//! | 0x0a | [`Frame::Restore`]         | 0x81 | [`Frame::SessionOpened`]     |
+//! | 0x0b | [`Frame::Stats`]           | 0x8b | [`Frame::StatsReply`]        |
+//!
+//! Any request may instead be answered by [`Frame::Busy`] (0x85, the frame
+//! was shed under backpressure) or [`Frame::ErrorReply`] (0x87).
+//! [`Frame::FeatureEvent`] (0x88) is the one *unsolicited* response: after
+//! a [`Frame::Subscribe`], the server pushes one whenever a step changes
+//! the session's extracted features (convergence or a later refinement),
 //! interleaved between replies on the subscribing connection.
+//!
+//! # Example
+//!
+//! A frame encodes to one length-prefixed byte run and decodes back
+//! bit-identically, whether from a buffer or a byte stream:
+//!
+//! ```
+//! use serve::wire::{read_frame, Frame};
+//!
+//! let frame = Frame::Poll { session: 7 };
+//! let mut bytes = Vec::new();
+//! frame.encode(&mut bytes);
+//!
+//! // First 4 bytes: little-endian body length (kind byte + payload).
+//! assert_eq!(u32::from_le_bytes(bytes[..4].try_into().unwrap()), 9);
+//! assert_eq!(bytes[4], 0x05); // the Poll kind byte
+//!
+//! // Streams decode through `read_frame`, which reuses its scratch buffer.
+//! let mut stream = bytes.as_slice();
+//! let mut scratch = Vec::new();
+//! assert_eq!(read_frame(&mut stream, &mut scratch).unwrap(), Some(frame));
+//! assert_eq!(read_frame(&mut stream, &mut scratch).unwrap(), None); // clean EOF
+//! ```
 
 use std::io::{Read, Write};
 
@@ -208,6 +239,42 @@ pub struct SessionStatus {
     pub predicted_value: Option<f64>,
 }
 
+/// Per-stage latency statistics in a [`Frame::StatsReply`]: one engine
+/// pipeline stage's event count, cumulative/max nanoseconds, and its
+/// power-of-two latency histogram (bucket `i` counts events in
+/// `(2^(i-1), 2^i]` ns — the wire mirror of
+/// [`Histogram`](insitu::telemetry::Histogram)'s buckets).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// The stage's discriminant
+    /// ([`Stage as u8`](insitu::telemetry::Stage); decode with
+    /// [`Stage::from_u8`](insitu::telemetry::Stage::from_u8)).
+    pub stage: u8,
+    /// Number of recorded events.
+    pub count: u64,
+    /// Sum of all recorded durations, in nanoseconds.
+    pub total_ns: u64,
+    /// Largest recorded duration, in nanoseconds.
+    pub max_ns: u64,
+    /// Power-of-two latency bucket counts, lowest bound first.
+    pub buckets: Vec<u64>,
+}
+
+/// One session's telemetry snapshot, carried by [`Frame::StatsReply`]:
+/// the budget ledger plus per-stage latency statistics. Stages that never
+/// recorded an event are omitted from `stages`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionTelemetry {
+    /// Steps on which the overload policy shed work.
+    pub sheds: u64,
+    /// Cumulative measured pipeline cost, in nanoseconds.
+    pub budget_used_ns: u64,
+    /// The configured per-step budget limit in nanoseconds, if any.
+    pub budget_limit_ns: Option<u64>,
+    /// Per-stage latency statistics, in stage-discriminant order.
+    pub stages: Vec<StageStats>,
+}
+
 /// One protocol frame. See the [module documentation](self) for the byte
 /// layout and the request/response pairing.
 #[derive(Debug, Clone, PartialEq)]
@@ -285,6 +352,12 @@ pub enum Frame {
         /// The opaque state blob from [`Frame::SnapshotData`].
         data: Vec<u8>,
     },
+    /// Query the session's telemetry — per-stage latency histograms and
+    /// the budget ledger; answered by [`Frame::StatsReply`].
+    Stats {
+        /// Target session.
+        session: u64,
+    },
     /// The session is open and ready for samples.
     SessionOpened {
         /// Server-assigned session id, unique for the server's lifetime.
@@ -353,6 +426,13 @@ pub enum Frame {
         /// The opaque state blob.
         data: Vec<u8>,
     },
+    /// The session's telemetry snapshot, answering [`Frame::Stats`].
+    StatsReply {
+        /// Reporting session.
+        session: u64,
+        /// The telemetry snapshot.
+        telemetry: SessionTelemetry,
+    },
     /// Acknowledges [`Frame::Subscribe`] / [`Frame::Unsubscribe`].
     SubscriptionAck {
         /// The session addressed.
@@ -382,6 +462,7 @@ const KIND_SUBSCRIBE: u8 = 0x07;
 const KIND_UNSUBSCRIBE: u8 = 0x08;
 const KIND_SNAPSHOT: u8 = 0x09;
 const KIND_RESTORE: u8 = 0x0a;
+const KIND_STATS: u8 = 0x0b;
 const KIND_SESSION_OPENED: u8 = 0x81;
 const KIND_STEP_ACK: u8 = 0x82;
 const KIND_FEATURE_REPORT: u8 = 0x83;
@@ -392,6 +473,7 @@ const KIND_ERROR: u8 = 0x87;
 const KIND_FEATURE_EVENT: u8 = 0x88;
 const KIND_SUBSCRIPTION_ACK: u8 = 0x89;
 const KIND_SNAPSHOT_DATA: u8 = 0x8a;
+const KIND_STATS_REPLY: u8 = 0x8b;
 
 impl Frame {
     /// Appends the complete frame (length prefix included) to `buf`.
@@ -447,6 +529,28 @@ impl Frame {
             Frame::Snapshot { session } => {
                 buf.push(KIND_SNAPSHOT);
                 put_u64(buf, *session);
+            }
+            Frame::Stats { session } => {
+                buf.push(KIND_STATS);
+                put_u64(buf, *session);
+            }
+            Frame::StatsReply { session, telemetry } => {
+                buf.push(KIND_STATS_REPLY);
+                put_u64(buf, *session);
+                put_u64(buf, telemetry.sheds);
+                put_u64(buf, telemetry.budget_used_ns);
+                put_opt_u64(buf, telemetry.budget_limit_ns);
+                put_u32(buf, telemetry.stages.len() as u32);
+                for stage in &telemetry.stages {
+                    buf.push(stage.stage);
+                    put_u64(buf, stage.count);
+                    put_u64(buf, stage.total_ns);
+                    put_u64(buf, stage.max_ns);
+                    put_u32(buf, stage.buckets.len() as u32);
+                    for &bucket in &stage.buckets {
+                        put_u64(buf, bucket);
+                    }
+                }
             }
             Frame::Restore { spec, data } => {
                 buf.push(KIND_RESTORE);
@@ -608,6 +712,48 @@ impl Frame {
             KIND_SNAPSHOT => Frame::Snapshot {
                 session: cur.take_u64()?,
             },
+            KIND_STATS => Frame::Stats {
+                session: cur.take_u64()?,
+            },
+            KIND_STATS_REPLY => {
+                let session = cur.take_u64()?;
+                let sheds = cur.take_u64()?;
+                let budget_used_ns = cur.take_u64()?;
+                let budget_limit_ns = cur.take_opt_u64()?;
+                let stage_count = cur.take_u32()? as usize;
+                // Smallest possible stage entry: tag + three u64s + an
+                // empty bucket count.
+                cur.ensure_capacity_for(stage_count, 1 + 8 * 3 + 4)?;
+                let mut stages = Vec::with_capacity(stage_count);
+                for _ in 0..stage_count {
+                    let stage = cur.take_u8()?;
+                    let count = cur.take_u64()?;
+                    let total_ns = cur.take_u64()?;
+                    let max_ns = cur.take_u64()?;
+                    let bucket_count = cur.take_u32()? as usize;
+                    cur.ensure_capacity_for(bucket_count, 8)?;
+                    let mut buckets = Vec::with_capacity(bucket_count);
+                    for _ in 0..bucket_count {
+                        buckets.push(cur.take_u64()?);
+                    }
+                    stages.push(StageStats {
+                        stage,
+                        count,
+                        total_ns,
+                        max_ns,
+                        buckets,
+                    });
+                }
+                Frame::StatsReply {
+                    session,
+                    telemetry: SessionTelemetry {
+                        sheds,
+                        budget_used_ns,
+                        budget_limit_ns,
+                        stages,
+                    },
+                }
+            }
             KIND_RESTORE => {
                 let spec = take_spec(&mut cur)?;
                 let data = cur.take_blob()?;
@@ -1232,6 +1378,35 @@ mod tests {
         roundtrip(Frame::SnapshotData {
             session: 9,
             data: Vec::new(),
+        });
+        roundtrip(Frame::Stats { session: 11 });
+        roundtrip(Frame::StatsReply {
+            session: 11,
+            telemetry: SessionTelemetry {
+                sheds: 4,
+                budget_used_ns: 123_456_789,
+                budget_limit_ns: Some(150_000),
+                stages: vec![
+                    StageStats {
+                        stage: 0,
+                        count: 300,
+                        total_ns: 600_000,
+                        max_ns: 9_000,
+                        buckets: vec![0, 0, 12, 250, 38],
+                    },
+                    StageStats {
+                        stage: 2,
+                        count: 150,
+                        total_ns: 90_000_000,
+                        max_ns: 2_000_000,
+                        buckets: Vec::new(),
+                    },
+                ],
+            },
+        });
+        roundtrip(Frame::StatsReply {
+            session: 11,
+            telemetry: SessionTelemetry::default(),
         });
     }
 

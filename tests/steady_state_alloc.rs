@@ -28,6 +28,7 @@ use insitu::engine::{Engine, EngineConfig, TrainingMode};
 use insitu::extract::FeatureKind;
 use insitu::model::{ConvergenceCriteria, OptimizerKind, TrainerConfig};
 use insitu::region::AnalysisSpec;
+use insitu::telemetry::StepBudget;
 use insitu::IterParam;
 use parsim::{ParallelConfig, ThreadPool};
 use simkit::decomposition::BlockDecomposition;
@@ -82,7 +83,11 @@ const WINDOW_STEPS: u64 = 100;
 /// `ShardedCollector` split over that many ownership shards (on a serial
 /// pool, so the per-shard record/assemble/merge machinery is exercised
 /// without the constant-per-step job-dispatch allocations of the fan-out).
-fn window_allocations(locations: u64, mode: TrainingMode, shards: usize) -> u64 {
+/// With `telemetry` the stage-event recorder is armed AND a 1 ns
+/// `DeferExtraction` budget keeps the engine permanently overloaded, so
+/// every window step records stage events *and* a shed decision — all of
+/// which must stay allocation-free.
+fn window_allocations(locations: u64, mode: TrainingMode, shards: usize, telemetry: bool) -> u64 {
     let rows_per_iteration = (locations as usize) - ORDER;
     let pool = ThreadPool::new(ParallelConfig::new(2, 2).unwrap());
     let mut config = match mode {
@@ -94,6 +99,10 @@ fn window_allocations(locations: u64, mode: TrainingMode, shards: usize) -> u64 
             BlockDecomposition::new(Extents::new(locations as usize + 8, 1, 1).unwrap(), shards)
                 .unwrap(),
         );
+    }
+    if telemetry {
+        config.telemetry.enabled = Some(true);
+        config.budget = Some(StepBudget::new(std::time::Duration::from_nanos(1)));
     }
     let mut engine: Engine<Pulse> = Engine::with_config(config);
     let region = engine.add_region("steady").unwrap();
@@ -160,6 +169,20 @@ fn window_allocations(locations: u64, mode: TrainingMode, shards: usize) -> u64 
         status.feature("velocity").is_some(),
         "the per-step extract_now must have extracted the breakpoint"
     );
+    if telemetry {
+        // The 1 ns budget must have overloaded every post-warm-up step, so
+        // the window recorded shed events too.
+        assert!(
+            engine.shed_steps() >= WARMUP_STEPS + WINDOW_STEPS - 1,
+            "the 1 ns budget must shed continuously, shed {} of {} steps",
+            engine.shed_steps(),
+            WARMUP_STEPS + WINDOW_STEPS
+        );
+        let analysis = engine.analysis_id(region, 0).unwrap();
+        let recorder = engine.telemetry(analysis).unwrap();
+        assert!(recorder.sheds() > 0);
+        assert!(recorder.histogram(insitu::telemetry::Stage::Sample).count() > 0);
+    }
     allocations
 }
 
@@ -175,8 +198,8 @@ fn steady_state_allocations_do_not_scale_with_rows() {
     // shard too.
     for shards in [0usize, 4] {
         for mode in [TrainingMode::Inline, TrainingMode::Background] {
-            let small = window_allocations(8 + ORDER as u64, mode, shards);
-            let large = window_allocations(64 + ORDER as u64, mode, shards);
+            let small = window_allocations(8 + ORDER as u64, mode, shards, false);
+            let large = window_allocations(64 + ORDER as u64, mode, shards, false);
             if mode == TrainingMode::Inline {
                 // Single-threaded and fully deterministic: the counts must
                 // be *identical* despite the 8× row-rate difference.
@@ -231,5 +254,43 @@ fn steady_state_allocations_do_not_scale_with_rows() {
                  {WINDOW_STEPS} steps is more than a small per-step constant"
             );
         }
+    }
+
+    // Telemetry legs: the recorder is armed (256-event ring, stage
+    // histograms) AND a 1 ns DeferExtraction budget sheds every step, so
+    // each window step records sample/assemble/train events plus a shed
+    // event. Recording must be exactly as allocation-free as not
+    // recording: the Inline counts stay *identical* across the 8× row-rate
+    // difference, and Background/4-shard stays within the same jitter
+    // headroom as its untimed counterpart.
+    for (mode, shards) in [
+        (TrainingMode::Inline, 0usize),
+        (TrainingMode::Background, 0),
+        (TrainingMode::Inline, 4),
+    ] {
+        let small = window_allocations(8 + ORDER as u64, mode, shards, true);
+        let large = window_allocations(64 + ORDER as u64, mode, shards, true);
+        if mode == TrainingMode::Inline {
+            assert_eq!(
+                small, large,
+                "telemetry {mode:?}/{shards} shards: steady-state allocations \
+                 scale with the row count with the recorder armed ({small} \
+                 for 8 rows/step vs {large} for 64 rows/step over \
+                 {WINDOW_STEPS} steps)"
+            );
+        } else {
+            assert!(
+                large <= small + WINDOW_STEPS,
+                "telemetry {mode:?}/{shards} shards: steady-state allocations \
+                 scale with the row count with the recorder armed ({small} vs \
+                 {large} over {WINDOW_STEPS} steps)"
+            );
+        }
+        assert!(
+            small <= 10 * WINDOW_STEPS,
+            "telemetry {mode:?}/{shards} shards: {small} allocations over \
+             {WINDOW_STEPS} steps is more than a small per-step constant — \
+             telemetry recording must not allocate"
+        );
     }
 }
